@@ -1,0 +1,239 @@
+// Benchmarks regenerating every evaluation artifact of the paper (one bench
+// per experiment id in DESIGN.md/EXPERIMENTS.md). Each iteration performs
+// one unit of the experiment — typically "sample one topology and test the
+// property" — so ns/op measures the cost of one Monte Carlo trial and the
+// full experiment cost is trials × points × ns/op.
+//
+// Run all:  go test -bench=. -benchmem .
+package qcomposite_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/secure-wsn/qcomposite"
+	"github.com/secure-wsn/qcomposite/internal/adversary"
+	"github.com/secure-wsn/qcomposite/internal/channel"
+	"github.com/secure-wsn/qcomposite/internal/graphalgo"
+	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/randgraph"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+	"github.com/secure-wsn/qcomposite/internal/stats"
+	"github.com/secure-wsn/qcomposite/internal/theory"
+	"github.com/secure-wsn/qcomposite/internal/wsn"
+)
+
+// BenchmarkE1Figure1Trial measures one Figure 1 Monte Carlo trial (sample
+// G_{n,q}(1000, K, 10000, p), test connectivity) for each of the six
+// curves at its paper K* threshold, where the work is maximal-interesting.
+func BenchmarkE1Figure1Trial(b *testing.B) {
+	curves := []struct {
+		name string
+		q    int
+		p    float64
+		k    int // paper's K* for the curve
+	}{
+		{name: "q2_p1.0_K35", q: 2, p: 1.0, k: 35},
+		{name: "q2_p0.5_K41", q: 2, p: 0.5, k: 41},
+		{name: "q2_p0.2_K52", q: 2, p: 0.2, k: 52},
+		{name: "q3_p1.0_K60", q: 3, p: 1.0, k: 60},
+		{name: "q3_p0.5_K67", q: 3, p: 0.5, k: 67},
+		{name: "q3_p0.2_K78", q: 3, p: 0.2, k: 78},
+	}
+	for _, c := range curves {
+		b.Run(c.name, func(b *testing.B) {
+			s, err := randgraph.NewQSampler(1000, c.k, 10000, c.q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := rng.New(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g, err := s.SampleComposite(r, c.p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = graphalgo.IsConnected(g)
+			}
+		})
+	}
+}
+
+// BenchmarkE2KStarTable regenerates the full in-text K* table (six exact
+// eq. (5) solves plus six asymptotic solves) per iteration.
+func BenchmarkE2KStarTable(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, q := range []int{2, 3} {
+			for _, p := range []float64{1, 0.5, 0.2} {
+				if _, err := qcomposite.ThresholdK(1000, 10000, q, p); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := qcomposite.ThresholdKAsymptotic(1000, 10000, q, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkE3Theorem1Trial measures one Theorem 1 validation trial:
+// sample at the paper scale and run the Even k-connectivity test, for
+// k = 1, 2, 3.
+func BenchmarkE3Theorem1Trial(b *testing.B) {
+	for _, k := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			s, err := randgraph.NewQSampler(1000, 48, 10000, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := rng.New(2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g, err := s.SampleComposite(r, 0.5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = graphalgo.IsKConnected(g, k)
+			}
+		})
+	}
+}
+
+// BenchmarkE4MinDegreeTrial measures one Lemma 8 trial: sample plus minimum
+// degree scan.
+func BenchmarkE4MinDegreeTrial(b *testing.B) {
+	s, err := randgraph.NewQSampler(1000, 48, 10000, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := s.SampleComposite(r, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = g.MinDegree() >= 2
+	}
+}
+
+// BenchmarkE5DegreeDistTrial measures one Lemma 9 trial: sample plus degree
+// histogram plus Poisson comparison.
+func BenchmarkE5DegreeDistTrial(b *testing.B) {
+	s, err := randgraph.NewQSampler(1000, 43, 10000, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tProb, err := theory.EdgeProb(10000, 43, 2, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lambda, err := theory.PoissonNodeCountMean(1000, tProb, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := s.SampleComposite(r, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hist := g.DegreeHistogram()
+		count := 0
+		if len(hist) > 1 {
+			count = hist[1]
+		}
+		_ = stats.PoissonPMF(lambda, count)
+	}
+}
+
+// BenchmarkE6ZeroOneTrial measures one zero–one law trial at the largest
+// default schedule point (n = 3200, plus branch).
+func BenchmarkE6ZeroOneTrial(b *testing.B) {
+	const (
+		n    = 3200
+		pool = 32000
+		k    = 2
+	)
+	tTarget, err := theory.EdgeProbForAlpha(n, 4.0, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ring, err := theory.RingSizeForEdgeProb(pool, 2, 0.5, tTarget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := randgraph.NewQSampler(n, ring, pool, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := s.SampleComposite(r, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = graphalgo.IsKConnected(g, k)
+	}
+}
+
+// BenchmarkE7ResilienceTrial measures one resilience trial: deploy a
+// 400-sensor network and run a 30-node capture attack.
+func BenchmarkE7ResilienceTrial(b *testing.B) {
+	pool, err := theory.PoolSizeForKeyShareProb(60, 2, 0.33)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheme, err := keys.NewQComposite(pool, 60, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := wsn.Deploy(wsn.Config{
+			Sensors: 400,
+			Scheme:  scheme,
+			Channel: channel.AlwaysOn{},
+			Seed:    uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := adversary.CaptureRandom(net, r, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8DiskModelTrial measures one disk-model trial: deploy under
+// geometric channels and test connectivity of the secure topology.
+func BenchmarkE8DiskModelTrial(b *testing.B) {
+	scheme, err := keys.NewQComposite(5000, 36, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := wsn.Deploy(wsn.Config{
+			Sensors: 500,
+			Scheme:  scheme,
+			Channel: channel.Disk{Radius: 0.4, Torus: true},
+			Seed:    uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = graphalgo.IsConnected(net.FullSecureTopology())
+	}
+}

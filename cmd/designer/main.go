@@ -1,0 +1,95 @@
+// Command designer is the WSN dimensioning tool built on the paper's
+// "precise design guideline": given a deployment size n, pool size P,
+// overlap requirement q, channel quality p, resilience level k, and a target
+// probability, it prints
+//
+//   - the smallest key ring size K achieving the target k-connectivity
+//     probability under Theorem 1 (memory is the scarce resource on
+//     sensors, so the minimum K matters);
+//   - the eq. (9) connectivity threshold K* for reference;
+//   - the resulting edge probability, expected degree, and α_n.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/secure-wsn/qcomposite/internal/core"
+	"github.com/secure-wsn/qcomposite/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "designer:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n      = flag.Int("n", 1000, "number of sensors")
+		pool   = flag.Int("pool", 10000, "key pool size P")
+		q      = flag.Int("q", 2, "required key overlap")
+		pOn    = flag.Float64("p", 0.5, "channel-on probability")
+		kMax   = flag.Int("kmax", 3, "design for k = 1..kmax")
+		target = flag.Float64("target", 0.99, "target k-connectivity probability")
+	)
+	flag.Parse()
+
+	if *target <= 0 || *target >= 1 {
+		return fmt.Errorf("target must be in (0,1), got %v", *target)
+	}
+
+	fmt.Printf("Design guideline for n=%d sensors, P=%d, q=%d, p=%g, target P[k-conn] ≥ %g\n\n",
+		*n, *pool, *q, *pOn, *target)
+
+	table := experiment.NewTable(
+		"k", "min ring K", "achieved P[k-conn]", "alpha", "edge prob t", "expected degree")
+	for k := 1; k <= *kMax; k++ {
+		ring, err := core.DesignK(*n, *pool, *q, *pOn, k, *target)
+		if err != nil {
+			return fmt.Errorf("design k=%d: %w", k, err)
+		}
+		m := core.Model{N: *n, K: ring, P: *pool, Q: *q, ChannelOn: *pOn}
+		achieved, err := m.TheoreticalKConnProb(k)
+		if err != nil {
+			return err
+		}
+		alpha, err := m.Alpha(k)
+		if err != nil {
+			return err
+		}
+		tProb, err := m.EdgeProbability()
+		if err != nil {
+			return err
+		}
+		deg, err := m.ExpectedDegree()
+		if err != nil {
+			return err
+		}
+		table.AddRow(
+			fmt.Sprintf("%d", k),
+			fmt.Sprintf("%d", ring),
+			fmt.Sprintf("%.4f", achieved),
+			fmt.Sprintf("%+.3f", alpha),
+			fmt.Sprintf("%.6f", tProb),
+			fmt.Sprintf("%.2f", deg),
+		)
+	}
+	if err := table.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	exact, err := core.ThresholdK(*n, *pool, *q, *pOn)
+	if err != nil {
+		return err
+	}
+	asym, err := core.ThresholdKAsymptotic(*n, *pool, *q, *pOn)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\neq. (9) connectivity threshold K*: exact %d, asymptotic %d\n", exact, asym)
+	fmt.Println("(K* puts the network just above the connectivity scaling; the design table targets a probability.)")
+	return nil
+}

@@ -1,0 +1,125 @@
+// Command figure1 reproduces Figure 1 of the paper (experiment E1): the
+// empirical probability that G_{n,q}(n, K, P, p) is connected as a function
+// of the key ring size K, for q ∈ {2, 3} and p ∈ {0.2, 0.5, 1} with
+// n = 1000 and P = 10000, each point averaged over 500 independent sampled
+// topologies. It also prints the eq. (9) thresholds K* next to each curve
+// (both the exact and the asymptotic computation; the paper's published
+// values track the asymptotic one).
+//
+// Output: an aligned table, a terminal ASCII rendering of the figure, and
+// optional CSV (-csv) for external plotting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/secure-wsn/qcomposite/internal/core"
+	"github.com/secure-wsn/qcomposite/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "figure1:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n       = flag.Int("n", 1000, "number of sensors")
+		pool    = flag.Int("pool", 10000, "key pool size P")
+		kMin    = flag.Int("kmin", 28, "smallest key ring size K")
+		kMax    = flag.Int("kmax", 88, "largest key ring size K")
+		kStep   = flag.Int("kstep", 4, "key ring size step")
+		trials  = flag.Int("trials", 500, "samples per point (paper: 500)")
+		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		seed    = flag.Uint64("seed", 1, "base RNG seed")
+		csvPath = flag.String("csv", "", "write series CSV to this path")
+	)
+	flag.Parse()
+
+	type curve struct {
+		q int
+		p float64
+	}
+	curves := []curve{
+		{q: 2, p: 1}, {q: 2, p: 0.5}, {q: 2, p: 0.2},
+		{q: 3, p: 1}, {q: 3, p: 0.5}, {q: 3, p: 0.2},
+	}
+
+	fmt.Printf("Figure 1 reproduction: P[G_{n,q}(n=%d, K, P=%d, p) is connected] vs K\n", *n, *pool)
+	fmt.Printf("%d trials/point, seed %d\n\n", *trials, *seed)
+
+	columns := []string{"K"}
+	series := make([]experiment.Series, len(curves))
+	for i, c := range curves {
+		series[i].Name = fmt.Sprintf("q=%d, p=%g", c.q, c.p)
+		columns = append(columns, fmt.Sprintf("q=%d,p=%g", c.q, c.p))
+	}
+	table := experiment.NewTable(columns...)
+
+	ctx := context.Background()
+	start := time.Now()
+	for k := *kMin; k <= *kMax; k += *kStep {
+		row := []string{fmt.Sprintf("%d", k)}
+		for ci, c := range curves {
+			m := core.Model{N: *n, K: k, P: *pool, Q: c.q, ChannelOn: c.p}
+			est, err := m.EstimateConnectivity(ctx, core.EstimateConfig{
+				Trials:  *trials,
+				Workers: *workers,
+				Seed:    *seed + uint64(ci*1000+k),
+			})
+			if err != nil {
+				return fmt.Errorf("K=%d %s: %w", k, series[ci].Name, err)
+			}
+			lo, hi := est.WilsonInterval(1.96)
+			series[ci].AddCI(float64(k), est.Estimate(), lo, hi)
+			row = append(row, fmt.Sprintf("%.3f", est.Estimate()))
+		}
+		table.AddRow(row...)
+	}
+	if err := table.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nelapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	if err := experiment.RenderChart(os.Stdout, series, experiment.ChartOptions{
+		Title:  fmt.Sprintf("Empirical probability of connectivity (n=%d, P=%d, %d trials)", *n, *pool, *trials),
+		XLabel: "key ring size K",
+		YLabel: "P[connected]",
+		YMin:   0, YMax: 1,
+		Width: 76, Height: 22,
+	}); err != nil {
+		return err
+	}
+
+	fmt.Println("\neq. (9) thresholds K* (exact | asymptotic; paper prints 35, 41, 52, 60, 67, 78):")
+	for _, c := range curves {
+		exact, err := core.ThresholdK(*n, *pool, c.q, c.p)
+		if err != nil {
+			return err
+		}
+		asym, err := core.ThresholdKAsymptotic(*n, *pool, c.q, c.p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  q=%d, p=%-4g  K* = %d | %d\n", c.q, c.p, exact, asym)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return fmt.Errorf("create csv: %w", err)
+		}
+		defer f.Close()
+		if err := experiment.WriteSeriesCSV(f, series); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+	return nil
+}

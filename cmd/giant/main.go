@@ -1,0 +1,170 @@
+// Command giant probes the giant-component phase transition of the secure
+// WSN topology (experiment E11; Bloznelis–Jaworski–Rybarczyk, cited as [21]
+// in the paper's related work): a linear-size connected component emerges
+// once the secure-link probability t exceeds 1/n (mean degree 1), far below
+// the ln n / n full-connectivity threshold of eq. (9).
+//
+// The tool sweeps the key ring size through mean degrees ≈ 0.2 … 4 and
+// reports the largest-component fraction, its giant/subcritical shape, and
+// the fraction of isolated nodes against the e^{−deg} prediction.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"github.com/secure-wsn/qcomposite/internal/core"
+	"github.com/secure-wsn/qcomposite/internal/experiment"
+	"github.com/secure-wsn/qcomposite/internal/graphalgo"
+	"github.com/secure-wsn/qcomposite/internal/montecarlo"
+	"github.com/secure-wsn/qcomposite/internal/randgraph"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+	"github.com/secure-wsn/qcomposite/internal/theory"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "giant:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n       = flag.Int("n", 2000, "number of sensors")
+		pool    = flag.Int("pool", 20000, "key pool size P")
+		q       = flag.Int("q", 2, "required key overlap")
+		pOn     = flag.Float64("p", 0.5, "channel-on probability")
+		trials  = flag.Int("trials", 100, "samples per point")
+		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		seed    = flag.Uint64("seed", 1, "base RNG seed")
+		csvPath = flag.String("csv", "", "write series CSV to this path")
+	)
+	flag.Parse()
+
+	fmt.Printf("Giant component emergence in G_{n,%d}(n=%d, K, P=%d, p=%g)\n", *q, *n, *pool, *pOn)
+	fmt.Printf("critical point: mean degree n·t = 1 (t = 1/n), %d trials/point\n\n", *trials)
+
+	// Ring sizes giving mean degree ≈ 0.2 … 4.
+	var rings []int
+	for _, deg := range []float64{0.2, 0.5, 0.8, 1.0, 1.2, 1.5, 2, 3, 4} {
+		target := deg / float64(*n)
+		ring, err := theory.RingSizeForEdgeProb(*pool, *q, *pOn, target)
+		if err != nil {
+			return fmt.Errorf("ring for degree %v: %w", deg, err)
+		}
+		if len(rings) == 0 || ring != rings[len(rings)-1] {
+			rings = append(rings, ring)
+		}
+	}
+
+	giant := experiment.Series{Name: "largest component fraction"}
+	isolated := experiment.Series{Name: "isolated fraction"}
+	prediction := experiment.Series{Name: "e^{-deg} (isolated prediction)"}
+	table := experiment.NewTable(
+		"K", "mean degree n·t", "largest comp fraction", "isolated fraction", "e^{-deg}")
+	ctx := context.Background()
+	start := time.Now()
+	for _, ring := range rings {
+		m := core.Model{N: *n, K: ring, P: *pool, Q: *q, ChannelOn: *pOn}
+		tProb, err := m.EdgeProbability()
+		if err != nil {
+			return err
+		}
+		deg := float64(*n) * tProb
+		// Two metric passes share the same seeds, so both statistics are
+		// measured on identical samples.
+		largest, err := montecarlo.Collect(ctx, montecarlo.Config{
+			Trials: *trials, Workers: *workers, Seed: *seed + uint64(ring),
+		}, func(trial int, r *rng.Rand) (float64, error) {
+			s, err := randgraph.NewQSampler(*n, ring, *pool, *q)
+			if err != nil {
+				return 0, err
+			}
+			g, err := s.SampleComposite(r, *pOn)
+			if err != nil {
+				return 0, err
+			}
+			return float64(graphalgo.LargestComponentSize(g)) / float64(*n), nil
+		})
+		if err != nil {
+			return fmt.Errorf("K=%d: %w", ring, err)
+		}
+		isoVals, err := montecarlo.Collect(ctx, montecarlo.Config{
+			Trials: *trials, Workers: *workers, Seed: *seed + uint64(ring),
+		}, func(trial int, r *rng.Rand) (float64, error) {
+			s, err := randgraph.NewQSampler(*n, ring, *pool, *q)
+			if err != nil {
+				return 0, err
+			}
+			g, err := s.SampleComposite(r, *pOn)
+			if err != nil {
+				return 0, err
+			}
+			hist := g.DegreeHistogram()
+			return float64(hist[0]) / float64(*n), nil
+		})
+		if err != nil {
+			return fmt.Errorf("K=%d isolated: %w", ring, err)
+		}
+		lf := mean(largest)
+		iso := mean(isoVals)
+		pred := math.Exp(-deg)
+		giant.Add(deg, lf)
+		isolated.Add(deg, iso)
+		prediction.Add(deg, pred)
+		table.AddRow(
+			fmt.Sprintf("%d", ring),
+			fmt.Sprintf("%.2f", deg),
+			fmt.Sprintf("%.4f", lf),
+			fmt.Sprintf("%.4f", iso),
+			fmt.Sprintf("%.4f", pred),
+		)
+	}
+	if err := table.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nelapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	if err := experiment.RenderChart(os.Stdout,
+		[]experiment.Series{giant, isolated, prediction}, experiment.ChartOptions{
+			Title:  "Giant component and isolated nodes vs mean secure degree",
+			XLabel: "mean degree n·t",
+			YLabel: "fraction of n",
+			YMin:   0, YMax: 1,
+			Width: 72, Height: 18,
+		}); err != nil {
+		return err
+	}
+	fmt.Println("\nReading: the largest-component fraction lifts off at mean degree ≈ 1")
+	fmt.Println("(the [21] threshold s > 1/n at p·s = t), while full connectivity waits for")
+	fmt.Println("mean degree ≈ ln n — the gap the paper's eq. (9) rule bridges.")
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return fmt.Errorf("create csv: %w", err)
+		}
+		defer f.Close()
+		if err := experiment.WriteSeriesCSV(f, []experiment.Series{giant, isolated, prediction}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+	return nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

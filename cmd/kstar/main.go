@@ -1,0 +1,130 @@
+// Command kstar reproduces the paper's in-text K* table (experiment E2):
+// the minimum key ring size satisfying the eq. (9) connectivity condition
+// t(K*, P, q, p) > ln n / n, for each (q, p) curve of Figure 1.
+//
+// Two computations are printed side by side: the exact evaluation of the
+// eq. (5) sum, and the Lemma 2 asymptotic (K²/P)^q/q! — the paper's
+// published values (35, 41, 52, 60, 67, 78) track the asymptotic one (the
+// q = 2 row exactly, the q = 3 row within +1); see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/secure-wsn/qcomposite/internal/core"
+	"github.com/secure-wsn/qcomposite/internal/experiment"
+	"github.com/secure-wsn/qcomposite/internal/theory"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "kstar:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n       = flag.Int("n", 1000, "number of sensors")
+		pool    = flag.Int("pool", 10000, "key pool size P")
+		qList   = flag.String("q", "2,3", "comma-separated overlap requirements")
+		pList   = flag.String("p", "1,0.5,0.2", "comma-separated channel-on probabilities")
+		csvPath = flag.String("csv", "", "write table CSV to this path")
+	)
+	flag.Parse()
+
+	qs, err := parseInts(*qList)
+	if err != nil {
+		return fmt.Errorf("parse -q: %w", err)
+	}
+	ps, err := parseFloats(*pList)
+	if err != nil {
+		return fmt.Errorf("parse -p: %w", err)
+	}
+
+	paper := map[[2]string]string{
+		{"2", "1"}: "35", {"2", "0.5"}: "41", {"2", "0.2"}: "52",
+		{"3", "1"}: "60", {"3", "0.5"}: "67", {"3", "0.2"}: "78",
+	}
+
+	fmt.Printf("K* thresholds per eq. (9): minimal K with t(K, P=%d, q, p) > ln(%d)/%d\n\n", *pool, *n, *n)
+	table := experiment.NewTable("q", "p", "K* exact (5)", "K* asymptotic (Lemma 2)", "paper", "t(K*) exact", "ln n / n")
+	thr := fmt.Sprintf("%.6f", lnOverN(*n))
+	for _, q := range qs {
+		for _, p := range ps {
+			exact, err := core.ThresholdK(*n, *pool, q, p)
+			if err != nil {
+				return fmt.Errorf("exact K*(q=%d, p=%g): %w", q, p, err)
+			}
+			asym, err := core.ThresholdKAsymptotic(*n, *pool, q, p)
+			if err != nil {
+				return fmt.Errorf("asymptotic K*(q=%d, p=%g): %w", q, p, err)
+			}
+			tv, err := theory.EdgeProb(*pool, exact, q, p)
+			if err != nil {
+				return err
+			}
+			pub := paper[[2]string{fmt.Sprintf("%d", q), fmt.Sprintf("%g", p)}]
+			if pub == "" {
+				pub = "-"
+			}
+			table.AddRow(
+				fmt.Sprintf("%d", q),
+				fmt.Sprintf("%g", p),
+				fmt.Sprintf("%d", exact),
+				fmt.Sprintf("%d", asym),
+				pub,
+				fmt.Sprintf("%.6f", tv),
+				thr,
+			)
+		}
+	}
+	if err := table.Render(os.Stdout); err != nil {
+		return err
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return fmt.Errorf("create csv: %w", err)
+		}
+		defer f.Close()
+		if err := table.RenderCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+	return nil
+}
+
+func lnOverN(n int) float64 {
+	return math.Log(float64(n)) / float64(n)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

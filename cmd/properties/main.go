@@ -1,0 +1,191 @@
+// Command properties sweeps the key ring size K and charts a phase diagram
+// of monotone graph properties of G_{n,q}(n, K, P, p) around the
+// connectivity threshold: connectivity, 2-connectivity, minimum degree ≥ 2,
+// Hamiltonicity (Pósa heuristic), plus two structural diagnostics the
+// q-composite graph inherits from its intersection structure — global
+// clustering coefficient (strictly positive, unlike an Erdős–Rényi graph of
+// the same density) and the diameter of connected samples.
+//
+// The related-work observation it illustrates (Nikoletseas et al., cited in
+// Section IX): Hamiltonicity emerges essentially together with
+// 2-connectivity, just after connectivity.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/secure-wsn/qcomposite/internal/core"
+	"github.com/secure-wsn/qcomposite/internal/experiment"
+	"github.com/secure-wsn/qcomposite/internal/graphalgo"
+	"github.com/secure-wsn/qcomposite/internal/montecarlo"
+	"github.com/secure-wsn/qcomposite/internal/randgraph"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+	"github.com/secure-wsn/qcomposite/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "properties:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n       = flag.Int("n", 500, "number of sensors")
+		pool    = flag.Int("pool", 5000, "key pool size P")
+		q       = flag.Int("q", 2, "required key overlap")
+		pOn     = flag.Float64("p", 0.5, "channel-on probability")
+		kMin    = flag.Int("kmin", 30, "smallest ring size K")
+		kEnd    = flag.Int("kmax", 50, "largest ring size K")
+		kStep   = flag.Int("kstep", 2, "ring size step")
+		trials  = flag.Int("trials", 150, "samples per point")
+		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		seed    = flag.Uint64("seed", 1, "base RNG seed")
+		csvPath = flag.String("csv", "", "write series CSV to this path")
+	)
+	flag.Parse()
+
+	fmt.Printf("Property phase diagram of G_{n,%d}(n=%d, K, P=%d, p=%g), %d trials/point\n\n",
+		*q, *n, *pool, *pOn, *trials)
+
+	names := []string{"connected", "2-connected", "min degree >= 2", "Hamiltonian (heuristic)"}
+	series := make([]experiment.Series, len(names))
+	for i, name := range names {
+		series[i].Name = name
+	}
+	table := experiment.NewTable("K", "conn", "2-conn", "minDeg>=2", "Hamilton",
+		"clustering", "ER clustering", "diam (conn. samples)", "lambda2")
+	ctx := context.Background()
+	start := time.Now()
+	for ring := *kMin; ring <= *kEnd; ring += *kStep {
+		m := core.Model{N: *n, K: ring, P: *pool, Q: *q, ChannelOn: *pOn}
+		var (
+			hits      [4]int
+			clustSum  stats.Summary
+			diamSum   stats.Summary
+			erClust   stats.Summary
+			fiedler   stats.Summary
+			completed int
+		)
+		// One parallel pass per trial evaluating the boolean properties on
+		// the same sample (correlated estimates, fine for a phase diagram);
+		// the trial result is a bitmask.
+		res, err := montecarlo.Collect(ctx, montecarlo.Config{
+			Trials: *trials, Workers: *workers, Seed: *seed + uint64(ring),
+		}, func(trial int, r *rng.Rand) (float64, error) {
+			s, err := randgraph.NewQSampler(*n, ring, *pool, *q)
+			if err != nil {
+				return 0, err
+			}
+			g, err := s.SampleComposite(r, *pOn)
+			if err != nil {
+				return 0, err
+			}
+			bits := 0
+			if graphalgo.IsConnected(g) {
+				bits |= 1
+			}
+			if graphalgo.IsBiconnected(g) {
+				bits |= 2
+			}
+			if g.MinDegree() >= 2 {
+				bits |= 4
+			}
+			if _, ok := graphalgo.HamiltonianCycle(g, r, 12); ok {
+				bits |= 8
+			}
+			return float64(bits), nil
+		})
+		if err != nil {
+			return fmt.Errorf("K=%d: %w", ring, err)
+		}
+		for _, enc := range res {
+			completed++
+			bits := int(enc)
+			for b := 0; b < 4; b++ {
+				if bits&(1<<b) != 0 {
+					hits[b]++
+				}
+			}
+		}
+		// Real-valued diagnostics on a smaller deterministic replay.
+		replayTrials := *trials / 5
+		if replayTrials < 10 {
+			replayTrials = 10
+		}
+		for trial := 0; trial < replayTrials; trial++ {
+			r := rng.NewStream(*seed+uint64(ring), uint64(trial))
+			s, err := randgraph.NewQSampler(*n, ring, *pool, *q)
+			if err != nil {
+				return err
+			}
+			g, err := s.SampleComposite(r, *pOn)
+			if err != nil {
+				return err
+			}
+			clustSum.Add(graphalgo.GlobalClusteringCoefficient(g))
+			er, err := randgraph.ErdosRenyi(r, *n, g.Density())
+			if err != nil {
+				return err
+			}
+			erClust.Add(graphalgo.GlobalClusteringCoefficient(er))
+			if graphalgo.IsConnected(g) {
+				d, _ := graphalgo.Diameter(g)
+				diamSum.Add(float64(d))
+			}
+			fiedler.Add(graphalgo.AlgebraicConnectivity(g, 300))
+		}
+		row := []string{fmt.Sprintf("%d", ring)}
+		for i := range names {
+			p := float64(hits[i]) / float64(completed)
+			series[i].Add(float64(ring), p)
+			row = append(row, fmt.Sprintf("%.3f", p))
+		}
+		diamStr := "-"
+		if diamSum.N() > 0 {
+			diamStr = fmt.Sprintf("%.1f", diamSum.Mean())
+		}
+		row = append(row,
+			fmt.Sprintf("%.4f", clustSum.Mean()),
+			fmt.Sprintf("%.4f", erClust.Mean()),
+			diamStr,
+			fmt.Sprintf("%.3f", fiedler.Mean()))
+		table.AddRow(row...)
+		_ = m
+	}
+	if err := table.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nelapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	if err := experiment.RenderChart(os.Stdout, series, experiment.ChartOptions{
+		Title:  "Monotone properties near the connectivity threshold",
+		XLabel: "key ring size K",
+		YLabel: "probability",
+		YMin:   0, YMax: 1,
+		Width: 76, Height: 20,
+	}); err != nil {
+		return err
+	}
+	fmt.Println("\nReading: connectivity, min-degree≥2, 2-connectivity, Hamiltonicity emerge")
+	fmt.Println("in quick succession; the q-composite clustering coefficient stays well above")
+	fmt.Println("the Erdős–Rényi value at matched density (the dependence the proofs fight).")
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return fmt.Errorf("create csv: %w", err)
+		}
+		defer f.Close()
+		if err := experiment.WriteSeriesCSV(f, series); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+// Command resilience reproduces the q-composite motivation (experiment E7,
+// the paper's Section I claim after Chan–Perrig–Song): under random node
+// capture, the fraction of compromised external links is lower for larger q
+// at small capture scales and higher at large scales, when the schemes are
+// dimensioned to the same link probability (each q gets its own pool size).
+//
+// Both the simulated attack on deployed networks and the closed-form
+// prediction are reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/secure-wsn/qcomposite/internal/adversary"
+	"github.com/secure-wsn/qcomposite/internal/channel"
+	"github.com/secure-wsn/qcomposite/internal/experiment"
+	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+	"github.com/secure-wsn/qcomposite/internal/theory"
+	"github.com/secure-wsn/qcomposite/internal/wsn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "resilience:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		sensors = flag.Int("sensors", 400, "deployed sensors")
+		ring    = flag.Int("ring", 60, "key ring size K (shared by all schemes)")
+		target  = flag.Float64("target", 0.33, "link probability all schemes are dimensioned to")
+		qMax    = flag.Int("qmax", 3, "largest q to compare (1..qmax)")
+		xMax    = flag.Int("xmax", 120, "largest capture count")
+		xStep   = flag.Int("xstep", 10, "capture count step")
+		trials  = flag.Int("trials", 30, "deployments averaged per point")
+		seed    = flag.Uint64("seed", 1, "base RNG seed")
+		csvPath = flag.String("csv", "", "write series CSV to this path")
+	)
+	flag.Parse()
+
+	fmt.Printf("Node-capture resilience: K=%d, schemes dimensioned to link probability %.2f\n",
+		*ring, *target)
+
+	// Dimension each scheme: pool size giving s(K, P, q) ≈ target.
+	pools := make(map[int]int, *qMax)
+	for q := 1; q <= *qMax; q++ {
+		pool, err := theory.PoolSizeForKeyShareProb(*ring, q, *target)
+		if err != nil {
+			return fmt.Errorf("dimension q=%d: %w", q, err)
+		}
+		pools[q] = pool
+		fmt.Printf("  q=%d: pool P=%d\n", q, pool)
+	}
+	fmt.Printf("%d sensors, %d deployments per point\n\n", *sensors, *trials)
+
+	var series []experiment.Series
+	table := experiment.NewTable("captured", "q", "simulated fraction", "analytic fraction")
+	start := time.Now()
+	for q := 1; q <= *qMax; q++ {
+		sim := experiment.Series{Name: fmt.Sprintf("q=%d simulated", q)}
+		ana := experiment.Series{Name: fmt.Sprintf("q=%d analytic", q)}
+		scheme, err := keys.NewQComposite(pools[q], *ring, q)
+		if err != nil {
+			return err
+		}
+		for x := 0; x <= *xMax; x += *xStep {
+			var fracSum float64
+			for trial := 0; trial < *trials; trial++ {
+				net, err := wsn.Deploy(wsn.Config{
+					Sensors: *sensors,
+					Scheme:  scheme,
+					Channel: channel.AlwaysOn{},
+					Seed:    *seed + uint64(q*100000+x*100+trial),
+				})
+				if err != nil {
+					return fmt.Errorf("deploy q=%d x=%d: %w", q, x, err)
+				}
+				res, err := adversary.CaptureRandom(net, rng.NewStream(*seed, uint64(q*100000+x*100+trial)), x)
+				if err != nil {
+					return fmt.Errorf("capture q=%d x=%d: %w", q, x, err)
+				}
+				fracSum += res.Fraction()
+			}
+			simFrac := fracSum / float64(*trials)
+			anaFrac, err := adversary.AnalyticCompromiseFraction(pools[q], *ring, q, x)
+			if err != nil {
+				return err
+			}
+			sim.Add(float64(x), simFrac)
+			ana.Add(float64(x), anaFrac)
+			table.AddRow(
+				fmt.Sprintf("%d", x),
+				fmt.Sprintf("%d", q),
+				fmt.Sprintf("%.4f", simFrac),
+				fmt.Sprintf("%.4f", anaFrac),
+			)
+		}
+		series = append(series, sim, ana)
+	}
+	if err := table.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nelapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	if err := experiment.RenderChart(os.Stdout, series, experiment.ChartOptions{
+		Title:  "Fraction of external links compromised vs sensors captured",
+		XLabel: "captured sensors x",
+		YLabel: "compromised fraction",
+		YMin:   0, YMax: 1,
+		Width: 76, Height: 20,
+	}); err != nil {
+		return err
+	}
+	fmt.Println("\nExpected shape (Chan et al.): larger q lower at small x, crossing over at large x.")
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return fmt.Errorf("create csv: %w", err)
+		}
+		defer f.Close()
+		if err := experiment.WriteSeriesCSV(f, series); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+// Command wsnsim deploys one secure WSN end to end — key predistribution,
+// channel sampling, shared-key discovery — and reports the resulting secure
+// topology: link counts, degrees, components, k-connectivity, an example
+// secure path, and optional random failure injection.
+//
+// It is the "kick the tires" tool for the full simulator stack; the
+// statistical experiments live in the other commands.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/secure-wsn/qcomposite/internal/channel"
+	"github.com/secure-wsn/qcomposite/internal/graphalgo"
+	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+	"github.com/secure-wsn/qcomposite/internal/theory"
+	"github.com/secure-wsn/qcomposite/internal/wsn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wsnsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		sensors   = flag.Int("sensors", 500, "number of sensors")
+		pool      = flag.Int("pool", 10000, "key pool size P")
+		ring      = flag.Int("ring", 55, "key ring size K")
+		q         = flag.Int("q", 2, "required key overlap")
+		chanKind  = flag.String("channel", "onoff", "channel model: onoff, always, disk, disktorus")
+		pOn       = flag.Float64("p", 0.5, "on/off channel probability")
+		radius    = flag.Float64("radius", 0.1, "disk model radius")
+		kConn     = flag.Int("k", 2, "k-connectivity level to check")
+		fail      = flag.Int("fail", 0, "random sensors to fail after deployment")
+		failLinks = flag.Int("faillinks", 0, "random secure links to fail after deployment")
+		revoke    = flag.Int("revoke", 0, "sensors whose keys to revoke (captured-node response)")
+		seed      = flag.Uint64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	scheme, err := keys.NewQComposite(*pool, *ring, *q)
+	if err != nil {
+		return err
+	}
+	var ch channel.Model
+	switch *chanKind {
+	case "onoff":
+		ch = channel.OnOff{P: *pOn}
+	case "always":
+		ch = channel.AlwaysOn{}
+	case "disk":
+		ch = channel.Disk{Radius: *radius}
+	case "disktorus":
+		ch = channel.Disk{Radius: *radius, Torus: true}
+	default:
+		return fmt.Errorf("unknown channel model %q", *chanKind)
+	}
+
+	fmt.Printf("Deploying %d sensors, %s scheme (P=%d, K=%d), %s channels, seed %d\n\n",
+		*sensors, scheme.Name(), *pool, *ring, ch.Name(), *seed)
+	net, err := wsn.Deploy(wsn.Config{
+		Sensors: *sensors,
+		Scheme:  scheme,
+		Channel: ch,
+		Seed:    *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	if err := printReport(net, *kConn); err != nil {
+		return err
+	}
+
+	// Discovery protocol cost (radio energy proxy).
+	disc, err := net.SimulateDiscovery()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("discovery: %d broadcasts (%d B) + %d unicasts (%d B); mean %d B/sensor, max %d B\n\n",
+		disc.Broadcasts, disc.BroadcastBytes, disc.Unicasts, disc.UnicastBytes,
+		int(disc.PerSensorBytes.Mean), int(disc.PerSensorBytes.Max))
+
+	// Theory comparison (only meaningful for the on/off model).
+	if *chanKind == "onoff" {
+		tProb, err := theory.EdgeProb(*pool, *ring, *q, *pOn)
+		if err != nil {
+			return err
+		}
+		pairs := float64(*sensors) * float64(*sensors-1) / 2
+		fmt.Printf("theory: edge probability t = %.6f (expected links %.0f)\n",
+			tProb, tProb*pairs)
+		alpha, err := theory.Alpha(*sensors, tProb, *kConn)
+		if err == nil {
+			limit, lerr := theory.KConnProbLimit(alpha, *kConn)
+			if lerr == nil {
+				fmt.Printf("theory: alpha = %+.3f, asymptotic P[%d-connected] = %.4f\n\n",
+					alpha, *kConn, limit)
+			}
+		}
+	}
+
+	// Example secure path across the network.
+	sub, orig, err := net.SecureTopology()
+	if err != nil {
+		return err
+	}
+	if sub.N() >= 2 && graphalgo.IsConnected(sub) {
+		a, b := orig[0], orig[sub.N()-1]
+		path, err := net.SecurePath(a, b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("example secure path %d → %d (%d hops): %s\n",
+			a, b, len(path)-1, pathString(path))
+		if len(path) >= 2 {
+			if link, ok := net.Link(path[0], path[1]); ok {
+				fmt.Printf("first hop shares %d keys; link key %x…\n\n",
+					len(link.SharedKeys), link.Key[:8])
+			}
+		}
+	}
+
+	if *fail > 0 {
+		fmt.Printf("failing %d random sensors…\n\n", *fail)
+		r := rng.New(*seed + 1)
+		if _, err := net.FailRandom(r, *fail); err != nil {
+			return err
+		}
+		if err := printReport(net, *kConn); err != nil {
+			return err
+		}
+	}
+	if *failLinks > 0 {
+		fmt.Printf("failing %d random links…\n\n", *failLinks)
+		r := rng.New(*seed + 2)
+		if _, err := net.FailRandomLinks(r, *failLinks); err != nil {
+			return err
+		}
+		opConn, err := net.IsOperationallyConnected()
+		if err != nil {
+			return err
+		}
+		opEdge, err := net.IsKEdgeConnected(*kConn)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  after link failures: connected %v, %d-edge-connected %v\n\n",
+			opConn, *kConn, opEdge)
+	}
+	if *revoke > 0 {
+		fmt.Printf("revoking the key rings of sensors 0..%d (captured-node response)…\n\n", *revoke-1)
+		ids := make([]int32, *revoke)
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		torn, err := net.RevokeNodeKeys(ids...)
+		if err != nil {
+			return err
+		}
+		imp, err := net.Impact()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  revoked keys       %d\n", imp.RevokedKeys)
+		fmt.Printf("  links torn down    %d\n", torn)
+		fmt.Printf("  effective ring     %.1f keys (was %d)\n", imp.EffectiveRingMean, *ring)
+		fmt.Printf("  secure links       %d\n", imp.SecureLinks)
+		fmt.Printf("  connected          %v\n", imp.Connected)
+	}
+	return nil
+}
+
+func printReport(net *wsn.Network, k int) error {
+	rep, err := net.Snapshot()
+	if err != nil {
+		return err
+	}
+	kc, err := net.IsKConnected(k)
+	if err != nil {
+		return err
+	}
+	sub, _, err := net.SecureTopology()
+	if err != nil {
+		return err
+	}
+	lambda2 := graphalgo.AlgebraicConnectivity(sub, 300)
+	fmt.Printf("  sensors alive      %d / %d\n", rep.Alive, rep.Sensors)
+	fmt.Printf("  channel edges      %d\n", rep.ChannelEdges)
+	fmt.Printf("  secure links       %d\n", rep.SecureLinks)
+	fmt.Printf("  degree             min %d, mean %.2f\n", rep.MinDegree, rep.MeanDegree)
+	fmt.Printf("  components         %d (largest %d)\n", rep.Components, rep.LargestComp)
+	fmt.Printf("  connected          %v\n", rep.Connected)
+	fmt.Printf("  %d-connected        %v\n", k, kc)
+	fmt.Printf("  algebraic conn.    %.4f (Fiedler λ₂; robustness score)\n\n", lambda2)
+	return nil
+}
+
+func pathString(path []int32) string {
+	parts := make([]string, len(path))
+	for i, v := range path {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return strings.Join(parts, " → ")
+}

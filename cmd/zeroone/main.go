@@ -1,0 +1,166 @@
+// Command zeroone demonstrates the zero–one law of Theorem 1, eqs. (8b) and
+// (8c) (experiment E6): growing n along a schedule with the pool scaling
+// linearly (P = 10·n, the paper's practicality condition), the ring size is
+// chosen at each n so that the deviation α_n ≈ ±c·ln ln n → ±∞. The
+// empirical probability of k-connectivity must march to 1 on the plus
+// branch and to 0 on the minus branch.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"github.com/secure-wsn/qcomposite/internal/core"
+	"github.com/secure-wsn/qcomposite/internal/experiment"
+	"github.com/secure-wsn/qcomposite/internal/theory"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "zeroone:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		q        = flag.Int("q", 2, "required key overlap")
+		pOn      = flag.Float64("p", 0.5, "channel-on probability")
+		k        = flag.Int("k", 2, "connectivity level k")
+		c        = flag.Float64("c", 2.0, "deviation multiplier: alpha = ±c·ln ln n")
+		poolMult = flag.Int("poolmult", 10, "pool size P = poolmult·n")
+		nList    = flag.String("nlist", "200,400,800,1600,3200", "comma-separated n schedule")
+		trials   = flag.Int("trials", 200, "samples per point")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		seed     = flag.Uint64("seed", 1, "base RNG seed")
+		csvPath  = flag.String("csv", "", "write series CSV to this path")
+	)
+	flag.Parse()
+
+	var ns []int
+	for _, part := range splitCSV(*nList) {
+		var v int
+		if _, err := fmt.Sscanf(part, "%d", &v); err != nil {
+			return fmt.Errorf("parse -nlist %q: %w", part, err)
+		}
+		if v < 3 {
+			return fmt.Errorf("n must be ≥ 3, got %d", v)
+		}
+		ns = append(ns, v)
+	}
+
+	fmt.Printf("Zero–one law (8b)/(8c): k=%d, q=%d, p=%g, P=%d·n, alpha_n = ±%.1f·ln ln n\n",
+		*k, *q, *pOn, *poolMult, *c)
+	fmt.Printf("%d trials/point\n\n", *trials)
+
+	one := experiment.Series{Name: "alpha_n -> +inf (law: P -> 1)"}
+	zero := experiment.Series{Name: "alpha_n -> -inf (law: P -> 0)"}
+	table := experiment.NewTable("n", "P", "branch", "target alpha", "K", "realized alpha", "empirical P", "limit")
+	ctx := context.Background()
+	start := time.Now()
+	for _, n := range ns {
+		pool := *poolMult * n
+		for _, sign := range []float64{1, -1} {
+			alphaTarget := sign * *c * math.Log(math.Log(float64(n)))
+			tTarget, err := theory.EdgeProbForAlpha(n, alphaTarget, *k)
+			if err != nil {
+				return err
+			}
+			ring, err := theory.RingSizeForEdgeProb(pool, *q, *pOn, tTarget)
+			if err != nil {
+				return fmt.Errorf("n=%d sign=%+g: %w", n, sign, err)
+			}
+			if ring < *q {
+				ring = *q
+			}
+			m := core.Model{N: n, K: ring, P: pool, Q: *q, ChannelOn: *pOn}
+			realized, err := m.Alpha(*k)
+			if err != nil {
+				return err
+			}
+			limit, err := m.TheoreticalKConnProb(*k)
+			if err != nil {
+				return err
+			}
+			est, err := m.EstimateKConnectivity(ctx, *k, core.EstimateConfig{
+				Trials:  *trials,
+				Workers: *workers,
+				Seed:    *seed + uint64(n)*7 + uint64(sign+2),
+			})
+			if err != nil {
+				return fmt.Errorf("n=%d: %w", n, err)
+			}
+			branch := "+"
+			if sign < 0 {
+				branch = "-"
+			}
+			if sign > 0 {
+				one.Add(float64(n), est.Estimate())
+			} else {
+				zero.Add(float64(n), est.Estimate())
+			}
+			table.AddRow(
+				fmt.Sprintf("%d", n),
+				fmt.Sprintf("%d", pool),
+				branch,
+				fmt.Sprintf("%+.2f", alphaTarget),
+				fmt.Sprintf("%d", ring),
+				fmt.Sprintf("%+.2f", realized),
+				fmt.Sprintf("%.3f", est.Estimate()),
+				fmt.Sprintf("%.3f", limit),
+			)
+		}
+	}
+	if err := table.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nelapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	if err := experiment.RenderChart(os.Stdout, []experiment.Series{one, zero}, experiment.ChartOptions{
+		Title:  fmt.Sprintf("Zero–one law for %d-connectivity (markers: empirical P)", *k),
+		XLabel: "number of sensors n",
+		YLabel: "P[k-connected]",
+		YMin:   0, YMax: 1,
+		Width: 76, Height: 20,
+	}); err != nil {
+		return err
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return fmt.Errorf("create csv: %w", err)
+		}
+		defer f.Close()
+		if err := experiment.WriteSeriesCSV(f, []experiment.Series{one, zero}); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+	return nil
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ',' {
+			if cur != "" {
+				out = append(out, cur)
+			}
+			cur = ""
+			continue
+		}
+		if r != ' ' {
+			cur += string(r)
+		}
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package qcomposite_test
+
+import (
+	"fmt"
+
+	"github.com/secure-wsn/qcomposite"
+)
+
+// ExampleModel demonstrates the exact link probabilities of the paper's
+// model (eqs. (3)–(5)) for Figure 1's parameterisation.
+func ExampleModel() {
+	m := qcomposite.Model{N: 1000, K: 50, P: 10000, Q: 2, ChannelOn: 0.5}
+	s, _ := m.KeyShareProbability()
+	t, _ := m.EdgeProbability()
+	fmt.Printf("s = %.5f\n", s)
+	fmt.Printf("t = %.5f\n", t)
+	// Output:
+	// s = 0.02577
+	// t = 0.01288
+}
+
+// ExampleModel_theoreticalKConnProb evaluates Theorem 1's asymptotically
+// exact k-connectivity probability.
+func ExampleModel_theoreticalKConnProb() {
+	m := qcomposite.Model{N: 1000, K: 50, P: 10000, Q: 2, ChannelOn: 0.5}
+	for k := 1; k <= 3; k++ {
+		p, _ := m.TheoreticalKConnProb(k)
+		fmt.Printf("P[%d-connected] = %.4f\n", k, p)
+	}
+	// Output:
+	// P[1-connected] = 0.9975
+	// P[2-connected] = 0.9826
+	// P[3-connected] = 0.9412
+}
+
+// ExampleThresholdK reproduces the first entry of the paper's K* table:
+// the exact eq. (5) evaluation gives 36 where the paper's asymptotic
+// computation prints 35.
+func ExampleThresholdK() {
+	exact, _ := qcomposite.ThresholdK(1000, 10000, 2, 1)
+	asym, _ := qcomposite.ThresholdKAsymptotic(1000, 10000, 2, 1)
+	fmt.Printf("exact K* = %d, asymptotic K* = %d\n", exact, asym)
+	// Output:
+	// exact K* = 36, asymptotic K* = 35
+}
+
+// ExampleDesignK sizes the key ring for a 99% probability of surviving any
+// single sensor failure (2-connectivity).
+func ExampleDesignK() {
+	k, _ := qcomposite.DesignK(1000, 10000, 2, 0.5, 2, 0.99)
+	fmt.Printf("minimum ring size: %d keys\n", k)
+	// Output:
+	// minimum ring size: 51 keys
+}

@@ -1,0 +1,113 @@
+// Attack resilience: why q-composite beats Eschenauer–Gligor against
+// small-scale node capture — the paper's Section I motivation, reproduced
+// end to end on deployed networks.
+//
+// Three schemes (q = 1, 2, 3) are dimensioned to the same link probability
+// (Chan et al.'s methodology: each q gets its own pool size), deployed with
+// the same number of sensors, then attacked: an adversary captures sensors
+// at random, learns their key rings, and eavesdrops every external link
+// whose full shared-key set it knows. The example prints the compromised
+// fraction at a small and a large capture scale, showing the crossover.
+//
+// Run with: go run ./examples/attack-resilience
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/secure-wsn/qcomposite/internal/adversary"
+	"github.com/secure-wsn/qcomposite/internal/channel"
+	"github.com/secure-wsn/qcomposite/internal/experiment"
+	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+	"github.com/secure-wsn/qcomposite/internal/theory"
+	"github.com/secure-wsn/qcomposite/internal/wsn"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("attack-resilience: ")
+
+	const (
+		sensors   = 400
+		ring      = 60
+		linkProb  = 0.33 // all schemes dimensioned to this
+		trials    = 20
+		smallefts = 5   // small-scale attack: 5 captured sensors
+		largeefts = 100 // large-scale attack: 100 captured sensors
+	)
+
+	fmt.Printf("Capture attack on %d sensors; schemes dimensioned to link probability %.2f\n\n",
+		sensors, linkProb)
+
+	table := experiment.NewTable(
+		"scheme", "pool P", fmt.Sprintf("compromised @ %d captured", smallefts),
+		fmt.Sprintf("compromised @ %d captured", largeefts), "analytic @ small", "analytic @ large")
+
+	for q := 1; q <= 3; q++ {
+		pool, err := theory.PoolSizeForKeyShareProb(ring, q, linkProb)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scheme, err := keys.NewQComposite(pool, ring, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		small, err := attackAverage(scheme, sensors, smallefts, trials, uint64(q))
+		if err != nil {
+			log.Fatal(err)
+		}
+		large, err := attackAverage(scheme, sensors, largeefts, trials, uint64(q)+100)
+		if err != nil {
+			log.Fatal(err)
+		}
+		anaSmall, err := adversary.AnalyticCompromiseFraction(pool, ring, q, smallefts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		anaLarge, err := adversary.AnalyticCompromiseFraction(pool, ring, q, largeefts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table.AddRow(
+			scheme.Name(),
+			fmt.Sprintf("%d", pool),
+			fmt.Sprintf("%.4f", small),
+			fmt.Sprintf("%.4f", large),
+			fmt.Sprintf("%.4f", anaSmall),
+			fmt.Sprintf("%.4f", anaLarge),
+		)
+	}
+	if err := table.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nReading: at 5 captures the 3-composite scheme leaks the least; at 100")
+	fmt.Println("captures the ordering flips — exactly the trade-off the paper describes")
+	fmt.Println("(stronger against small-scale attacks, weaker against large-scale ones).")
+}
+
+// attackAverage deploys `trials` networks and returns the mean compromised
+// fraction of external links after capturing `captured` sensors.
+func attackAverage(scheme keys.Scheme, sensors, captured, trials int, seed uint64) (float64, error) {
+	sum := 0.0
+	for trial := 0; trial < trials; trial++ {
+		net, err := wsn.Deploy(wsn.Config{
+			Sensors: sensors,
+			Scheme:  scheme,
+			Channel: channel.AlwaysOn{},
+			Seed:    seed*1000 + uint64(trial),
+		})
+		if err != nil {
+			return 0, err
+		}
+		res, err := adversary.CaptureRandom(net, rng.NewStream(seed, uint64(trial)), captured)
+		if err != nil {
+			return 0, err
+		}
+		sum += res.Fraction()
+	}
+	return sum / float64(trials), nil
+}

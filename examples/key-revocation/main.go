@@ -1,0 +1,131 @@
+// Key revocation: operating the network after captures are detected.
+//
+// When a captured sensor is identified, the standard response (from
+// Eschenauer–Gligor, inherited by q-composite) is to revoke its entire key
+// ring network-wide. Revocation is a double-edged sword: it cuts the
+// adversary out, but every revocation thins the surviving sensors'
+// effective key rings — sliding the network left along the paper's
+// Figure-1 connectivity curve until it disconnects.
+//
+// This example deploys a network dimensioned above the connectivity
+// threshold, then alternates captures and revocations, tracking (a) the
+// fraction of links the adversary can still read and (b) the network's own
+// connectivity — the operational trade-off an operator navigates.
+//
+// Run with: go run ./examples/key-revocation
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/secure-wsn/qcomposite/internal/adversary"
+	"github.com/secure-wsn/qcomposite/internal/channel"
+	"github.com/secure-wsn/qcomposite/internal/experiment"
+	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+	"github.com/secure-wsn/qcomposite/internal/wsn"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("key-revocation: ")
+
+	const (
+		sensors = 400
+		pool    = 4000
+		ring    = 45 // comfortably above the connectivity threshold
+		q       = 2
+		batch   = 8 // sensors captured (and then revoked) per round
+	)
+	scheme, err := keys.NewQComposite(pool, ring, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := wsn.Deploy(wsn.Config{
+		Sensors: sensors,
+		Scheme:  scheme,
+		Channel: channel.OnOff{P: 0.8},
+		Seed:    11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Deployed %d sensors (K=%d, P=%d, q=%d); adversary captures %d sensors per round.\n",
+		sensors, ring, pool, q, batch)
+	fmt.Println("Each round the operator revokes the captured rings network-wide.")
+	fmt.Println()
+
+	r := rng.New(99)
+	table := experiment.NewTable(
+		"round", "captured total", "revoked keys", "effective ring",
+		"compromised before revoke", "compromised after revoke", "links", "connected")
+
+	capturedSoFar := []int32{}
+	for round := 1; round <= 8; round++ {
+		// Adversary captures a fresh batch of alive sensors.
+		var batchIDs []int32
+		for len(batchIDs) < batch {
+			id := int32(r.Intn(sensors))
+			if !net.Alive(id) || contains(capturedSoFar, id) || contains(batchIDs, id) {
+				continue
+			}
+			batchIDs = append(batchIDs, id)
+		}
+		capturedSoFar = append(capturedSoFar, batchIDs...)
+
+		// Eavesdropping power before the operator reacts.
+		before, err := adversary.Capture(net, capturedSoFar)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Operator response: revoke the captured rings.
+		if _, err := net.RevokeNodeKeys(batchIDs...); err != nil {
+			log.Fatal(err)
+		}
+		imp, err := net.Impact()
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Eavesdropping power after revocation: links now exclude revoked
+		// keys, so previously-compromised links were torn or re-keyed.
+		after, err := adversary.Capture(net, capturedSoFar)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		table.AddRow(
+			fmt.Sprintf("%d", round),
+			fmt.Sprintf("%d", len(capturedSoFar)),
+			fmt.Sprintf("%d", imp.RevokedKeys),
+			fmt.Sprintf("%.1f", imp.EffectiveRingMean),
+			fmt.Sprintf("%.4f", before.Fraction()),
+			fmt.Sprintf("%.4f", after.Fraction()),
+			fmt.Sprintf("%d", imp.SecureLinks),
+			fmt.Sprintf("%v", imp.Connected),
+		)
+		if !imp.Connected {
+			break
+		}
+	}
+	if err := table.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nReading: revocation keeps the compromised fraction pinned near zero, but")
+	fmt.Println("each round shaves the effective key ring; once it slides below the paper's")
+	fmt.Println("connectivity threshold the network partitions — revocation budgets should be")
+	fmt.Println("set with Figure 1 (or designer/DesignK) in hand.")
+}
+
+func contains(ids []int32, id int32) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}

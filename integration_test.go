@@ -1,0 +1,284 @@
+// End-to-end integration tests: the full pipeline from key predistribution
+// through channel sampling to k-connectivity, validated against the paper's
+// theory at reduced-but-honest scales. These complement the per-package unit
+// tests: everything here crosses at least three packages.
+package qcomposite_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/secure-wsn/qcomposite"
+	"github.com/secure-wsn/qcomposite/internal/adversary"
+	"github.com/secure-wsn/qcomposite/internal/channel"
+	"github.com/secure-wsn/qcomposite/internal/core"
+	"github.com/secure-wsn/qcomposite/internal/graph"
+	"github.com/secure-wsn/qcomposite/internal/graphalgo"
+	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/randgraph"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+	"github.com/secure-wsn/qcomposite/internal/theory"
+	"github.com/secure-wsn/qcomposite/internal/wsn"
+)
+
+// TestFigure1MiniSweep reproduces Figure 1's qualitative content at reduced
+// scale: a sharp 0 → 1 connectivity threshold in K, positioned where the
+// theory puts it, with larger p shifting the curve left.
+func TestFigure1MiniSweep(t *testing.T) {
+	const (
+		n      = 400
+		pool   = 4000
+		q      = 2
+		trials = 60
+	)
+	ctx := context.Background()
+	cross := map[float64]int{} // channel p → first K with empirical ≥ 0.5
+	for _, p := range []float64{0.5, 1.0} {
+		prev := 0.0
+		for K := 16; K <= 60; K += 2 {
+			m := qcomposite.Model{N: n, K: K, P: pool, Q: q, ChannelOn: p}
+			est, err := m.EstimateConnectivity(ctx, qcomposite.EstimateConfig{
+				Trials: trials,
+				Seed:   uint64(K),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur := est.Estimate()
+			// Allow small Monte Carlo wiggle but demand broad monotonicity.
+			if cur < prev-0.25 {
+				t.Errorf("p=%g: connectivity dropped sharply at K=%d (%.2f -> %.2f)", p, K, prev, cur)
+			}
+			if cross[p] == 0 && cur >= 0.5 {
+				cross[p] = K
+			}
+			prev = cur
+		}
+		if prev < 0.9 {
+			t.Errorf("p=%g: curve never saturated (final %.2f)", p, prev)
+		}
+		if cross[p] == 0 {
+			t.Fatalf("p=%g: curve never crossed 0.5", p)
+		}
+		// The empirical 0.5-crossing must be near the theoretical one: the K
+		// where Theorem 1 gives 0.5.
+		wantK := 0
+		for K := 16; K <= 60; K++ {
+			m := qcomposite.Model{N: n, K: K, P: pool, Q: q, ChannelOn: p}
+			tp, err := m.TheoreticalKConnProb(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tp >= 0.5 {
+				wantK = K
+				break
+			}
+		}
+		if d := cross[p] - wantK; d < -4 || d > 4 {
+			t.Errorf("p=%g: empirical 0.5-crossing K=%d vs theoretical K=%d", p, cross[p], wantK)
+		}
+	}
+	// Better channels need fewer keys.
+	if cross[1.0] >= cross[0.5] {
+		t.Errorf("crossing for p=1 (K=%d) not left of p=0.5 (K=%d)", cross[1.0], cross[0.5])
+	}
+}
+
+// TestWSNSimulatorMatchesCoreSampler checks that the full simulator
+// (keys.Assign + channel.Sample + discovery) and the fast fused sampler
+// produce topologies with matching edge statistics — two independent
+// implementations of G_{n,q}.
+func TestWSNSimulatorMatchesCoreSampler(t *testing.T) {
+	const (
+		n      = 150
+		pool   = 1000
+		ring   = 25
+		q      = 2
+		pOn    = 0.6
+		trials = 50
+	)
+	scheme, err := keys.NewQComposite(pool, ring, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simEdges := 0
+	for seed := uint64(0); seed < trials; seed++ {
+		net, err := wsn.Deploy(wsn.Config{
+			Sensors: n, Scheme: scheme, Channel: channel.OnOff{P: pOn}, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		simEdges += net.FullSecureTopology().M()
+	}
+	m := core.Model{N: n, K: ring, P: pool, Q: q, ChannelOn: pOn}
+	r := rng.New(99)
+	coreEdges := 0
+	for i := 0; i < trials; i++ {
+		g, err := m.Sample(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coreEdges += g.M()
+	}
+	tProb, err := m.EdgeProbability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := float64(n*(n-1)) / 2
+	wantMean := tProb * pairs
+	simMean := float64(simEdges) / trials
+	coreMean := float64(coreEdges) / trials
+	if math.Abs(simMean-wantMean) > 0.1*wantMean {
+		t.Errorf("simulator mean edges %.1f vs theory %.1f", simMean, wantMean)
+	}
+	if math.Abs(coreMean-wantMean) > 0.1*wantMean {
+		t.Errorf("core sampler mean edges %.1f vs theory %.1f", coreMean, wantMean)
+	}
+}
+
+// TestDesignedNetworkSurvivesFailures closes the loop on the design rule:
+// dimension a network for 3-connectivity at 99%, deploy it, kill 2 random
+// sensors, and verify it stays connected in (nearly) every trial.
+func TestDesignedNetworkSurvivesFailures(t *testing.T) {
+	const (
+		n      = 500
+		pool   = 5000
+		q      = 2
+		pOn    = 0.7
+		trials = 25
+	)
+	ring, err := qcomposite.DesignK(n, pool, q, pOn, 3, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := keys.NewQComposite(pool, ring, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	survived := 0
+	for seed := uint64(0); seed < trials; seed++ {
+		net, err := wsn.Deploy(wsn.Config{
+			Sensors: n, Scheme: scheme, Channel: channel.OnOff{P: pOn}, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.FailRandom(rng.NewStream(7, seed), 2); err != nil {
+			t.Fatal(err)
+		}
+		ok, err := net.IsConnected()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			survived++
+		}
+	}
+	// 99% design target, finite-n slack: demand ≥ 80% survival.
+	if survived < trials*8/10 {
+		t.Errorf("designed network survived only %d/%d double-failure trials", survived, trials)
+	}
+}
+
+// TestKStarBracketsPaper pins E2 at the integration level through the
+// public API.
+func TestKStarBracketsPaper(t *testing.T) {
+	paper := []struct {
+		q     int
+		p     float64
+		value int
+	}{
+		{q: 2, p: 1, value: 35}, {q: 2, p: 0.5, value: 41}, {q: 2, p: 0.2, value: 52},
+		{q: 3, p: 1, value: 60}, {q: 3, p: 0.5, value: 67}, {q: 3, p: 0.2, value: 78},
+	}
+	for _, c := range paper {
+		exact, err := qcomposite.ThresholdK(1000, 10000, c.q, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asym, err := qcomposite.ThresholdKAsymptotic(1000, 10000, c.q, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.value < asym || c.value > exact {
+			t.Errorf("paper K*=%d outside [asymptotic %d, exact %d] for q=%d p=%g",
+				c.value, asym, exact, c.q, c.p)
+		}
+	}
+}
+
+// TestCouplingChainEndToEnd exercises the paper's proof machinery: the
+// Lemma 5 coupling produces H_q ⊑ G_q, and intersecting both with the same
+// channel graph preserves containment — the monotonicity Lemmas 3–6 rely on.
+func TestCouplingChainEndToEnd(t *testing.T) {
+	const (
+		n    = 120
+		pool = 2000
+		ring = 40
+		q    = 2
+	)
+	r := rng.New(11)
+	x := theory.CouplingX(n, pool, ring)
+	if x <= 0 {
+		t.Fatal("coupling x out of regime for the chosen parameters")
+	}
+	pair, err := randgraph.SampleCoupled(r, n, ring, pool, q, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pair.Binomial.IsSpanningSubgraphOf(pair.Uniform) {
+		t.Fatal("H_q not contained in G_q")
+	}
+	er, err := randgraph.ErdosRenyi(r, n, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interH, err := graph.Intersect(pair.Binomial, er)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interG, err := graph.Intersect(pair.Uniform, er)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !interH.IsSpanningSubgraphOf(interG) {
+		t.Error("intersection with channels broke the containment")
+	}
+	// k-connectivity is monotone: if the sub graph has it, the super must.
+	for k := 1; k <= 2; k++ {
+		if graphalgo.IsKConnected(interH, k) && !graphalgo.IsKConnected(interG, k) {
+			t.Errorf("monotonicity violated at k=%d", k)
+		}
+	}
+}
+
+// TestAttackDoesNotAffectConnectivityState ensures the adversary model is
+// side-effect free on the network (eavesdropping, not destruction).
+func TestAttackDoesNotAffectConnectivityState(t *testing.T) {
+	scheme, err := keys.NewQComposite(1000, 40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := wsn.Deploy(wsn.Config{
+		Sensors: 200, Scheme: scheme, Channel: channel.OnOff{P: 0.8}, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := net.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := adversary.CaptureRandom(net, rng.New(4), 50); err != nil {
+		t.Fatal(err)
+	}
+	after, err := net.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Errorf("capture mutated the network: %+v vs %+v", before, after)
+	}
+}

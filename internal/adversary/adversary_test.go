@@ -1,0 +1,289 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+
+	"github.com/secure-wsn/qcomposite/internal/channel"
+	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+	"github.com/secure-wsn/qcomposite/internal/theory"
+	"github.com/secure-wsn/qcomposite/internal/wsn"
+)
+
+func deployFor(t *testing.T, pool, ring, q int, seed uint64) *wsn.Network {
+	t.Helper()
+	scheme, err := keys.NewQComposite(pool, ring, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := wsn.Deploy(wsn.Config{
+		Sensors: 150,
+		Scheme:  scheme,
+		Channel: channel.AlwaysOn{},
+		Seed:    seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestCaptureValidation(t *testing.T) {
+	net := deployFor(t, 200, 20, 1, 1)
+	if _, err := Capture(net, []int32{-1}); err == nil {
+		t.Error("out of range capture: want error")
+	}
+	if _, err := Capture(net, []int32{3, 3}); err == nil {
+		t.Error("duplicate capture: want error")
+	}
+	r := rng.New(1)
+	if _, err := CaptureRandom(net, r, -1); err == nil {
+		t.Error("negative count: want error")
+	}
+	if _, err := CaptureRandom(net, r, net.Sensors()+1); err == nil {
+		t.Error("over-capture: want error")
+	}
+}
+
+func TestCaptureZeroNodes(t *testing.T) {
+	net := deployFor(t, 200, 20, 1, 2)
+	res, err := Capture(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompromisedLinks != 0 || res.KeysLearned != 0 {
+		t.Errorf("empty capture compromised something: %+v", res)
+	}
+	if res.TotalLinks != net.FullSecureTopology().M() {
+		t.Errorf("TotalLinks = %d, want %d", res.TotalLinks, net.FullSecureTopology().M())
+	}
+	if res.Fraction() != 0 {
+		t.Errorf("Fraction = %v", res.Fraction())
+	}
+}
+
+func TestCaptureEverything(t *testing.T) {
+	net := deployFor(t, 200, 20, 1, 3)
+	all := make([]int32, net.Sensors())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	res, err := Capture(net, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No external links remain when everyone is captured.
+	if res.TotalLinks != 0 || res.CompromisedLinks != 0 {
+		t.Errorf("full capture: %+v", res)
+	}
+}
+
+func TestCaptureCountsConsistent(t *testing.T) {
+	net := deployFor(t, 300, 25, 2, 4)
+	r := rng.New(5)
+	res, err := CaptureRandom(net, r, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Captured) != 20 {
+		t.Fatalf("captured %d", len(res.Captured))
+	}
+	if res.CompromisedLinks > res.TotalLinks {
+		t.Errorf("compromised %d > total %d", res.CompromisedLinks, res.TotalLinks)
+	}
+	if res.KeysLearned > 20*25 || res.KeysLearned < 25 {
+		t.Errorf("KeysLearned = %d implausible", res.KeysLearned)
+	}
+	if f := res.Fraction(); f < 0 || f > 1 {
+		t.Errorf("Fraction = %v", f)
+	}
+	// External links = links not touching captured sensors.
+	isCap := map[int32]bool{}
+	for _, id := range res.Captured {
+		isCap[id] = true
+	}
+	want := 0
+	for _, l := range net.Links() {
+		if !isCap[l.A] && !isCap[l.B] {
+			want++
+		}
+	}
+	if res.TotalLinks != want {
+		t.Errorf("TotalLinks = %d, want %d", res.TotalLinks, want)
+	}
+}
+
+func TestCaptureCompromiseRequiresAllSharedKeys(t *testing.T) {
+	// Manual verification on a handful of links.
+	net := deployFor(t, 300, 25, 2, 6)
+	captured := []int32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	res, err := Capture(net, captured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[keys.ID]bool{}
+	for _, id := range captured {
+		ring, err := net.Ring(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range ring.IDs() {
+			known[k] = true
+		}
+	}
+	isCap := map[int32]bool{}
+	for _, id := range captured {
+		isCap[id] = true
+	}
+	wantCompromised := 0
+	for _, l := range net.Links() {
+		if isCap[l.A] || isCap[l.B] {
+			continue
+		}
+		all := true
+		for _, k := range l.SharedKeys {
+			if !known[k] {
+				all = false
+				break
+			}
+		}
+		if all {
+			wantCompromised++
+		}
+	}
+	if res.CompromisedLinks != wantCompromised {
+		t.Errorf("CompromisedLinks = %d, want %d", res.CompromisedLinks, wantCompromised)
+	}
+}
+
+func TestAnalyticCompromiseFraction(t *testing.T) {
+	// Zero captures → zero compromise.
+	got, err := AnalyticCompromiseFraction(1000, 50, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("x=0 fraction = %v", got)
+	}
+	// Monotone in captures, bounded by 1, approaches 1.
+	prev := -1.0
+	for _, x := range []int{1, 5, 20, 100, 1000} {
+		f, err := AnalyticCompromiseFraction(1000, 50, 2, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f < prev-1e-12 || f < 0 || f > 1 {
+			t.Errorf("fraction not monotone/bounded at x=%d: %v after %v", x, f, prev)
+		}
+		prev = f
+	}
+	if prev < 0.999 {
+		t.Errorf("fraction at x=1000 = %v, want ≈ 1", prev)
+	}
+	// Validation errors.
+	if _, err := AnalyticCompromiseFraction(1000, 50, 2, -1); err == nil {
+		t.Error("negative captures: want error")
+	}
+	if _, err := AnalyticCompromiseFraction(10, 50, 2, 1); err == nil {
+		t.Error("ring > pool: want error")
+	}
+	if _, err := AnalyticCompromiseFraction(1000, 50, 0, 1); err == nil {
+		t.Error("q = 0: want error")
+	}
+}
+
+// TestQCompositeTradeOff reproduces the paper's motivating claim (Section I,
+// citing Chan et al.): with schemes dimensioned to the SAME link probability
+// (pool size adjusted per q, Chan et al.'s methodology), larger q
+// compromises a smaller fraction of external links under small-scale
+// capture, and the ordering flips under large-scale capture.
+func TestQCompositeTradeOff(t *testing.T) {
+	const (
+		ring   = 60
+		target = 0.33 // Chan et al.'s fixed link probability
+	)
+	pools := map[int]int{}
+	for q := 1; q <= 3; q++ {
+		pool, err := theory.PoolSizeForKeyShareProb(ring, q, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pools[q] = pool
+	}
+	// Larger q needs a smaller pool to keep the same link probability.
+	if !(pools[3] < pools[2] && pools[2] < pools[1]) {
+		t.Fatalf("pool sizes not decreasing in q: %v", pools)
+	}
+	frac := func(q, captured int) float64 {
+		f, err := AnalyticCompromiseFraction(pools[q], ring, q, captured)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	// Small-scale capture: q3 strongest.
+	if !(frac(3, 3) < frac(2, 3) && frac(2, 3) < frac(1, 3)) {
+		t.Errorf("small-scale: want q3 < q2 < q1, got %v, %v, %v",
+			frac(3, 3), frac(2, 3), frac(1, 3))
+	}
+	// Large-scale capture: ordering flips.
+	if !(frac(2, 100) > frac(1, 100)) {
+		t.Errorf("large-scale: want q2 > q1, got q2=%v q1=%v", frac(2, 100), frac(1, 100))
+	}
+}
+
+// TestSimulationMatchesAnalytic cross-validates the simulated attack against
+// the closed form.
+func TestSimulationMatchesAnalytic(t *testing.T) {
+	const (
+		pool     = 500
+		ring     = 30
+		q        = 2
+		captured = 10
+		trials   = 40
+	)
+	var fracSum float64
+	links := 0
+	for seed := uint64(0); seed < trials; seed++ {
+		net := deployFor(t, pool, ring, q, 100+seed)
+		res, err := CaptureRandom(net, rng.New(seed), captured)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fracSum += res.Fraction()
+		links += res.TotalLinks
+	}
+	if links == 0 {
+		t.Fatal("no external links across trials")
+	}
+	got := fracSum / trials
+	want, err := AnalyticCompromiseFraction(pool, ring, q, captured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The closed form treats key leaks as independent (asymptotic in P);
+	// allow a coarse but directional tolerance.
+	if math.Abs(got-want) > 0.25*want+0.01 {
+		t.Errorf("simulated fraction %v vs analytic %v", got, want)
+	}
+}
+
+func BenchmarkCapture(b *testing.B) {
+	scheme, err := keys.NewQComposite(1000, 50, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := wsn.Deploy(wsn.Config{Sensors: 300, Scheme: scheme, Channel: channel.AlwaysOn{}, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CaptureRandom(net, r, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

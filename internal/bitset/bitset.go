@@ -1,0 +1,250 @@
+// Package bitset provides a dense, fixed-capacity bit set used throughout the
+// library for key rings (subsets of a key pool) and adjacency rows.
+//
+// The zero value of Set is an empty set with zero capacity; use New to
+// allocate capacity up front. All operations that combine two sets require
+// equal capacity and report a mismatch through their error return where one
+// exists, or document the panic otherwise (programmer error, per the style
+// guide's "don't panic for expected failures" rule: a capacity mismatch is
+// never an expected runtime failure, it is a bug in the caller).
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dense bit set over the universe [0, Cap()).
+type Set struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns an empty Set with capacity for n bits.
+// n must be non-negative; a negative n yields a zero-capacity set.
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{
+		words: make([]uint64, (n+wordBits-1)/wordBits),
+		n:     n,
+	}
+}
+
+// FromIndices returns a Set of capacity n with the given indices set.
+// Indices outside [0, n) are reported as an error.
+func FromIndices(n int, indices []int) (*Set, error) {
+	s := New(n)
+	for _, i := range indices {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("bitset: index %d out of range [0, %d)", i, n)
+		}
+		s.Add(i)
+	}
+	return s, nil
+}
+
+// Cap returns the capacity (universe size) of the set in bits.
+func (s *Set) Cap() int { return s.n }
+
+// Add inserts i into the set. It panics if i is out of range, which is a
+// programmer error (callers own the universe size).
+func (s *Set) Add(i int) {
+	s.boundsCheck(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove deletes i from the set. It panics if i is out of range.
+func (s *Set) Remove(i int) {
+	s.boundsCheck(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Contains reports whether i is in the set. Out-of-range values are never
+// members (no panic: queries are total).
+func (s *Set) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+func (s *Set) boundsCheck(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0, %d)", i, s.n))
+	}
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// IntersectionCount returns |s ∩ t| without allocating. Sets of differing
+// capacity intersect over the shorter word prefix, which equals the
+// mathematical intersection because bits beyond a set's capacity are zero.
+func (s *Set) IntersectionCount(t *Set) int {
+	a, b := s.words, t.words
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	c := 0
+	for i, w := range a {
+		c += bits.OnesCount64(w & b[i])
+	}
+	return c
+}
+
+// IntersectsAtLeast reports whether |s ∩ t| ≥ q. It short-circuits as soon as
+// the running count reaches q, which is the hot path for q-composite edge
+// tests where q is small.
+func (s *Set) IntersectsAtLeast(t *Set, q int) bool {
+	if q <= 0 {
+		return true
+	}
+	a, b := s.words, t.words
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	c := 0
+	for i, w := range a {
+		c += bits.OnesCount64(w & b[i])
+		if c >= q {
+			return true
+		}
+	}
+	return false
+}
+
+// Union sets s = s ∪ t. Capacities must match.
+func (s *Set) Union(t *Set) {
+	s.capCheck(t)
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// Intersect sets s = s ∩ t. Capacities must match.
+func (s *Set) Intersect(t *Set) {
+	s.capCheck(t)
+	for i, w := range t.words {
+		s.words[i] &= w
+	}
+}
+
+// Difference sets s = s \ t. Capacities must match.
+func (s *Set) Difference(t *Set) {
+	s.capCheck(t)
+	for i, w := range t.words {
+		s.words[i] &^= w
+	}
+}
+
+// IsSubsetOf reports whether every element of s is in t.
+func (s *Set) IsSubsetOf(t *Set) bool {
+	for i, w := range s.words {
+		var tw uint64
+		if i < len(t.words) {
+			tw = t.words[i]
+		}
+		if w&^tw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Set) capCheck(t *Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d != %d", s.n, t.n))
+	}
+}
+
+// Clear removes all elements, retaining capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of s (copy at boundaries).
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// Equal reports whether s and t contain exactly the same elements.
+// Sets of different capacity are equal if their common elements match and the
+// longer set has no elements beyond the shorter capacity.
+func (s *Set) Equal(t *Set) bool {
+	short, long := s.words, t.words
+	if len(long) < len(short) {
+		short, long = long, short
+	}
+	for i, w := range short {
+		if w != long[i] {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Indices appends the elements of s to dst in ascending order and returns the
+// extended slice. Pass nil to allocate.
+func (s *Set) Indices(dst []int) []int {
+	for wi, w := range s.words {
+		base := wi * wordBits
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			dst = append(dst, base+tz)
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// ForEach calls fn on each element in ascending order. Iteration stops early
+// if fn returns false.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		base := wi * wordBits
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			if !fn(base + tz) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// String renders the set as "{a, b, c}" for debugging.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

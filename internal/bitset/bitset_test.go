@@ -1,0 +1,367 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	tests := []struct {
+		name string
+		n    int
+		want int
+	}{
+		{name: "zero", n: 0, want: 0},
+		{name: "negative clamps", n: -5, want: 0},
+		{name: "one word", n: 64, want: 64},
+		{name: "partial word", n: 70, want: 70},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := New(tt.n)
+			if got := s.Cap(); got != tt.want {
+				t.Errorf("Cap() = %d, want %d", got, tt.want)
+			}
+			if got := s.Count(); got != 0 {
+				t.Errorf("Count() = %d, want 0", got)
+			}
+		})
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Contains(i) {
+			t.Errorf("Contains(%d) = true before Add", i)
+		}
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Errorf("Contains(%d) = false after Add", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count() = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Error("Contains(64) = true after Remove")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count() = %d, want 7", got)
+	}
+	// Re-adding is idempotent.
+	s.Add(0)
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count() after duplicate Add = %d, want 7", got)
+	}
+}
+
+func TestContainsOutOfRange(t *testing.T) {
+	s := New(10)
+	if s.Contains(-1) {
+		t.Error("Contains(-1) = true, want false")
+	}
+	if s.Contains(10) {
+		t.Error("Contains(10) = true, want false")
+	}
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add out of range did not panic")
+		}
+	}()
+	New(4).Add(4)
+}
+
+func TestFromIndices(t *testing.T) {
+	s, err := FromIndices(100, []int{3, 1, 99})
+	if err != nil {
+		t.Fatalf("FromIndices: %v", err)
+	}
+	want := []int{1, 3, 99}
+	got := s.Indices(nil)
+	if len(got) != len(want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices = %v, want %v", got, want)
+		}
+	}
+	if _, err := FromIndices(10, []int{10}); err == nil {
+		t.Error("FromIndices out of range: got nil error")
+	}
+	if _, err := FromIndices(10, []int{-1}); err == nil {
+		t.Error("FromIndices negative: got nil error")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	mk := func(idx ...int) *Set {
+		s, err := FromIndices(200, idx)
+		if err != nil {
+			t.Fatalf("FromIndices: %v", err)
+		}
+		return s
+	}
+	t.Run("union", func(t *testing.T) {
+		a := mk(1, 2, 3)
+		a.Union(mk(3, 4, 100))
+		if !a.Equal(mk(1, 2, 3, 4, 100)) {
+			t.Errorf("union = %v", a)
+		}
+	})
+	t.Run("intersect", func(t *testing.T) {
+		a := mk(1, 2, 3, 100)
+		a.Intersect(mk(2, 100, 150))
+		if !a.Equal(mk(2, 100)) {
+			t.Errorf("intersect = %v", a)
+		}
+	})
+	t.Run("difference", func(t *testing.T) {
+		a := mk(1, 2, 3)
+		a.Difference(mk(2, 7))
+		if !a.Equal(mk(1, 3)) {
+			t.Errorf("difference = %v", a)
+		}
+	})
+	t.Run("subset", func(t *testing.T) {
+		if !mk(1, 2).IsSubsetOf(mk(1, 2, 3)) {
+			t.Error("subset = false, want true")
+		}
+		if mk(1, 4).IsSubsetOf(mk(1, 2, 3)) {
+			t.Error("subset = true, want false")
+		}
+		if !mk().IsSubsetOf(mk()) {
+			t.Error("empty subset of empty = false")
+		}
+	})
+}
+
+func TestIntersectionCount(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []int
+		want int
+	}{
+		{name: "disjoint", a: []int{1, 2}, b: []int{3, 4}, want: 0},
+		{name: "overlap", a: []int{1, 2, 64, 65}, b: []int{2, 64, 99}, want: 2},
+		{name: "identical", a: []int{5, 70, 120}, b: []int{5, 70, 120}, want: 3},
+		{name: "empty", a: nil, b: []int{1}, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			a, err := FromIndices(128, tt.a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := FromIndices(128, tt.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := a.IntersectionCount(b); got != tt.want {
+				t.Errorf("IntersectionCount = %d, want %d", got, tt.want)
+			}
+			if got := b.IntersectionCount(a); got != tt.want {
+				t.Errorf("IntersectionCount reversed = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIntersectionCountDifferentCaps(t *testing.T) {
+	a, err := FromIndices(64, []int{1, 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromIndices(256, []int{1, 63, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.IntersectionCount(b); got != 2 {
+		t.Errorf("IntersectionCount = %d, want 2", got)
+	}
+	if got := b.IntersectionCount(a); got != 2 {
+		t.Errorf("IntersectionCount reversed = %d, want 2", got)
+	}
+}
+
+func TestIntersectsAtLeast(t *testing.T) {
+	a, err := FromIndices(512, []int{1, 100, 200, 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromIndices(512, []int{100, 200, 300, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q <= 3; q++ {
+		if !a.IntersectsAtLeast(b, q) {
+			t.Errorf("IntersectsAtLeast(q=%d) = false, want true", q)
+		}
+	}
+	if a.IntersectsAtLeast(b, 4) {
+		t.Error("IntersectsAtLeast(q=4) = true, want false")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(64)
+	a.Add(7)
+	b := a.Clone()
+	b.Add(9)
+	if a.Contains(9) {
+		t.Error("mutating clone affected original")
+	}
+	if !b.Contains(7) {
+		t.Error("clone lost element")
+	}
+}
+
+func TestClear(t *testing.T) {
+	a := New(128)
+	a.Add(0)
+	a.Add(127)
+	a.Clear()
+	if got := a.Count(); got != 0 {
+		t.Errorf("Count after Clear = %d, want 0", got)
+	}
+	if got := a.Cap(); got != 128 {
+		t.Errorf("Cap after Clear = %d, want 128", got)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	a, err := FromIndices(64, []int{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []int
+	a.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 2
+	})
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Errorf("ForEach early stop saw %v, want [1 2]", seen)
+	}
+}
+
+func TestString(t *testing.T) {
+	a, err := FromIndices(64, []int{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.String(), "{1, 3}"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if got, want := New(8).String(), "{}"; got != want {
+		t.Errorf("empty String() = %q, want %q", got, want)
+	}
+}
+
+// randomSet builds a reproducible random set over [0, n) plus the mirror
+// Go map for model-based checks.
+func randomSet(r *rand.Rand, n int) (*Set, map[int]bool) {
+	s := New(n)
+	m := make(map[int]bool)
+	for i := 0; i < n/2; i++ {
+		v := r.Intn(n)
+		s.Add(v)
+		m[v] = true
+	}
+	return s, m
+}
+
+func TestQuickCountMatchesModel(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		s, m := randomSet(r, n)
+		if s.Count() != len(m) {
+			return false
+		}
+		for _, i := range s.Indices(nil) {
+			if !m[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectionCommutesAndBounds(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		a, am := randomSet(r, n)
+		b, bm := randomSet(r, n)
+		got := a.IntersectionCount(b)
+		want := 0
+		for k := range am {
+			if bm[k] {
+				want++
+			}
+		}
+		if got != want || got != b.IntersectionCount(a) {
+			return false
+		}
+		// IntersectsAtLeast must agree with the count for every threshold.
+		for q := 0; q <= want+1; q++ {
+			if a.IntersectsAtLeast(b, q) != (want >= q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// |A ∪ B| + |A ∩ B| == |A| + |B| (inclusion-exclusion).
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		a, _ := randomSet(r, n)
+		b, _ := randomSet(r, n)
+		union := a.Clone()
+		union.Union(b)
+		inter := a.Clone()
+		inter.Intersect(b)
+		return union.Count()+inter.Count() == a.Count()+b.Count()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkIntersectionCount(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a, _ := randomSet(r, 10000)
+	c, _ := randomSet(r, 10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.IntersectionCount(c)
+	}
+}
+
+func BenchmarkIntersectsAtLeast2(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a, _ := randomSet(r, 10000)
+	c, _ := randomSet(r, 10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.IntersectsAtLeast(c, 2)
+	}
+}

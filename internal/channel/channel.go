@@ -1,0 +1,120 @@
+// Package channel implements the physical-link constraint models under which
+// a secure WSN operates. The paper's model is the on/off channel: every
+// node-to-node channel is independently on with probability p (an
+// Erdős–Rényi graph on the sensors, Section II). Full visibility (always-on
+// channels) and the disk model (random geometric graph, Section IX) are
+// provided for the baseline and extension experiments.
+package channel
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/secure-wsn/qcomposite/internal/graph"
+	"github.com/secure-wsn/qcomposite/internal/randgraph"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+// Model samples which node pairs have usable communication channels.
+type Model interface {
+	// Name identifies the model in reports.
+	Name() string
+	// Sample draws the channel graph on n nodes.
+	Sample(r *rng.Rand, n int) (*graph.Undirected, error)
+}
+
+// OnOff is the paper's on/off channel model: each channel is independently
+// on with probability P (0 < P ≤ 1).
+type OnOff struct {
+	// P is the probability that a channel is on.
+	P float64
+}
+
+var _ Model = OnOff{}
+
+// Name implements Model.
+func (m OnOff) Name() string { return fmt.Sprintf("on-off(p=%g)", m.P) }
+
+// Sample implements Model by drawing G(n, p).
+func (m OnOff) Sample(r *rng.Rand, n int) (*graph.Undirected, error) {
+	if m.P <= 0 || m.P > 1 {
+		return nil, fmt.Errorf("channel: on probability %v outside (0,1]", m.P)
+	}
+	g, err := randgraph.ErdosRenyi(r, n, m.P)
+	if err != nil {
+		return nil, fmt.Errorf("channel: on/off: %w", err)
+	}
+	return g, nil
+}
+
+// AlwaysOn is the full-visibility model: every pair of sensors has an active
+// channel, so secure connectivity reduces to the key graph alone (the
+// setting of the prior work the paper extends).
+type AlwaysOn struct{}
+
+var _ Model = AlwaysOn{}
+
+// Name implements Model.
+func (AlwaysOn) Name() string { return "always-on" }
+
+// Sample implements Model by returning the complete graph.
+func (AlwaysOn) Sample(_ *rng.Rand, n int) (*graph.Undirected, error) {
+	g, err := graph.Complete(n)
+	if err != nil {
+		return nil, fmt.Errorf("channel: always-on: %w", err)
+	}
+	return g, nil
+}
+
+// Disk is the disk model: sensors are placed uniformly at random on the unit
+// square and can communicate within Euclidean distance Radius. With Torus
+// set, distances wrap (no boundary effects) and the marginal channel-on
+// probability of any pair is exactly π·Radius² for Radius ≤ ½ — the knob
+// used to compare the disk model against on/off channels (experiment E8).
+type Disk struct {
+	// Radius is the communication range in [0, ∞).
+	Radius float64
+	// Torus selects wraparound distances.
+	Torus bool
+}
+
+var _ Model = Disk{}
+
+// Name implements Model.
+func (m Disk) Name() string {
+	if m.Torus {
+		return fmt.Sprintf("disk-torus(r=%g)", m.Radius)
+	}
+	return fmt.Sprintf("disk(r=%g)", m.Radius)
+}
+
+// Sample implements Model by drawing a random geometric graph.
+func (m Disk) Sample(r *rng.Rand, n int) (*graph.Undirected, error) {
+	g, _, err := randgraph.Geometric(r, n, m.Radius, randgraph.GeometricOptions{Torus: m.Torus})
+	if err != nil {
+		return nil, fmt.Errorf("channel: disk: %w", err)
+	}
+	return g, nil
+}
+
+// SamplePositions draws a random geometric graph and also returns sensor
+// positions, for deployments that need coordinates (visualisation, routing
+// studies).
+func (m Disk) SamplePositions(r *rng.Rand, n int) (*graph.Undirected, []randgraph.GeometricPoint, error) {
+	g, pts, err := randgraph.Geometric(r, n, m.Radius, randgraph.GeometricOptions{Torus: m.Torus})
+	if err != nil {
+		return nil, nil, fmt.Errorf("channel: disk: %w", err)
+	}
+	return g, pts, nil
+}
+
+// EquivalentOnOff returns the on/off model whose channel-on probability
+// matches the disk model's marginal pair probability on the torus
+// (p = π·r²), the comparison device of experiment E8.
+func (m Disk) EquivalentOnOff() OnOff {
+	p := math.Pi * m.Radius * m.Radius
+	if p > 1 {
+		p = 1
+	}
+	return OnOff{P: p}
+}

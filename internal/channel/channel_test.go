@@ -1,0 +1,107 @@
+package channel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+func TestOnOffSample(t *testing.T) {
+	m := OnOff{P: 0.3}
+	g, err := m.Sample(rng.New(1), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 100 {
+		t.Errorf("N = %d", g.N())
+	}
+	want := 0.3 * 100 * 99 / 2
+	if math.Abs(float64(g.M())-want) > 4*math.Sqrt(want) {
+		t.Errorf("M = %d, want ~%v", g.M(), want)
+	}
+	if !strings.Contains(m.Name(), "0.3") {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestOnOffValidation(t *testing.T) {
+	for _, p := range []float64{0, -0.1, 1.5} {
+		if _, err := (OnOff{P: p}).Sample(rng.New(1), 10); err == nil {
+			t.Errorf("p=%v: want error", p)
+		}
+	}
+	// p = 1 is the full-visibility special case of on/off and is valid.
+	g, err := (OnOff{P: 1}).Sample(rng.New(1), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 45 {
+		t.Errorf("p=1 edges = %d, want 45", g.M())
+	}
+}
+
+func TestAlwaysOn(t *testing.T) {
+	m := AlwaysOn{}
+	g, err := m.Sample(rng.New(1), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 30*29/2 {
+		t.Errorf("M = %d, want %d", g.M(), 30*29/2)
+	}
+	if m.Name() != "always-on" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestDiskSample(t *testing.T) {
+	m := Disk{Radius: 0.2, Torus: true}
+	g, err := m.Sample(rng.New(2), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Torus pair probability is exactly π r².
+	want := math.Pi * 0.04 * 200 * 199 / 2
+	if math.Abs(float64(g.M())-want) > 6*math.Sqrt(want)+0.05*want {
+		t.Errorf("M = %d, want ~%v", g.M(), want)
+	}
+	if !strings.Contains(m.Name(), "torus") {
+		t.Errorf("Name = %q", m.Name())
+	}
+	if strings.Contains((Disk{Radius: 0.1}).Name(), "torus") {
+		t.Error("non-torus Name mentions torus")
+	}
+	if _, err := (Disk{Radius: -1}).Sample(rng.New(1), 10); err == nil {
+		t.Error("negative radius: want error")
+	}
+}
+
+func TestDiskSamplePositions(t *testing.T) {
+	m := Disk{Radius: 0.15}
+	g, pts, err := m.SamplePositions(rng.New(3), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 50 || g.N() != 50 {
+		t.Fatalf("positions %d, nodes %d", len(pts), g.N())
+	}
+	for i, p := range pts {
+		if p.X < 0 || p.X >= 1 || p.Y < 0 || p.Y >= 1 {
+			t.Errorf("point %d = %+v outside unit square", i, p)
+		}
+	}
+}
+
+func TestEquivalentOnOff(t *testing.T) {
+	m := Disk{Radius: 0.2, Torus: true}
+	eq := m.EquivalentOnOff()
+	if math.Abs(eq.P-math.Pi*0.04) > 1e-12 {
+		t.Errorf("equivalent p = %v, want π·0.04", eq.P)
+	}
+	// Clamped for huge radii.
+	if got := (Disk{Radius: 10}).EquivalentOnOff().P; got != 1 {
+		t.Errorf("clamped p = %v, want 1", got)
+	}
+}

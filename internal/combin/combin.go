@@ -1,0 +1,162 @@
+// Package combin provides the combinatorial and special-function kernel used
+// by the analytical results of the paper: log-gamma based binomial
+// coefficients, exact big-integer binomials for validation, the
+// hypergeometric distribution (the law of |S_i ∩ S_j| for two random key
+// rings, eq. (4) of the paper), and factorials.
+//
+// All floating-point computations are carried out in log space so that the
+// huge binomials arising from realistic pool sizes (P ~ 10^4..10^6) never
+// overflow.
+package combin
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// LogFactorial returns ln(n!) computed via the log-gamma function.
+// It panics for negative n (programmer error).
+func LogFactorial(n int) float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("combin: LogFactorial of negative %d", n))
+	}
+	lg, _ := math.Lgamma(float64(n) + 1)
+	return lg
+}
+
+// Factorial returns n! as a float64, +Inf on overflow (n > 170).
+func Factorial(n int) float64 {
+	return math.Exp(LogFactorial(n))
+}
+
+// LogBinomial returns ln C(n, k). It returns -Inf when the coefficient is
+// zero (k < 0 or k > n), matching the convention C(n,k) = 0 there.
+// n must be non-negative.
+func LogBinomial(n, k int) float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("combin: LogBinomial with negative n = %d", n))
+	}
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	return LogFactorial(n) - LogFactorial(k) - LogFactorial(n-k)
+}
+
+// Binomial returns C(n, k) as a float64 (possibly +Inf for huge values).
+func Binomial(n, k int) float64 {
+	return math.Exp(LogBinomial(n, k))
+}
+
+// BigBinomial returns C(n, k) exactly. It is used by tests to validate the
+// log-space fast path. Out-of-range k yields zero.
+func BigBinomial(n, k int) *big.Int {
+	if k < 0 || k > n || n < 0 {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Binomial(int64(n), int64(k))
+}
+
+// HypergeomLogPMF returns ln P[X = u] where X is the size of the overlap
+// between two independent uniform K-subsets of a P-element universe:
+//
+//	P[X = u] = C(K,u)·C(P−K, K−u) / C(P,K)
+//
+// This is eq. (4) of the paper. It returns -Inf when the outcome u is
+// impossible. It reports an error for invalid parameters (K < 0, P < K).
+func HypergeomLogPMF(pool, ring, u int) (float64, error) {
+	if ring < 0 || pool < ring {
+		return 0, fmt.Errorf("combin: invalid hypergeometric parameters pool=%d ring=%d", pool, ring)
+	}
+	if u < 0 || u > ring || ring-u > pool-ring {
+		return math.Inf(-1), nil
+	}
+	return LogBinomial(ring, u) +
+		LogBinomial(pool-ring, ring-u) -
+		LogBinomial(pool, ring), nil
+}
+
+// HypergeomPMF returns P[X = u] for the overlap distribution of eq. (4).
+func HypergeomPMF(pool, ring, u int) (float64, error) {
+	lp, err := HypergeomLogPMF(pool, ring, u)
+	if err != nil {
+		return 0, err
+	}
+	return math.Exp(lp), nil
+}
+
+// HypergeomTail returns P[X ≥ q] — the probability that two independent
+// uniform K-subsets of a P-element pool share at least q elements. This is
+// exactly s(K, P, q) from eqs. (3)–(4) of the paper.
+//
+// Numerics: the mean overlap is K²/P. In the dense regime (mean ≥ q) the
+// tail is computed as 1 − P[X < q], a sum of at most q accurately evaluated
+// terms, which keeps the result monotone in K to near machine precision even
+// when s ≈ 1. In the sparse regime (mean < q) — the one the paper's
+// conditions enforce — the tail is summed directly from u = q upward, where
+// the pmf decays super-geometrically, stopping once further terms cannot
+// move the sum at double precision.
+func HypergeomTail(pool, ring, q int) (float64, error) {
+	if ring < 0 || pool < ring {
+		return 0, fmt.Errorf("combin: invalid hypergeometric parameters pool=%d ring=%d", pool, ring)
+	}
+	if q <= 0 {
+		return 1, nil
+	}
+	if q > ring {
+		// The overlap of two K-subsets can never exceed K.
+		return 0, nil
+	}
+	lo := 0
+	if min := 2*ring - pool; lo < min {
+		lo = min // overlap cannot be smaller than 2K−P
+	}
+	if HypergeomMean(pool, ring) >= float64(q) {
+		// Dense regime: complement of the short head sum.
+		head := 0.0
+		for u := lo; u < q; u++ {
+			p, err := HypergeomPMF(pool, ring, u)
+			if err != nil {
+				return 0, err
+			}
+			head += p
+		}
+		s := 1 - head
+		if s < 0 {
+			s = 0
+		}
+		return s, nil
+	}
+	// Sparse regime: direct tail sum with early exit past the mode.
+	sum := 0.0
+	for u := q; u <= ring; u++ {
+		p, err := HypergeomPMF(pool, ring, u)
+		if err != nil {
+			return 0, err
+		}
+		sum += p
+		if p > 0 && p < sum*1e-18 {
+			break
+		}
+	}
+	if sum > 1 {
+		sum = 1 // guard against accumulated rounding slightly above 1
+	}
+	return sum, nil
+}
+
+// HypergeomMean returns E[X] = K²/P for the overlap distribution.
+func HypergeomMean(pool, ring int) float64 {
+	if pool <= 0 {
+		return 0
+	}
+	return float64(ring) * float64(ring) / float64(pool)
+}
+
+// LogChoose2 returns ln C(n,2) = ln(n(n−1)/2), −Inf for n < 2.
+func LogChoose2(n int) float64 {
+	if n < 2 {
+		return math.Inf(-1)
+	}
+	return math.Log(float64(n)) + math.Log(float64(n-1)) - math.Ln2
+}

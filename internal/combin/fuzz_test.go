@@ -1,0 +1,69 @@
+package combin
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzHypergeomTail drives the overlap-law tail through arbitrary
+// parameters, checking the probability axioms and the tail/pmf consistency
+// that the analytical layer depends on.
+func FuzzHypergeomTail(f *testing.F) {
+	f.Add(uint16(10000), uint16(50), uint8(2))
+	f.Add(uint16(10), uint16(3), uint8(1))
+	f.Add(uint16(100), uint16(100), uint8(5))
+	f.Add(uint16(2), uint16(1), uint8(0))
+	f.Fuzz(func(t *testing.T, poolRaw, ringRaw uint16, qRaw uint8) {
+		pool := int(poolRaw)%5000 + 1
+		ring := int(ringRaw) % (pool + 1)
+		q := int(qRaw) % (ring + 2)
+		tail, err := HypergeomTail(pool, ring, q)
+		if err != nil {
+			t.Fatalf("valid parameters rejected: pool=%d ring=%d q=%d: %v", pool, ring, q, err)
+		}
+		if tail < 0 || tail > 1 || math.IsNaN(tail) {
+			t.Fatalf("tail out of range: %v (pool=%d ring=%d q=%d)", tail, pool, ring, q)
+		}
+		// Tail at q must equal tail at q+1 plus pmf at q.
+		if q >= 0 && q <= ring {
+			next, err := HypergeomTail(pool, ring, q+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pmf, err := HypergeomPMF(pool, ring, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q > 0 {
+				if diff := math.Abs(tail - (next + pmf)); diff > 1e-9 {
+					t.Fatalf("tail recurrence broken by %v at pool=%d ring=%d q=%d", diff, pool, ring, q)
+				}
+			}
+		}
+	})
+}
+
+// FuzzLogBinomial checks Pascal's rule in log space over arbitrary inputs.
+func FuzzLogBinomial(f *testing.F) {
+	f.Add(uint16(10), uint16(4))
+	f.Add(uint16(1000), uint16(999))
+	f.Fuzz(func(t *testing.T, nRaw, kRaw uint16) {
+		n := int(nRaw)%2000 + 1
+		k := int(kRaw) % (n + 1)
+		if k == 0 || k == n {
+			return // Pascal needs interior cells
+		}
+		// C(n,k) = C(n−1,k−1) + C(n−1,k): compare in linear space via the
+		// larger term to preserve precision.
+		a := LogBinomial(n-1, k-1)
+		b := LogBinomial(n-1, k)
+		sum := math.Exp(a) + math.Exp(b)
+		got := math.Exp(LogBinomial(n, k))
+		if math.IsInf(got, 1) || math.IsInf(sum, 1) {
+			return // beyond float range; covered by log-space tests
+		}
+		if math.Abs(got-sum) > 1e-9*sum {
+			t.Fatalf("Pascal rule broken at n=%d k=%d: %v vs %v", n, k, got, sum)
+		}
+	})
+}

@@ -1,0 +1,291 @@
+// Package core is the library's façade for the paper's primary
+// contribution: k-connectivity analysis of secure wireless sensor networks
+// under q-composite key predistribution with on/off channels.
+//
+// A Model fixes the five parameters (n, K, P, q, p) of the random graph
+// G_{n,q}(n, K_n, P_n, p_n) = G_q(n, K_n, P_n) ∩ G(n, p_n) from Section II
+// of the paper, and exposes:
+//
+//   - the exact finite-n link probabilities s and t (eqs. (3)–(5));
+//   - Theorem 1's asymptotic k-connectivity probability and the α_n
+//     deviation it is driven by (eqs. (6)–(8));
+//   - Monte Carlo estimation of P[k-connected], P[min degree ≥ k], and
+//     degree-count distributions on sampled topologies;
+//   - the design rules: the eq. (9) connectivity threshold K* and minimum
+//     ring sizes achieving a target k-connectivity probability.
+//
+// Estimates run across a worker pool with per-trial seed streams, so every
+// number is reproducible from (Model, Seed) alone.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/secure-wsn/qcomposite/internal/graph"
+	"github.com/secure-wsn/qcomposite/internal/graphalgo"
+	"github.com/secure-wsn/qcomposite/internal/montecarlo"
+	"github.com/secure-wsn/qcomposite/internal/randgraph"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+	"github.com/secure-wsn/qcomposite/internal/stats"
+	"github.com/secure-wsn/qcomposite/internal/theory"
+)
+
+// Model is the parameterisation of the secure WSN graph
+// G_{n,q}(n, K, P, p).
+type Model struct {
+	// N is the number of sensors.
+	N int
+	// K is the key ring size K_n.
+	K int
+	// P is the key pool size P_n.
+	P int
+	// Q is the required key overlap q ≥ 1.
+	Q int
+	// ChannelOn is the on/off channel probability p_n ∈ (0, 1].
+	ChannelOn float64
+}
+
+// Validate checks the model parameters.
+func (m Model) Validate() error {
+	switch {
+	case m.N < 0:
+		return fmt.Errorf("core: negative sensor count %d", m.N)
+	case m.Q < 1:
+		return fmt.Errorf("core: overlap requirement q=%d must be ≥ 1", m.Q)
+	case m.K < m.Q:
+		return fmt.Errorf("core: ring size %d below overlap requirement q=%d", m.K, m.Q)
+	case m.P < m.K:
+		return fmt.Errorf("core: pool size %d below ring size %d", m.P, m.K)
+	case m.ChannelOn <= 0 || m.ChannelOn > 1:
+		return fmt.Errorf("core: channel-on probability %v outside (0,1]", m.ChannelOn)
+	}
+	return nil
+}
+
+// String renders the model in the paper's notation.
+func (m Model) String() string {
+	return fmt.Sprintf("G_{n,%d}(n=%d, K=%d, P=%d, p=%g)", m.Q, m.N, m.K, m.P, m.ChannelOn)
+}
+
+// KeyShareProbability returns s(K, P, q) — eqs. (3)–(4).
+func (m Model) KeyShareProbability() (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	return theory.KeyShareProb(m.P, m.K, m.Q)
+}
+
+// EdgeProbability returns t(K, P, q, p) = p·s — eq. (5).
+func (m Model) EdgeProbability() (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	return theory.EdgeProb(m.P, m.K, m.Q, m.ChannelOn)
+}
+
+// Alpha returns the deviation α_n of eq. (6) for the given k.
+func (m Model) Alpha(k int) (float64, error) {
+	t, err := m.EdgeProbability()
+	if err != nil {
+		return 0, err
+	}
+	return theory.Alpha(m.N, t, k)
+}
+
+// TheoreticalKConnProb returns Theorem 1's asymptotic probability that the
+// model graph is k-connected (eq. (7)) evaluated at the finite parameters.
+func (m Model) TheoreticalKConnProb(k int) (float64, error) {
+	alpha, err := m.Alpha(k)
+	if err != nil {
+		return 0, err
+	}
+	return theory.KConnProbLimit(alpha, k)
+}
+
+// TheoreticalMinDegProb returns Lemma 8's asymptotic probability that the
+// minimum degree is at least k — the same limit as TheoreticalKConnProb.
+func (m Model) TheoreticalMinDegProb(k int) (float64, error) {
+	alpha, err := m.Alpha(k)
+	if err != nil {
+		return 0, err
+	}
+	return theory.MinDegreeProbLimit(alpha, k)
+}
+
+// ExpectedDegree returns the mean node degree (n−1)·t.
+func (m Model) ExpectedDegree() (float64, error) {
+	t, err := m.EdgeProbability()
+	if err != nil {
+		return 0, err
+	}
+	return theory.ExpectedDegree(m.N, t), nil
+}
+
+// PoissonDegreeCountMean returns λ_{n,h}, Lemma 9's asymptotic mean number
+// of degree-h nodes.
+func (m Model) PoissonDegreeCountMean(h int) (float64, error) {
+	t, err := m.EdgeProbability()
+	if err != nil {
+		return 0, err
+	}
+	return theory.PoissonNodeCountMean(m.N, t, h)
+}
+
+// NewSampler returns a reusable sampler for the model graph.
+func (m Model) NewSampler() (*randgraph.QSampler, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return randgraph.NewQSampler(m.N, m.K, m.P, m.Q)
+}
+
+// Sample draws one topology G_{n,q}(n, K, P, p).
+func (m Model) Sample(r *rng.Rand) (*graph.Undirected, error) {
+	s, err := m.NewSampler()
+	if err != nil {
+		return nil, err
+	}
+	return s.SampleComposite(r, m.ChannelOn)
+}
+
+// EstimateConfig controls Monte Carlo estimation.
+type EstimateConfig struct {
+	// Trials is the number of sampled topologies (the paper uses 500).
+	Trials int
+	// Workers bounds parallelism; 0 = all CPUs.
+	Workers int
+	// Seed makes the estimate reproducible.
+	Seed uint64
+}
+
+// samplerPool shares per-worker samplers across trials of one estimate to
+// avoid re-allocating the counting buffers every trial.
+type samplerPool struct {
+	pool sync.Pool
+	m    Model
+}
+
+func newSamplerPool(m Model) *samplerPool {
+	return &samplerPool{m: m}
+}
+
+func (p *samplerPool) get() (*randgraph.QSampler, error) {
+	if s, ok := p.pool.Get().(*randgraph.QSampler); ok && s != nil {
+		return s, nil
+	}
+	return p.m.NewSampler()
+}
+
+func (p *samplerPool) put(s *randgraph.QSampler) { p.pool.Put(s) }
+
+// EstimateKConnectivity estimates P[G_{n,q} is k-connected] by sampling
+// cfg.Trials topologies (the empirical quantity of the paper's Figure 1,
+// generalised to any k).
+func (m Model) EstimateKConnectivity(ctx context.Context, k int, cfg EstimateConfig) (stats.Proportion, error) {
+	if err := m.Validate(); err != nil {
+		return stats.Proportion{}, err
+	}
+	pool := newSamplerPool(m)
+	return montecarlo.EstimateProportion(ctx, montecarlo.Config(cfg),
+		func(trial int, r *rng.Rand) (bool, error) {
+			s, err := pool.get()
+			if err != nil {
+				return false, err
+			}
+			defer pool.put(s)
+			g, err := s.SampleComposite(r, m.ChannelOn)
+			if err != nil {
+				return false, err
+			}
+			return graphalgo.IsKConnected(g, k), nil
+		})
+}
+
+// EstimateConnectivity is EstimateKConnectivity with k = 1: the empirical
+// probability plotted in Figure 1.
+func (m Model) EstimateConnectivity(ctx context.Context, cfg EstimateConfig) (stats.Proportion, error) {
+	return m.EstimateKConnectivity(ctx, 1, cfg)
+}
+
+// EstimateMinDegreeAtLeast estimates P[minimum degree ≥ k] (Lemma 8's
+// quantity), the upper-bounding property in the paper's proof strategy.
+func (m Model) EstimateMinDegreeAtLeast(ctx context.Context, k int, cfg EstimateConfig) (stats.Proportion, error) {
+	if err := m.Validate(); err != nil {
+		return stats.Proportion{}, err
+	}
+	pool := newSamplerPool(m)
+	return montecarlo.EstimateProportion(ctx, montecarlo.Config(cfg),
+		func(trial int, r *rng.Rand) (bool, error) {
+			s, err := pool.get()
+			if err != nil {
+				return false, err
+			}
+			defer pool.put(s)
+			g, err := s.SampleComposite(r, m.ChannelOn)
+			if err != nil {
+				return false, err
+			}
+			return g.MinDegree() >= k, nil
+		})
+}
+
+// DegreeCountDistribution samples the number of degree-h nodes across
+// cfg.Trials topologies and returns the per-trial counts (Lemma 9's
+// asymptotically-Poisson statistic).
+func (m Model) DegreeCountDistribution(ctx context.Context, h int, cfg EstimateConfig) ([]int, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if h < 0 {
+		return nil, fmt.Errorf("core: negative degree %d", h)
+	}
+	pool := newSamplerPool(m)
+	vals, err := montecarlo.Collect(ctx, montecarlo.Config(cfg),
+		func(trial int, r *rng.Rand) (float64, error) {
+			s, err := pool.get()
+			if err != nil {
+				return 0, err
+			}
+			defer pool.put(s)
+			g, err := s.SampleComposite(r, m.ChannelOn)
+			if err != nil {
+				return 0, err
+			}
+			count := 0
+			for v := int32(0); int(v) < g.N(); v++ {
+				if g.Degree(v) == h {
+					count++
+				}
+			}
+			return float64(count), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int, len(vals))
+	for i, v := range vals {
+		counts[i] = int(v)
+	}
+	return counts, nil
+}
+
+// ThresholdK returns the paper's eq. (9) design threshold: the minimum ring
+// size K* with t(K*, P, q, p) > ln n / n, computed with the exact edge
+// probability.
+func ThresholdK(n, pool, q int, pOn float64) (int, error) {
+	return theory.ThresholdRingSize(n, pool, q, pOn)
+}
+
+// ThresholdKAsymptotic is ThresholdK with s replaced by its Lemma 2
+// asymptotic — the computation matching the paper's published values.
+func ThresholdKAsymptotic(n, pool, q int, pOn float64) (int, error) {
+	return theory.ThresholdRingSizeAsymptotic(n, pool, q, pOn)
+}
+
+// DesignK returns the smallest ring size whose Theorem 1 k-connectivity
+// probability reaches target — the paper's "precise design guideline".
+func DesignK(n, pool, q int, pOn float64, k int, target float64) (int, error) {
+	return theory.DesignRingSize(n, pool, q, pOn, k, target)
+}

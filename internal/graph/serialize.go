@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// jsonGraph is the stable on-disk JSON form of an undirected graph.
+type jsonGraph struct {
+	Nodes int        `json:"nodes"`
+	Edges [][2]int32 `json:"edges"`
+}
+
+// MarshalJSON encodes the graph as {"nodes": n, "edges": [[u,v], ...]} with
+// normalised (u < v), lexicographically ordered edges.
+func (g *Undirected) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Nodes: g.n, Edges: make([][2]int32, 0, g.m)}
+	g.ForEachEdge(func(u, v int32) bool {
+		jg.Edges = append(jg.Edges, [2]int32{u, v})
+		return true
+	})
+	return json.Marshal(jg)
+}
+
+// UnmarshalGraphJSON decodes a graph previously produced by MarshalJSON
+// (or hand-written in the same schema).
+func UnmarshalGraphJSON(data []byte) (*Undirected, error) {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return nil, fmt.Errorf("graph: decode json: %w", err)
+	}
+	edges := make([]Edge, len(jg.Edges))
+	for i, e := range jg.Edges {
+		edges[i] = Edge{U: e[0], V: e[1]}
+	}
+	g, err := NewFromEdges(jg.Nodes, edges)
+	if err != nil {
+		return nil, fmt.Errorf("graph: decode json: %w", err)
+	}
+	return g, nil
+}
+
+// WriteEdgeList writes the graph in the ubiquitous two-column edge-list
+// text format ("u v" per line, u < v, preceded by a "# nodes N" header so
+// isolated vertices survive the round trip).
+func (g *Undirected) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes %d\n", g.n); err != nil {
+		return fmt.Errorf("graph: write edge list: %w", err)
+	}
+	var outerErr error
+	g.ForEachEdge(func(u, v int32) bool {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+			outerErr = err
+			return false
+		}
+		return true
+	})
+	if outerErr != nil {
+		return fmt.Errorf("graph: write edge list: %w", outerErr)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: write edge list: %w", err)
+	}
+	return nil
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList. Lines starting
+// with '#' other than the node-count header are ignored as comments.
+func ReadEdgeList(r io.Reader) (*Undirected, error) {
+	sc := bufio.NewScanner(r)
+	nodes := -1
+	var edges []Edge
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			var n int
+			if _, err := fmt.Sscanf(text, "# nodes %d", &n); err == nil {
+				nodes = n
+			}
+			continue
+		}
+		var u, v int32
+		if _, err := fmt.Sscanf(text, "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("graph: edge list line %d: %q: %w", line, text, err)
+		}
+		edges = append(edges, Edge{U: u, V: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read edge list: %w", err)
+	}
+	if nodes < 0 {
+		// No header: infer from the largest endpoint.
+		for _, e := range edges {
+			if int(e.U)+1 > nodes {
+				nodes = int(e.U) + 1
+			}
+			if int(e.V)+1 > nodes {
+				nodes = int(e.V) + 1
+			}
+		}
+		if nodes < 0 {
+			nodes = 0
+		}
+	}
+	g, err := NewFromEdges(nodes, edges)
+	if err != nil {
+		return nil, fmt.Errorf("graph: read edge list: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := mustGraph(t, 5, []Edge{{U: 0, V: 1}, {U: 3, V: 2}})
+	data, err := g.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalGraphJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsSpanningSubgraphOf(back) || !back.IsSpanningSubgraphOf(g) {
+		t.Error("JSON round trip changed the graph")
+	}
+	if back.N() != 5 {
+		t.Errorf("round trip N = %d (isolated node lost?)", back.N())
+	}
+}
+
+func TestJSONStableEncoding(t *testing.T) {
+	g := mustGraph(t, 3, []Edge{{U: 2, V: 1}, {U: 1, V: 0}})
+	data, err := g.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"nodes":3,"edges":[[0,1],[1,2]]}`
+	if string(data) != want {
+		t.Errorf("encoding = %s, want %s", data, want)
+	}
+}
+
+func TestUnmarshalGraphJSONErrors(t *testing.T) {
+	if _, err := UnmarshalGraphJSON([]byte("{")); err == nil {
+		t.Error("malformed json: want error")
+	}
+	if _, err := UnmarshalGraphJSON([]byte(`{"nodes":2,"edges":[[0,5]]}`)); err == nil {
+		t.Error("edge out of range: want error")
+	}
+	if _, err := UnmarshalGraphJSON([]byte(`{"nodes":2,"edges":[[1,1]]}`)); err == nil {
+		t.Error("self loop: want error")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := mustGraph(t, 6, []Edge{{U: 0, V: 5}, {U: 2, V: 3}, {U: 0, V: 1}})
+	var sb strings.Builder
+	if err := g.WriteEdgeList(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "# nodes 6\n") {
+		t.Errorf("missing header: %q", out)
+	}
+	back, err := ReadEdgeList(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 6 || !g.IsSpanningSubgraphOf(back) || !back.IsSpanningSubgraphOf(g) {
+		t.Error("edge list round trip changed the graph")
+	}
+}
+
+func TestReadEdgeListWithoutHeader(t *testing.T) {
+	in := "0 1\n# a comment\n2 4\n\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 || g.M() != 2 {
+		t.Errorf("inferred N=%d M=%d, want 5, 2", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("0 not-a-number\n")); err == nil {
+		t.Error("garbage line: want error")
+	}
+	g, err := ReadEdgeList(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 0 {
+		t.Errorf("empty input N = %d", g.N())
+	}
+}
+
+func TestQuickSerializationRoundTrips(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		g, err := NewFromEdges(n, randomEdges(r, n, r.Intn(80)))
+		if err != nil {
+			return false
+		}
+		data, err := g.MarshalJSON()
+		if err != nil {
+			return false
+		}
+		viaJSON, err := UnmarshalGraphJSON(data)
+		if err != nil {
+			return false
+		}
+		var sb strings.Builder
+		if err := g.WriteEdgeList(&sb); err != nil {
+			return false
+		}
+		viaText, err := ReadEdgeList(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		same := func(a, b *Undirected) bool {
+			return a.N() == b.N() && a.IsSpanningSubgraphOf(b) && b.IsSpanningSubgraphOf(a)
+		}
+		return same(g, viaJSON) && same(g, viaText)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

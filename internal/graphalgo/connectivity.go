@@ -1,0 +1,144 @@
+package graphalgo
+
+import (
+	"math"
+
+	"github.com/secure-wsn/qcomposite/internal/graph"
+)
+
+// IsKConnected reports whether g is k-connected, i.e. whether its vertex
+// connectivity κ(g) is at least k. Conventions: every graph is 0-connected;
+// κ(K_n) = n−1, so a graph on n ≤ k nodes is never k-connected.
+//
+// Fast paths handle k = 1 (union-find) and k = 2 (articulation points).
+// General k uses Even's algorithm: fix W = {v_0, …, v_{k−1}};
+//
+//  1. for every non-adjacent pair in W, verify k internally vertex-disjoint
+//     paths (Menger via unit-capacity max-flow on the vertex-split digraph);
+//  2. for every u ∉ W, verify k vertex-disjoint paths from u to an auxiliary
+//     node x adjacent to all of W.
+//
+// If κ(g) < k some separator S with |S| < k splits g; either two W-nodes
+// fall on opposite sides (caught by step 1) or all W-nodes outside S sit in
+// one side and any u in another side is separated from x by S (caught by
+// step 2). Each flow is capped at k, so a query costs at most
+// (C(k,2)+n)·k·O(m).
+func IsKConnected(g *graph.Undirected, k int) bool {
+	n := g.N()
+	switch {
+	case k <= 0:
+		return true
+	case n <= k:
+		return false
+	case k == 1:
+		return IsConnected(g)
+	case g.MinDegree() < k:
+		return false // a k-connected graph has minimum degree ≥ k
+	case k == 2:
+		return IsBiconnected(g)
+	}
+
+	// Vertex-split digraph: node v becomes v_in = 2v and v_out = 2v+1 with a
+	// capacity-1 arc in→out; each undirected edge {u,v} becomes arcs
+	// u_out→v_in and v_out→u_in of capacity 1 (effectively unbounded given
+	// the unit vertex caps). One extra auxiliary node x = 2n feeds W.
+	aux := int32(2 * n)
+	d := newDinic(2*n+1, 2*n+4*g.M()+k)
+	for v := int32(0); int(v) < n; v++ {
+		d.addArc(2*v, 2*v+1, 1)
+	}
+	g.ForEachEdge(func(u, v int32) bool {
+		d.addArc(2*u+1, 2*v, 1)
+		d.addArc(2*v+1, 2*u, 1)
+		return true
+	})
+	for i := int32(0); int(i) < k; i++ {
+		d.addArc(2*i+1, aux, 1) // w_out → x for w ∈ W (x is the fan sink)
+	}
+
+	limit := int32(k)
+	// Step 1: pairs inside W.
+	for i := int32(0); int(i) < k; i++ {
+		for j := i + 1; int(j) < k; j++ {
+			if g.HasEdge(i, j) {
+				// Adjacent pairs cannot be separated by a vertex cut, and in
+				// the κ<k certificate two W-nodes on opposite sides of a
+				// separator are never adjacent.
+				continue
+			}
+			d.reset()
+			// Source v_i_out, sink v_j_in: internal vertex caps of the
+			// endpoints must not constrain the flow.
+			if d.maxFlow(2*i+1, 2*j, limit) < limit {
+				return false
+			}
+		}
+	}
+	// Step 2: every u outside W against the auxiliary x.
+	for u := int32(k); int(u) < n; u++ {
+		d.reset()
+		if d.maxFlow(2*u+1, aux, limit) < limit {
+			return false
+		}
+	}
+	return true
+}
+
+// VertexConnectivity returns κ(g) exactly: the minimum number of node
+// removals that disconnect g (n−1 for the complete graph K_n, 0 for
+// disconnected or trivial graphs).
+func VertexConnectivity(g *graph.Undirected) int {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return 0
+	}
+	// κ is bounded by the minimum degree; binary search the monotone
+	// predicate IsKConnected over [0, minDeg+1).
+	lo, hi := 0, g.MinDegree()+1 // invariant: IsKConnected(lo), !IsKConnected(hi)
+	if !IsKConnected(g, 1) {
+		return 0
+	}
+	if n-1 <= hi && IsKConnected(g, n-1) {
+		return n - 1 // complete graph fast path
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if IsKConnected(g, mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// VertexDisjointPaths returns the maximum number of internally
+// vertex-disjoint paths between distinct non-adjacent nodes s and t
+// (Menger's theorem: this equals the minimum s–t vertex cut). For adjacent
+// nodes the direct edge is counted along with the disjoint paths through the
+// remaining graph. It returns math.MaxInt32-safe small ints; s == t is a
+// caller error reported as 0.
+func VertexDisjointPaths(g *graph.Undirected, s, t int32) int {
+	if s == t {
+		return 0
+	}
+	n := g.N()
+	d := newDinic(2*n, 2*n+4*g.M())
+	for v := int32(0); int(v) < n; v++ {
+		c := int32(1)
+		if v == s || v == t {
+			c = int32(math.MaxInt32) // endpoints are not internal
+		}
+		d.addArc(2*v, 2*v+1, c)
+	}
+	g.ForEachEdge(func(u, v int32) bool {
+		d.addArc(2*u+1, 2*v, 1)
+		d.addArc(2*v+1, 2*u, 1)
+		return true
+	})
+	d.reset()
+	return int(d.maxFlow(2*s+1, 2*t, -1))
+}

@@ -1,0 +1,84 @@
+package graphalgo
+
+import (
+	"github.com/secure-wsn/qcomposite/internal/graph"
+)
+
+// EdgeConnectivity returns λ(g), the minimum number of edge removals that
+// disconnect g, via the Stoer–Wagner minimum-cut algorithm with unit edge
+// weights. It returns 0 for disconnected or trivial graphs.
+//
+// The implementation is the classic O(n³) array version, ample for the
+// experiment sizes where exact λ is needed (Whitney-inequality validation
+// and small-network resilience reports).
+func EdgeConnectivity(g *graph.Undirected) int {
+	n := g.N()
+	if n < 2 {
+		return 0
+	}
+	if !IsConnected(g) {
+		return 0
+	}
+	// Dense weight matrix; merged vertices accumulate weights.
+	w := make([][]int32, n)
+	for i := range w {
+		w[i] = make([]int32, n)
+	}
+	g.ForEachEdge(func(u, v int32) bool {
+		w[u][v]++
+		w[v][u]++
+		return true
+	})
+
+	active := make([]int32, n) // current super-vertices
+	for i := range active {
+		active[i] = int32(i)
+	}
+	best := int32(1<<31 - 1)
+	inA := make([]bool, n)
+	weightToA := make([]int32, n)
+
+	for len(active) > 1 {
+		// Minimum cut phase: maximum adjacency order.
+		for _, v := range active {
+			inA[v] = false
+			weightToA[v] = 0
+		}
+		var prev, last int32 = -1, -1
+		for i := 0; i < len(active); i++ {
+			// Select the most tightly connected remaining vertex.
+			sel := int32(-1)
+			for _, v := range active {
+				if !inA[v] && (sel == -1 || weightToA[v] > weightToA[sel]) {
+					sel = v
+				}
+			}
+			inA[sel] = true
+			prev, last = last, sel
+			for _, v := range active {
+				if !inA[v] {
+					weightToA[v] += w[sel][v]
+				}
+			}
+		}
+		// Cut-of-the-phase: last vertex against the rest.
+		if weightToA[last] < best {
+			best = weightToA[last]
+		}
+		// Merge last into prev.
+		for _, v := range active {
+			if v != last && v != prev {
+				w[prev][v] += w[last][v]
+				w[v][prev] = w[prev][v]
+			}
+		}
+		// Remove last from active.
+		for i, v := range active {
+			if v == last {
+				active = append(active[:i], active[i+1:]...)
+				break
+			}
+		}
+	}
+	return int(best)
+}

@@ -1,0 +1,73 @@
+package graphalgo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/secure-wsn/qcomposite/internal/graph"
+)
+
+func TestEdgeConnectivityKnown(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Undirected
+		want int
+	}{
+		{name: "empty", g: mustGraph(t, 0, nil), want: 0},
+		{name: "single", g: mustGraph(t, 1, nil), want: 0},
+		{name: "disconnected", g: mustGraph(t, 3, []graph.Edge{{U: 0, V: 1}}), want: 0},
+		{name: "K2", g: completeGraph(t, 2), want: 1},
+		{name: "path5", g: pathGraph(t, 5), want: 1},
+		{name: "cycle7", g: cycleGraph(t, 7), want: 2},
+		{name: "K5", g: completeGraph(t, 5), want: 4},
+		{name: "petersen", g: petersen(t), want: 3},
+		{name: "barbell", g: barbell(t), want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := EdgeConnectivity(tt.g); got != tt.want {
+				t.Errorf("EdgeConnectivity = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+// barbell is two K4s joined by a single bridge edge.
+func barbell(t *testing.T) *graph.Undirected {
+	t.Helper()
+	var edges []graph.Edge
+	for u := int32(0); u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			edges = append(edges, graph.Edge{U: u, V: v})
+			edges = append(edges, graph.Edge{U: u + 4, V: v + 4})
+		}
+	}
+	edges = append(edges, graph.Edge{U: 3, V: 4})
+	return mustGraph(t, 8, edges)
+}
+
+func TestQuickEdgeConnectivityAgainstBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		g := gnp(nil2t(t), r, n, 0.3+r.Float64()*0.5)
+		if g.M() > 10 {
+			return true // keep the brute force affordable
+		}
+		return EdgeConnectivity(g) == bruteEdgeConnectivity(nil2t(t), g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEdgeConnectivity100(b *testing.B) {
+	r := rand.New(rand.NewSource(13))
+	g := gnp(b, r, 100, 0.1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EdgeConnectivity(g)
+	}
+}

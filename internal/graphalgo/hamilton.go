@@ -1,0 +1,105 @@
+package graphalgo
+
+import (
+	"github.com/secure-wsn/qcomposite/internal/graph"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+// HamiltonianCycle searches for a Hamiltonian cycle using the Pósa
+// rotation–extension heuristic with random restarts. It returns the cycle as
+// a node sequence (length n, implicitly closed) and true on success, or nil
+// and false when the budget is exhausted — a false result is NOT a proof of
+// non-Hamiltonicity.
+//
+// Random key graphs are Hamiltonian w.h.p. just above the connectivity
+// threshold (Nikoletseas et al., cited in the paper's related work); the
+// heuristic lets the extension experiments probe that regime.
+func HamiltonianCycle(g *graph.Undirected, r *rng.Rand, restarts int) ([]int32, bool) {
+	n := g.N()
+	if n == 0 {
+		return nil, false
+	}
+	if n == 1 {
+		return []int32{0}, true
+	}
+	if n == 2 || g.MinDegree() < 2 || !IsConnected(g) {
+		// A Hamiltonian cycle needs n ≥ 3, minimum degree 2, connectivity.
+		return nil, false
+	}
+	if restarts < 1 {
+		restarts = 1
+	}
+	pos := make([]int32, n) // pos[v] = index of v in path, -1 if unused
+	for attempt := 0; attempt < restarts; attempt++ {
+		if cycle, ok := posaAttempt(g, r, pos); ok {
+			return cycle, true
+		}
+	}
+	return nil, false
+}
+
+// posaAttempt runs one randomized rotation–extension pass. pos is scratch
+// space of length n, overwritten.
+func posaAttempt(g *graph.Undirected, r *rng.Rand, pos []int32) ([]int32, bool) {
+	n := g.N()
+	for i := range pos {
+		pos[i] = -1
+	}
+	path := make([]int32, 1, n)
+	path[0] = int32(r.Intn(n))
+	pos[path[0]] = 0
+
+	// Budget: rotations are cheap but can cycle; cap total steps.
+	maxSteps := 20 * n * (2 + g.MaxDegree())
+	for steps := 0; steps < maxSteps; steps++ {
+		end := path[len(path)-1]
+		ns := g.Neighbors(end)
+
+		// Try to extend with an unused neighbor (randomized scan start).
+		offset := r.Intn(len(ns))
+		extended := false
+		for i := range ns {
+			w := ns[(i+offset)%len(ns)]
+			if pos[w] == -1 {
+				pos[w] = int32(len(path))
+				path = append(path, w)
+				extended = true
+				break
+			}
+		}
+		if extended {
+			if len(path) == n {
+				// Close the cycle if the endpoints are adjacent; otherwise
+				// keep rotating.
+				if g.HasEdge(path[0], path[len(path)-1]) {
+					return append([]int32(nil), path...), true
+				}
+			}
+			continue
+		}
+		// All neighbors are on the path: Pósa rotation. Pick a random
+		// neighbor w at path index i; reversing path[i+1:] makes the node
+		// after w the new endpoint.
+		if len(path) == n && g.HasEdge(path[0], end) {
+			return append([]int32(nil), path...), true
+		}
+		w := ns[r.Intn(len(ns))]
+		i := int(pos[w])
+		if i+1 >= len(path)-1 {
+			continue // rotation would be a no-op
+		}
+		reverseSegment(path, pos, i+1, len(path)-1)
+	}
+	return nil, false
+}
+
+// reverseSegment reverses path[lo:hi+1] and patches pos accordingly.
+func reverseSegment(path []int32, pos []int32, lo, hi int) {
+	for lo < hi {
+		path[lo], path[hi] = path[hi], path[lo]
+		pos[path[lo]] = int32(lo)
+		pos[path[hi]] = int32(hi)
+		lo++
+		hi--
+	}
+}

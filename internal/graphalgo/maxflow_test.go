@@ -1,0 +1,104 @@
+package graphalgo
+
+import (
+	"testing"
+)
+
+// buildFlow constructs a dinic instance from an arc list.
+func buildFlow(n int, arcs [][3]int32) *dinic {
+	d := newDinic(n, len(arcs))
+	for _, a := range arcs {
+		d.addArc(a[0], a[1], a[2])
+	}
+	d.reset()
+	return d
+}
+
+func TestDinicSimplePath(t *testing.T) {
+	// 0 → 1 → 2 with capacities 2 and 1: max flow 1.
+	d := buildFlow(3, [][3]int32{{0, 1, 2}, {1, 2, 1}})
+	if got := d.maxFlow(0, 2, -1); got != 1 {
+		t.Errorf("maxFlow = %d, want 1", got)
+	}
+}
+
+func TestDinicParallelPaths(t *testing.T) {
+	// Two disjoint unit paths 0→1→3 and 0→2→3.
+	d := buildFlow(4, [][3]int32{
+		{0, 1, 1}, {1, 3, 1},
+		{0, 2, 1}, {2, 3, 1},
+	})
+	if got := d.maxFlow(0, 3, -1); got != 2 {
+		t.Errorf("maxFlow = %d, want 2", got)
+	}
+}
+
+func TestDinicNeedsResidualPush(t *testing.T) {
+	// The classic case where a greedy path must be partially undone via the
+	// residual arc:
+	//   0→1 (1), 0→2 (1), 1→2 (1), 1→3 (1), 2→3 (1) … max flow 0→3 is 2.
+	d := buildFlow(4, [][3]int32{
+		{0, 1, 1}, {0, 2, 1}, {1, 2, 1}, {1, 3, 1}, {2, 3, 1},
+	})
+	if got := d.maxFlow(0, 3, -1); got != 2 {
+		t.Errorf("maxFlow = %d, want 2", got)
+	}
+}
+
+func TestDinicDisconnected(t *testing.T) {
+	d := buildFlow(4, [][3]int32{{0, 1, 5}})
+	if got := d.maxFlow(0, 3, -1); got != 0 {
+		t.Errorf("maxFlow to unreachable sink = %d, want 0", got)
+	}
+}
+
+func TestDinicSourceEqualsSink(t *testing.T) {
+	d := buildFlow(2, [][3]int32{{0, 1, 1}})
+	if got := d.maxFlow(0, 0, -1); got != 0 {
+		t.Errorf("maxFlow(v,v) = %d, want 0", got)
+	}
+}
+
+func TestDinicLimit(t *testing.T) {
+	// Five parallel unit paths; limit caps the answer.
+	arcs := make([][3]int32, 0, 10)
+	for i := int32(1); i <= 5; i++ {
+		arcs = append(arcs, [3]int32{0, i, 1}, [3]int32{i, 6, 1})
+	}
+	d := buildFlow(7, arcs)
+	if got := d.maxFlow(0, 6, 3); got != 3 {
+		t.Errorf("capped maxFlow = %d, want 3", got)
+	}
+	d.reset()
+	if got := d.maxFlow(0, 6, -1); got != 5 {
+		t.Errorf("uncapped maxFlow = %d, want 5", got)
+	}
+}
+
+func TestDinicResetRestoresCapacities(t *testing.T) {
+	d := buildFlow(3, [][3]int32{{0, 1, 1}, {1, 2, 1}})
+	if got := d.maxFlow(0, 2, -1); got != 1 {
+		t.Fatalf("first run = %d", got)
+	}
+	// Without reset the network is saturated.
+	if got := d.maxFlow(0, 2, -1); got != 0 {
+		t.Fatalf("saturated run = %d, want 0", got)
+	}
+	d.reset()
+	if got := d.maxFlow(0, 2, -1); got != 1 {
+		t.Errorf("after reset = %d, want 1", got)
+	}
+}
+
+func TestDinicBipartiteMatching(t *testing.T) {
+	// Max flow solves bipartite matching: left {1,2,3}, right {4,5,6},
+	// edges 1-4, 1-5, 2-4, 3-6. Maximum matching is 3.
+	d := buildFlow(8, [][3]int32{
+		{0, 1, 1}, {0, 2, 1}, {0, 3, 1},
+		{1, 4, 1}, {1, 5, 1}, {2, 4, 1}, {3, 6, 1},
+		{4, 7, 1}, {5, 7, 1}, {6, 7, 1},
+	})
+	if got := d.maxFlow(0, 7, -1); got != 3 {
+		t.Errorf("matching flow = %d, want 3", got)
+	}
+}

@@ -1,0 +1,162 @@
+package graphalgo
+
+import (
+	"github.com/secure-wsn/qcomposite/internal/graph"
+)
+
+// IsConnected reports whether g is connected (1-connected). The empty graph
+// is vacuously connected; a single node is connected.
+func IsConnected(g *graph.Undirected) bool {
+	n := g.N()
+	if n <= 1 {
+		return true
+	}
+	uf := NewUnionFind(n)
+	g.ForEachEdge(func(u, v int32) bool {
+		uf.Union(u, v)
+		// Once everything has merged we can stop scanning edges.
+		return uf.Count() > 1
+	})
+	return uf.Count() == 1
+}
+
+// Components returns, for each node, the dense id of its connected
+// component, plus the number of components. Component ids are assigned in
+// order of lowest-numbered member node.
+func Components(g *graph.Undirected) ([]int32, int) {
+	n := g.N()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := int32(0)
+	queue := make([]int32, 0, n)
+	for s := int32(0); int(s) < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = next
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.Neighbors(v) {
+				if comp[w] == -1 {
+					comp[w] = next
+					queue = append(queue, w)
+				}
+			}
+		}
+		next++
+	}
+	return comp, int(next)
+}
+
+// LargestComponentSize returns the node count of the largest connected
+// component (0 for the empty graph).
+func LargestComponentSize(g *graph.Undirected) int {
+	comp, k := Components(g)
+	if k == 0 {
+		return 0
+	}
+	sizes := make([]int, k)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	max := 0
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// BFSDistances returns the hop distance from src to every node (-1 when
+// unreachable) using breadth-first search.
+func BFSDistances(g *graph.Undirected, src int32) []int32 {
+	n := g.N()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(v) {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPath returns a shortest path between src and dst (inclusive), or
+// nil when dst is unreachable. For src == dst it returns [src].
+func ShortestPath(g *graph.Undirected, src, dst int32) []int32 {
+	if src == dst {
+		return []int32{src}
+	}
+	n := g.N()
+	prev := make([]int32, n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	queue := []int32{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(v) {
+			if prev[w] != -1 {
+				continue
+			}
+			prev[w] = v
+			if w == dst {
+				// Reconstruct.
+				var rev []int32
+				for x := dst; x != src; x = prev[x] {
+					rev = append(rev, x)
+				}
+				rev = append(rev, src)
+				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+					rev[i], rev[j] = rev[j], rev[i]
+				}
+				return rev
+			}
+			queue = append(queue, w)
+		}
+	}
+	return nil
+}
+
+// Diameter returns the largest shortest-path distance over all connected
+// pairs, and whether the graph is connected. For a disconnected graph the
+// diameter of the largest structure is not meaningful for the paper's
+// experiments, so ok=false is returned along with the max finite distance.
+func Diameter(g *graph.Undirected) (int, bool) {
+	n := g.N()
+	if n == 0 {
+		return 0, true
+	}
+	maxDist := 0
+	connected := true
+	for v := int32(0); int(v) < n; v++ {
+		dist := BFSDistances(g, v)
+		for _, d := range dist {
+			if d == -1 {
+				connected = false
+				continue
+			}
+			if int(d) > maxDist {
+				maxDist = int(d)
+			}
+		}
+	}
+	return maxDist, connected
+}

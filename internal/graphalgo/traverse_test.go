@@ -1,0 +1,209 @@
+package graphalgo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/secure-wsn/qcomposite/internal/graph"
+)
+
+func TestIsConnected(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Undirected
+		want bool
+	}{
+		{name: "empty", g: mustGraph(t, 0, nil), want: true},
+		{name: "single node", g: mustGraph(t, 1, nil), want: true},
+		{name: "two isolated", g: mustGraph(t, 2, nil), want: false},
+		{name: "edge", g: mustGraph(t, 2, []graph.Edge{{U: 0, V: 1}}), want: true},
+		{name: "path", g: pathGraph(t, 10), want: true},
+		{name: "cycle", g: cycleGraph(t, 10), want: true},
+		{name: "path plus isolated", g: mustGraph(t, 4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}), want: false},
+		{name: "two triangles", g: mustGraph(t, 6, []graph.Edge{
+			{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+			{U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 3},
+		}), want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := IsConnected(tt.g); got != tt.want {
+				t.Errorf("IsConnected = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := mustGraph(t, 6, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2},
+		{U: 4, V: 5},
+	})
+	comp, k := Components(g)
+	if k != 3 {
+		t.Fatalf("components = %d, want 3", k)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Error("0,1,2 should share a component")
+	}
+	if comp[3] == comp[0] || comp[3] == comp[4] {
+		t.Error("3 should be isolated")
+	}
+	if comp[4] != comp[5] {
+		t.Error("4,5 should share a component")
+	}
+	// Component ids are dense and ordered by first member.
+	if comp[0] != 0 || comp[3] != 1 || comp[4] != 2 {
+		t.Errorf("component ids = %v, want dense ordered", comp)
+	}
+}
+
+func TestLargestComponentSize(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Undirected
+		want int
+	}{
+		{name: "empty", g: mustGraph(t, 0, nil), want: 0},
+		{name: "isolated nodes", g: mustGraph(t, 3, nil), want: 1},
+		{name: "path3 + pair", g: mustGraph(t, 5, []graph.Edge{
+			{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4},
+		}), want: 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := LargestComponentSize(tt.g); got != tt.want {
+				t.Errorf("LargestComponentSize = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := pathGraph(t, 5)
+	dist := BFSDistances(g, 0)
+	for v, want := range []int32{0, 1, 2, 3, 4} {
+		if dist[v] != want {
+			t.Errorf("dist[%d] = %d, want %d", v, dist[v], want)
+		}
+	}
+	g2 := mustGraph(t, 3, []graph.Edge{{U: 0, V: 1}})
+	dist2 := BFSDistances(g2, 0)
+	if dist2[2] != -1 {
+		t.Errorf("unreachable distance = %d, want -1", dist2[2])
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := cycleGraph(t, 6)
+	p := ShortestPath(g, 0, 3)
+	if len(p) != 4 || p[0] != 0 || p[3] != 3 {
+		t.Errorf("ShortestPath(0,3) = %v, want length-4 path", p)
+	}
+	// Verify consecutive hops are edges.
+	for i := 0; i+1 < len(p); i++ {
+		if !g.HasEdge(p[i], p[i+1]) {
+			t.Errorf("path step %d: (%d,%d) is not an edge", i, p[i], p[i+1])
+		}
+	}
+	if p := ShortestPath(g, 2, 2); len(p) != 1 || p[0] != 2 {
+		t.Errorf("ShortestPath(v,v) = %v", p)
+	}
+	g2 := mustGraph(t, 4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	if p := ShortestPath(g2, 0, 3); p != nil {
+		t.Errorf("ShortestPath across components = %v, want nil", p)
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	tests := []struct {
+		name     string
+		g        *graph.Undirected
+		wantD    int
+		wantConn bool
+	}{
+		{name: "empty", g: mustGraph(t, 0, nil), wantD: 0, wantConn: true},
+		{name: "single", g: mustGraph(t, 1, nil), wantD: 0, wantConn: true},
+		{name: "path5", g: pathGraph(t, 5), wantD: 4, wantConn: true},
+		{name: "cycle6", g: cycleGraph(t, 6), wantD: 3, wantConn: true},
+		{name: "K4", g: completeGraph(t, 4), wantD: 1, wantConn: true},
+		{name: "disconnected", g: mustGraph(t, 3, []graph.Edge{{U: 0, V: 1}}), wantD: 1, wantConn: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d, conn := Diameter(tt.g)
+			if d != tt.wantD || conn != tt.wantConn {
+				t.Errorf("Diameter = (%d, %v), want (%d, %v)", d, conn, tt.wantD, tt.wantConn)
+			}
+		})
+	}
+}
+
+func TestQuickComponentsAgreeWithUnionFind(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		g := gnp(nil2t(t), r, n, r.Float64()*0.2)
+		comp, k := Components(g)
+		uf := NewUnionFind(n)
+		g.ForEachEdge(func(u, v int32) bool {
+			uf.Union(u, v)
+			return true
+		})
+		if uf.Count() != k {
+			return false
+		}
+		for u := int32(0); int(u) < n; u++ {
+			for v := u + 1; int(v) < n; v++ {
+				if (comp[u] == comp[v]) != uf.Connected(u, v) {
+					return false
+				}
+			}
+		}
+		return (k == 1) == IsConnected(g) || n == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// nil2t adapts *testing.T for helpers inside quick closures.
+func nil2t(t *testing.T) testing.TB { return t }
+
+func TestQuickShortestPathLengthMatchesBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(30)
+		g := gnp(nil2t(t), r, n, 0.15)
+		src := int32(r.Intn(n))
+		dist := BFSDistances(g, src)
+		for dst := int32(0); int(dst) < n; dst++ {
+			p := ShortestPath(g, src, dst)
+			switch {
+			case dist[dst] == -1 && dst != src:
+				if p != nil {
+					return false
+				}
+			default:
+				if int32(len(p)-1) != dist[dst] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkIsConnectedSparse1000(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	g := gnp(b, r, 1000, 0.008)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IsConnected(g)
+	}
+}

@@ -1,0 +1,74 @@
+// Package graphalgo implements the graph algorithms the paper's evaluation
+// needs: connectivity (union-find, BFS), biconnectivity (articulation
+// points), general vertex k-connectivity via Even's algorithm on top of a
+// unit-capacity Dinic max-flow with vertex splitting, exact vertex and edge
+// connectivity, and the structural metrics (degrees, triangles, clustering,
+// k-cores, diameter) used by the extension experiments.
+//
+// k-connectivity is the paper's central property: a graph is k-connected iff
+// it stays connected after removing any k−1 nodes (equivalently, by Menger's
+// theorem, every pair of nodes is joined by k internally vertex-disjoint
+// paths). Theorem 1 gives its asymptotic probability for the WSN model; this
+// package supplies the exact finite-n decision procedures the Monte Carlo
+// experiments rely on.
+package graphalgo
+
+// UnionFind is a disjoint-set forest with union by rank and path compression.
+// The zero value is unusable; create one with NewUnionFind.
+type UnionFind struct {
+	parent []int32
+	rank   []int8
+	count  int // number of disjoint sets
+}
+
+// NewUnionFind returns a union-find over n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	return &UnionFind{
+		parent: parent,
+		rank:   make([]int8, n),
+		count:  n,
+	}
+}
+
+// Find returns the canonical representative of x's set.
+func (u *UnionFind) Find(x int32) int32 {
+	root := x
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	// Path compression.
+	for u.parent[x] != root {
+		u.parent[x], x = root, u.parent[x]
+	}
+	return root
+}
+
+// Union merges the sets containing x and y and reports whether a merge
+// happened (false if they were already in the same set).
+func (u *UnionFind) Union(x, y int32) bool {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return false
+	}
+	if u.rank[rx] < u.rank[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = rx
+	if u.rank[rx] == u.rank[ry] {
+		u.rank[rx]++
+	}
+	u.count--
+	return true
+}
+
+// Connected reports whether x and y are in the same set.
+func (u *UnionFind) Connected(x, y int32) bool {
+	return u.Find(x) == u.Find(y)
+}
+
+// Count returns the number of disjoint sets.
+func (u *UnionFind) Count() int { return u.count }

@@ -1,0 +1,105 @@
+package graphalgo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	uf := NewUnionFind(5)
+	if got := uf.Count(); got != 5 {
+		t.Fatalf("initial Count = %d, want 5", got)
+	}
+	if uf.Connected(0, 1) {
+		t.Error("0 and 1 connected before any union")
+	}
+	if !uf.Union(0, 1) {
+		t.Error("Union(0,1) reported no merge")
+	}
+	if uf.Union(1, 0) {
+		t.Error("repeated Union(1,0) reported a merge")
+	}
+	if !uf.Connected(0, 1) {
+		t.Error("0 and 1 not connected after union")
+	}
+	if got := uf.Count(); got != 4 {
+		t.Errorf("Count = %d, want 4", got)
+	}
+	uf.Union(2, 3)
+	uf.Union(0, 3)
+	if !uf.Connected(1, 2) {
+		t.Error("transitive connectivity failed")
+	}
+	if got := uf.Count(); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+}
+
+func TestUnionFindSelfUnion(t *testing.T) {
+	uf := NewUnionFind(3)
+	if uf.Union(1, 1) {
+		t.Error("Union(v,v) reported a merge")
+	}
+	if got := uf.Count(); got != 3 {
+		t.Errorf("Count = %d, want 3", got)
+	}
+}
+
+func TestUnionFindFindIdempotent(t *testing.T) {
+	uf := NewUnionFind(10)
+	for i := 0; i < 9; i++ {
+		uf.Union(int32(i), int32(i+1))
+	}
+	root := uf.Find(0)
+	for v := int32(0); v < 10; v++ {
+		if uf.Find(v) != root {
+			t.Errorf("Find(%d) != Find(0) after chain union", v)
+		}
+	}
+	if got := uf.Count(); got != 1 {
+		t.Errorf("Count = %d, want 1", got)
+	}
+}
+
+func TestQuickUnionFindMatchesNaive(t *testing.T) {
+	// Model-based test against a naive labeling structure.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(40)
+		uf := NewUnionFind(n)
+		label := make([]int, n)
+		for i := range label {
+			label[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range label {
+				if label[i] == from {
+					label[i] = to
+				}
+			}
+		}
+		for op := 0; op < 60; op++ {
+			a, b := int32(r.Intn(n)), int32(r.Intn(n))
+			naiveMerge := label[a] != label[b]
+			if naiveMerge {
+				relabel(label[a], label[b])
+			}
+			if uf.Union(a, b) != naiveMerge {
+				return false
+			}
+			c, d := int32(r.Intn(n)), int32(r.Intn(n))
+			if uf.Connected(c, d) != (label[c] == label[d]) {
+				return false
+			}
+		}
+		distinct := map[int]bool{}
+		for _, l := range label {
+			distinct[l] = true
+		}
+		return uf.Count() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

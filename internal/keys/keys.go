@@ -1,0 +1,202 @@
+// Package keys implements the key predistribution substrate: key pools, key
+// rings, the Eschenauer–Gligor scheme (the q = 1 baseline) and the
+// q-composite scheme of Chan, Perrig and Song that the paper analyses, plus
+// shared-key discovery and link-key derivation.
+//
+// Keys are abstract identifiers: connectivity depends only on which key IDs
+// two sensors share, so the package represents keys as dense int32 IDs into
+// the pool and derives concrete link keys by hashing the shared IDs
+// (mirroring the q-composite construction, where the pairwise link key is a
+// hash of all shared keys).
+package keys
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+// ID identifies a key within a pool.
+type ID = int32
+
+// Ring is a sensor's key ring: a sorted set of key IDs drawn from the pool.
+type Ring struct {
+	ids []ID // sorted ascending, no duplicates
+}
+
+// NewRing builds a ring from the given IDs (copied, sorted, deduplicated).
+func NewRing(ids []ID) Ring {
+	cp := append([]ID(nil), ids...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	out := cp[:0]
+	var prev ID = -1
+	for _, k := range cp {
+		if k != prev {
+			out = append(out, k)
+			prev = k
+		}
+	}
+	return Ring{ids: out}
+}
+
+// Len returns the number of keys in the ring.
+func (r Ring) Len() int { return len(r.ids) }
+
+// Contains reports whether the ring holds key k.
+func (r Ring) Contains(k ID) bool {
+	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= k })
+	return i < len(r.ids) && r.ids[i] == k
+}
+
+// IDs returns a copy of the ring's sorted key IDs.
+func (r Ring) IDs() []ID { return append([]ID(nil), r.ids...) }
+
+// SharedWith returns the keys present in both rings, by sorted merge.
+func (r Ring) SharedWith(other Ring) []ID {
+	var shared []ID
+	i, j := 0, 0
+	for i < len(r.ids) && j < len(other.ids) {
+		switch {
+		case r.ids[i] == other.ids[j]:
+			shared = append(shared, r.ids[i])
+			i++
+			j++
+		case r.ids[i] < other.ids[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return shared
+}
+
+// SharedCount returns |r ∩ other| without allocating.
+func (r Ring) SharedCount(other Ring) int {
+	count := 0
+	i, j := 0, 0
+	for i < len(r.ids) && j < len(other.ids) {
+		switch {
+		case r.ids[i] == other.ids[j]:
+			count++
+			i++
+			j++
+		case r.ids[i] < other.ids[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return count
+}
+
+// Scheme is a key predistribution scheme: it assigns rings to sensors before
+// deployment and fixes the overlap requirement for secure links.
+type Scheme interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// PoolSize returns P, the key pool size.
+	PoolSize() int
+	// RingSize returns K, the per-sensor ring size.
+	RingSize() int
+	// RequiredOverlap returns q, the minimum number of shared keys two
+	// sensors need to establish a secure link.
+	RequiredOverlap() int
+	// Assign draws the key rings for n sensors.
+	Assign(r *rng.Rand, n int) ([]Ring, error)
+}
+
+// QComposite is the q-composite key predistribution scheme: each sensor
+// receives a uniform K-subset of a P-key pool; two sensors can secure a link
+// iff they share at least q keys. q = 1 recovers Eschenauer–Gligor.
+type QComposite struct {
+	pool int
+	ring int
+	q    int
+}
+
+var _ Scheme = (*QComposite)(nil)
+
+// NewQComposite validates 1 ≤ q ≤ K ≤ P and returns the scheme.
+func NewQComposite(pool, ring, q int) (*QComposite, error) {
+	switch {
+	case q < 1:
+		return nil, fmt.Errorf("keys: overlap requirement q=%d must be ≥ 1", q)
+	case ring < q:
+		return nil, fmt.Errorf("keys: ring size %d below overlap requirement q=%d", ring, q)
+	case pool < ring:
+		return nil, fmt.Errorf("keys: pool size %d below ring size %d", pool, ring)
+	}
+	return &QComposite{pool: pool, ring: ring, q: q}, nil
+}
+
+// NewEschenauerGligor returns the basic Eschenauer–Gligor scheme, the
+// q-composite scheme with q = 1 (the paper's baseline).
+func NewEschenauerGligor(pool, ring int) (*QComposite, error) {
+	s, err := NewQComposite(pool, ring, 1)
+	if err != nil {
+		return nil, fmt.Errorf("keys: eschenauer–gligor: %w", err)
+	}
+	return s, nil
+}
+
+// Name implements Scheme.
+func (s *QComposite) Name() string {
+	if s.q == 1 {
+		return "eschenauer-gligor"
+	}
+	return fmt.Sprintf("%d-composite", s.q)
+}
+
+// PoolSize implements Scheme.
+func (s *QComposite) PoolSize() int { return s.pool }
+
+// RingSize implements Scheme.
+func (s *QComposite) RingSize() int { return s.ring }
+
+// RequiredOverlap implements Scheme.
+func (s *QComposite) RequiredOverlap() int { return s.q }
+
+// Assign implements Scheme: n independent uniform K-subsets of the pool.
+func (s *QComposite) Assign(r *rng.Rand, n int) ([]Ring, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("keys: negative sensor count %d", n)
+	}
+	sampler, err := rng.NewSubsetSampler(s.pool)
+	if err != nil {
+		return nil, fmt.Errorf("keys: assign: %w", err)
+	}
+	rings := make([]Ring, n)
+	var buf []ID
+	for v := 0; v < n; v++ {
+		buf, err = sampler.AppendSample(r, s.ring, buf[:0])
+		if err != nil {
+			return nil, fmt.Errorf("keys: assign sensor %d: %w", v, err)
+		}
+		rings[v] = NewRing(buf)
+	}
+	return rings, nil
+}
+
+// LinkKeySize is the size in bytes of derived link keys.
+const LinkKeySize = sha256.Size
+
+// DeriveLinkKey derives the pairwise link key from the shared keys of a
+// q-composite link: SHA-256 over the sorted shared key IDs
+// (k₁‖k₂‖…‖k_m in the Chan–Perrig–Song construction). More shared keys
+// strictly strengthen the link: an adversary must know every one of them.
+func DeriveLinkKey(shared []ID) [LinkKeySize]byte {
+	sorted := append([]ID(nil), shared...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	h := sha256.New()
+	var buf [4]byte
+	for _, k := range sorted {
+		binary.BigEndian.PutUint32(buf[:], uint32(k))
+		h.Write(buf[:])
+	}
+	var out [LinkKeySize]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}

@@ -1,0 +1,253 @@
+// Package montecarlo runs repeated randomized trials across a bounded worker
+// pool with per-trial deterministic seeding, so that estimates are exactly
+// reproducible from a base seed regardless of GOMAXPROCS or scheduling.
+//
+// This is the engine under every empirical curve in the paper reproduction:
+// a trial samples one random graph and evaluates a predicate ("is it
+// k-connected?") or a statistic (its degree histogram); the runner
+// aggregates.
+package montecarlo
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/secure-wsn/qcomposite/internal/rng"
+	"github.com/secure-wsn/qcomposite/internal/stats"
+)
+
+// Trial evaluates one randomized trial. The generator is derived
+// deterministically from (seed, trial index); implementations must use only
+// it for randomness. Returning an error aborts the whole run.
+type Trial func(trial int, r *rng.Rand) (bool, error)
+
+// Config controls a Monte Carlo run.
+type Config struct {
+	// Trials is the number of independent trials; must be positive.
+	Trials int
+	// Workers bounds parallelism; 0 means runtime.NumCPU().
+	Workers int
+	// Seed is the base seed; trial i runs on stream rng.NewStream(Seed, i).
+	Seed uint64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Trials <= 0 {
+		return c, fmt.Errorf("montecarlo: trials must be positive, got %d", c.Trials)
+	}
+	if c.Workers < 0 {
+		return c, fmt.Errorf("montecarlo: workers must be non-negative, got %d", c.Workers)
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.Workers > c.Trials {
+		c.Workers = c.Trials
+	}
+	return c, nil
+}
+
+// EstimateProportion runs cfg.Trials independent trials of fn and returns
+// the success proportion. It stops early (returning the context error) when
+// ctx is cancelled; workers are always fully drained before return.
+func EstimateProportion(ctx context.Context, cfg Config, fn Trial) (stats.Proportion, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return stats.Proportion{}, err
+	}
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		successes int
+		completed int
+		firstErr  error
+	)
+	trialCh := make(chan int)
+	cancelCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go func() {
+			defer wg.Done()
+			for trial := range trialCh {
+				ok, err := fn(trial, rng.NewStream(cfg.Seed, uint64(trial)))
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("montecarlo: trial %d: %w", trial, err)
+					}
+				} else {
+					completed++
+					if ok {
+						successes++
+					}
+				}
+				mu.Unlock()
+				if err != nil {
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+
+feed:
+	for trial := 0; trial < cfg.Trials; trial++ {
+		select {
+		case trialCh <- trial:
+		case <-cancelCtx.Done():
+			break feed
+		}
+	}
+	close(trialCh)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return stats.Proportion{}, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return stats.Proportion{Successes: successes, Trials: completed},
+			fmt.Errorf("montecarlo: cancelled after %d/%d trials: %w", completed, cfg.Trials, err)
+	}
+	return stats.Proportion{Successes: successes, Trials: completed}, nil
+}
+
+// Sample is a trial producing a numeric observation.
+type Sample func(trial int, r *rng.Rand) (float64, error)
+
+// EstimateMean runs cfg.Trials trials of fn and aggregates the observations
+// into a Summary (mean, variance, extremes).
+func EstimateMean(ctx context.Context, cfg Config, fn Sample) (*stats.Summary, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	// Collect into a dense slice indexed by trial so the Summary folds
+	// observations in deterministic order regardless of completion order.
+	values := make([]float64, cfg.Trials)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		done     = make([]bool, cfg.Trials)
+	)
+	trialCh := make(chan int)
+	cancelCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go func() {
+			defer wg.Done()
+			for trial := range trialCh {
+				v, err := fn(trial, rng.NewStream(cfg.Seed, uint64(trial)))
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("montecarlo: trial %d: %w", trial, err)
+					}
+				} else {
+					values[trial] = v
+					done[trial] = true
+				}
+				mu.Unlock()
+				if err != nil {
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+
+feed:
+	for trial := 0; trial < cfg.Trials; trial++ {
+		select {
+		case trialCh <- trial:
+		case <-cancelCtx.Done():
+			break feed
+		}
+	}
+	close(trialCh)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	var summary stats.Summary
+	for i, ok := range done {
+		if ok {
+			summary.Add(values[i])
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return &summary, fmt.Errorf("montecarlo: cancelled after %d/%d trials: %w", summary.N(), cfg.Trials, err)
+	}
+	return &summary, nil
+}
+
+// Collect runs cfg.Trials trials of fn and returns every observation in
+// trial order. It is the building block for distribution-level experiments
+// (degree histograms, compromise fractions).
+func Collect(ctx context.Context, cfg Config, fn Sample) ([]float64, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	values := make([]float64, cfg.Trials)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	trialCh := make(chan int)
+	cancelCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go func() {
+			defer wg.Done()
+			for trial := range trialCh {
+				v, err := fn(trial, rng.NewStream(cfg.Seed, uint64(trial)))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("montecarlo: trial %d: %w", trial, err)
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+				values[trial] = v
+			}
+		}()
+	}
+
+feed:
+	for trial := 0; trial < cfg.Trials; trial++ {
+		select {
+		case trialCh <- trial:
+		case <-cancelCtx.Done():
+			break feed
+		}
+	}
+	close(trialCh)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("montecarlo: cancelled: %w", err)
+	}
+	return values, nil
+}

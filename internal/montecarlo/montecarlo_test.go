@@ -1,0 +1,216 @@
+package montecarlo
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+func TestEstimateProportionBasic(t *testing.T) {
+	got, err := EstimateProportion(context.Background(), Config{Trials: 10000, Workers: 8, Seed: 1},
+		func(trial int, r *rng.Rand) (bool, error) {
+			return r.Bernoulli(0.3), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trials != 10000 {
+		t.Errorf("Trials = %d, want 10000", got.Trials)
+	}
+	if est := got.Estimate(); math.Abs(est-0.3) > 0.02 {
+		t.Errorf("Estimate = %v, want ≈ 0.3", est)
+	}
+}
+
+func TestEstimateProportionDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) int {
+		got, err := EstimateProportion(context.Background(), Config{Trials: 2000, Workers: workers, Seed: 42},
+			func(trial int, r *rng.Rand) (bool, error) {
+				return r.Float64() < 0.5, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got.Successes
+	}
+	if a, b := run(1), run(16); a != b {
+		t.Errorf("1 worker gave %d successes, 16 workers gave %d — per-trial seeding broken", a, b)
+	}
+}
+
+func TestEstimateProportionTrialIndexStreams(t *testing.T) {
+	// Each trial must see its own distinct stream.
+	var distinct int64
+	seen := make([]uint64, 64)
+	_, err := EstimateProportion(context.Background(), Config{Trials: 64, Workers: 4, Seed: 7},
+		func(trial int, r *rng.Rand) (bool, error) {
+			seen[trial] = r.Uint64()
+			atomic.AddInt64(&distinct, 1)
+			return true, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniq := map[uint64]bool{}
+	for _, v := range seen {
+		uniq[v] = true
+	}
+	if len(uniq) < 60 {
+		t.Errorf("only %d distinct first outputs across 64 trials", len(uniq))
+	}
+}
+
+func TestEstimateProportionError(t *testing.T) {
+	wantErr := errors.New("boom")
+	_, err := EstimateProportion(context.Background(), Config{Trials: 100, Workers: 4, Seed: 1},
+		func(trial int, r *rng.Rand) (bool, error) {
+			if trial == 13 {
+				return false, wantErr
+			}
+			return true, nil
+		})
+	if !errors.Is(err, wantErr) {
+		t.Errorf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestEstimateProportionConfigValidation(t *testing.T) {
+	if _, err := EstimateProportion(context.Background(), Config{Trials: 0}, nil); err == nil {
+		t.Error("zero trials: want error")
+	}
+	if _, err := EstimateProportion(context.Background(), Config{Trials: 5, Workers: -1}, nil); err == nil {
+		t.Error("negative workers: want error")
+	}
+}
+
+func TestEstimateProportionCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := EstimateProportion(ctx, Config{Trials: 1 << 30, Workers: 2, Seed: 1},
+			func(trial int, r *rng.Rand) (bool, error) {
+				if atomic.AddInt64(&ran, 1) == 50 {
+					cancel()
+				}
+				time.Sleep(time.Microsecond)
+				return true, nil
+			})
+		if err == nil {
+			t.Error("cancelled run returned nil error")
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancellation did not stop the run")
+	}
+}
+
+func TestEstimateMean(t *testing.T) {
+	s, err := EstimateMean(context.Background(), Config{Trials: 5000, Workers: 8, Seed: 3},
+		func(trial int, r *rng.Rand) (float64, error) {
+			return r.Float64(), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 5000 {
+		t.Errorf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-0.5) > 0.02 {
+		t.Errorf("Mean = %v, want ≈ 0.5", s.Mean())
+	}
+	if math.Abs(s.Variance()-1.0/12) > 0.01 {
+		t.Errorf("Variance = %v, want ≈ 1/12", s.Variance())
+	}
+}
+
+func TestEstimateMeanDeterministicOrder(t *testing.T) {
+	run := func(workers int) float64 {
+		s, err := EstimateMean(context.Background(), Config{Trials: 1000, Workers: workers, Seed: 9},
+			func(trial int, r *rng.Rand) (float64, error) {
+				return r.Float64(), nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Mean()
+	}
+	if a, b := run(1), run(12); a != b {
+		t.Errorf("mean differs across worker counts: %v vs %v", a, b)
+	}
+}
+
+func TestEstimateMeanError(t *testing.T) {
+	wantErr := errors.New("bad trial")
+	_, err := EstimateMean(context.Background(), Config{Trials: 50, Workers: 4, Seed: 1},
+		func(trial int, r *rng.Rand) (float64, error) {
+			if trial == 7 {
+				return 0, wantErr
+			}
+			return 1, nil
+		})
+	if !errors.Is(err, wantErr) {
+		t.Errorf("err = %v, want wrapped bad trial", err)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	vals, err := Collect(context.Background(), Config{Trials: 100, Workers: 7, Seed: 5},
+		func(trial int, r *rng.Rand) (float64, error) {
+			return float64(trial) * 2, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 100 {
+		t.Fatalf("len = %d", len(vals))
+	}
+	for i, v := range vals {
+		if v != float64(i)*2 {
+			t.Fatalf("vals[%d] = %v, want %v (trial order broken)", i, v, i*2)
+		}
+	}
+}
+
+func TestCollectError(t *testing.T) {
+	wantErr := errors.New("collect fail")
+	_, err := Collect(context.Background(), Config{Trials: 30, Workers: 3, Seed: 1},
+		func(trial int, r *rng.Rand) (float64, error) {
+			if trial == 20 {
+				return 0, wantErr
+			}
+			return 0, nil
+		})
+	if !errors.Is(err, wantErr) {
+		t.Errorf("err = %v, want wrapped collect fail", err)
+	}
+}
+
+func TestWorkersDefaultAndClamp(t *testing.T) {
+	// Workers = 0 defaults to NumCPU and must still work; workers are
+	// clamped to the trial count (no deadlock with more workers than work).
+	got, err := EstimateProportion(context.Background(), Config{Trials: 3, Workers: 64, Seed: 2},
+		func(trial int, r *rng.Rand) (bool, error) { return true, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Successes != 3 {
+		t.Errorf("Successes = %d, want 3", got.Successes)
+	}
+	got, err = EstimateProportion(context.Background(), Config{Trials: 3, Seed: 2},
+		func(trial int, r *rng.Rand) (bool, error) { return true, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Successes != 3 {
+		t.Errorf("default workers: Successes = %d, want 3", got.Successes)
+	}
+}

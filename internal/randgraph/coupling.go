@@ -1,0 +1,66 @@
+package randgraph
+
+import (
+	"fmt"
+
+	"github.com/secure-wsn/qcomposite/internal/graph"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+// CoupledPair is the result of sampling a binomial and a uniform
+// q-intersection graph on one probability space so that the binomial graph
+// is a spanning subgraph of the uniform one — the monotone coupling behind
+// the paper's Lemma 5.
+type CoupledPair struct {
+	// Uniform is G_q(n, K, P).
+	Uniform *graph.Undirected
+	// Binomial is H_q(n, x, P), built from sub-rings of Uniform's rings.
+	Binomial *graph.Undirected
+	// Coupled reports whether the coupling event held: every node's
+	// Binomial(P, x) draw was at most K. When false, Binomial was clipped to
+	// ring size K and the subgraph relation still holds, but the marginal
+	// law of Binomial deviates from H_q(n, x, P). Lemma 5's conditions make
+	// the event hold with probability 1 − o(1).
+	Coupled bool
+}
+
+// SampleCoupled draws the Lemma 5 coupling of H_q(n, x, P) ⊑ G_q(n, K, P):
+// each node first draws m_v ~ Binomial(P, x); its binomial ring is a uniform
+// m_v-subset of its uniform K-ring. Conditioned on m_v ≤ K for all v (the
+// Coupled flag), both marginals are exact and the containment is pointwise.
+func SampleCoupled(r *rng.Rand, n, ring, pool, q int, x float64) (*CoupledPair, error) {
+	if x < 0 || x > 1 {
+		return nil, fmt.Errorf("randgraph: coupling inclusion probability %v outside [0,1]", x)
+	}
+	s, err := NewQSampler(n, ring, pool, q)
+	if err != nil {
+		return nil, fmt.Errorf("randgraph: coupled sample: %w", err)
+	}
+	uniform, err := s.Sample(r)
+	if err != nil {
+		return nil, err
+	}
+	coupled := true
+	subRings := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		m := r.Binomial(pool, x)
+		if m > ring {
+			m = ring
+			coupled = false
+		}
+		full := s.KeyRing(v)
+		// A uniform m-subset of the node's uniform K-ring is a uniform
+		// m-subset of the pool: partial Fisher–Yates over a copy.
+		cp := append([]int32(nil), full...)
+		for i := 0; i < m; i++ {
+			j := i + r.Intn(len(cp)-i)
+			cp[i], cp[j] = cp[j], cp[i]
+		}
+		subRings[v] = cp[:m]
+	}
+	binomial, err := qIntersectFromRings(n, pool, q, subRings)
+	if err != nil {
+		return nil, err
+	}
+	return &CoupledPair{Uniform: uniform, Binomial: binomial, Coupled: coupled}, nil
+}

@@ -1,0 +1,115 @@
+package randgraph
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/secure-wsn/qcomposite/internal/graph"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+// GeometricOptions configures random geometric graph sampling (the disk
+// model of the paper's Section IX).
+type GeometricOptions struct {
+	// Torus, when true, wraps distances around the unit square, removing
+	// boundary effects; the induced edge probability between any two nodes
+	// is then exactly π·r² (for r ≤ 1/2), which is how disk-model
+	// experiments are matched against on/off channels with p = π·r².
+	Torus bool
+}
+
+// GeometricPoint is a sampled node position in the unit square.
+type GeometricPoint struct {
+	X, Y float64
+}
+
+// Geometric samples a random geometric graph: n nodes uniform on the unit
+// square, an edge wherever the (optionally toroidal) Euclidean distance is
+// at most radius. It also returns the sampled positions. A cell grid makes
+// the expected cost O(n + m).
+func Geometric(r *rng.Rand, n int, radius float64, opts GeometricOptions) (*graph.Undirected, []GeometricPoint, error) {
+	if n < 0 {
+		return nil, nil, fmt.Errorf("randgraph: negative node count %d", n)
+	}
+	if radius < 0 {
+		return nil, nil, fmt.Errorf("randgraph: negative radius %v", radius)
+	}
+	pts := make([]GeometricPoint, n)
+	for i := range pts {
+		pts[i] = GeometricPoint{X: r.Float64(), Y: r.Float64()}
+	}
+	var edges []graph.Edge
+	r2 := radius * radius
+
+	// Grid of cells with side ≥ radius: only neighbors in the 3×3 block can
+	// be within range. Cap the grid so tiny radii don't allocate wildly.
+	cells := 1
+	if radius > 0 {
+		cells = int(1 / radius)
+		if cells < 1 {
+			cells = 1
+		}
+		if cells > 1+n {
+			cells = 1 + n
+		}
+	}
+	grid := make([][]int32, cells*cells)
+	cellOf := func(p GeometricPoint) (int, int) {
+		cx := int(p.X * float64(cells))
+		cy := int(p.Y * float64(cells))
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return cx, cy
+	}
+	for i, p := range pts {
+		cx, cy := cellOf(p)
+		grid[cy*cells+cx] = append(grid[cy*cells+cx], int32(i))
+	}
+	dist2 := func(a, b GeometricPoint) float64 {
+		dx := math.Abs(a.X - b.X)
+		dy := math.Abs(a.Y - b.Y)
+		if opts.Torus {
+			if dx > 0.5 {
+				dx = 1 - dx
+			}
+			if dy > 0.5 {
+				dy = 1 - dy
+			}
+		}
+		return dx*dx + dy*dy
+	}
+	for i := 0; i < n; i++ {
+		p := pts[i]
+		cx, cy := cellOf(p)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny := cx+dx, cy+dy
+				if opts.Torus {
+					// Tiny grids alias cells under wraparound, producing
+					// duplicate candidate pairs; NewFromEdges merges them.
+					nx = ((nx % cells) + cells) % cells
+					ny = ((ny % cells) + cells) % cells
+				} else if nx < 0 || ny < 0 || nx >= cells || ny >= cells {
+					continue
+				}
+				for _, j := range grid[ny*cells+nx] {
+					if int(j) <= i {
+						continue
+					}
+					if dist2(p, pts[j]) <= r2 {
+						edges = append(edges, graph.Edge{U: int32(i), V: j})
+					}
+				}
+			}
+		}
+	}
+	g, err := graph.NewFromEdges(n, edges)
+	if err != nil {
+		return nil, nil, fmt.Errorf("randgraph: geometric graph: %w", err)
+	}
+	return g, pts, nil
+}

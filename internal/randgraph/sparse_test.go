@@ -1,0 +1,94 @@
+package randgraph
+
+import (
+	"testing"
+
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+// forceSparse converts a sampler to the map-backed pair counter that is
+// normally selected only for n > maxCounterNodes, so the sparse path can be
+// exercised at test-friendly sizes.
+func forceSparse(s *QSampler) {
+	s.counts = nil
+	s.rowStart = nil
+	s.touched = nil
+	s.sparse = make(map[int64]uint8)
+}
+
+func TestSparseCounterMatchesDense(t *testing.T) {
+	const (
+		n    = 120
+		ring = 12
+		pool = 300
+		q    = 2
+	)
+	dense, err := NewQSampler(n, ring, pool, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := NewQSampler(n, ring, pool, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forceSparse(sparse)
+	for trial := 0; trial < 15; trial++ {
+		seed := uint64(1000 + trial)
+		gd, err := dense.Sample(rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs, err := sparse.Sample(rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gd.IsSpanningSubgraphOf(gs) || !gs.IsSpanningSubgraphOf(gd) {
+			t.Fatalf("trial %d: sparse and dense counters disagree", trial)
+		}
+	}
+}
+
+func TestSparseCompositeDeterministic(t *testing.T) {
+	// The sparse path sorts qualifying pairs before spending channel coins;
+	// two runs from the same seed must agree exactly.
+	mk := func() *QSampler {
+		s, err := NewQSampler(100, 10, 250, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		forceSparse(s)
+		return s
+	}
+	a, err := mk().SampleComposite(rng.New(7), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mk().SampleComposite(rng.New(7), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsSpanningSubgraphOf(b) || !b.IsSpanningSubgraphOf(a) {
+		t.Error("sparse composite sampling not deterministic")
+	}
+}
+
+func TestSparseCounterReuseIsClean(t *testing.T) {
+	s, err := NewQSampler(80, 8, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forceSparse(s)
+	r := rng.New(9)
+	if _, err := s.Sample(r); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.sparse) != 0 {
+		t.Errorf("sparse counter retained %d entries after a draw", len(s.sparse))
+	}
+	if _, err := s.Sample(r); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.sparse) != 0 {
+		t.Errorf("sparse counter retained %d entries after second draw", len(s.sparse))
+	}
+}

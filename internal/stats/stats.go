@@ -1,0 +1,307 @@
+// Package stats provides the statistical toolkit for the experiments:
+// proportion estimates with Wilson confidence intervals, summary statistics,
+// the Poisson distribution used by Lemma 9's degree law, goodness-of-fit
+// measures (total-variation distance, Pearson chi-square), and histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/secure-wsn/qcomposite/internal/combin"
+)
+
+// Proportion is an estimated Bernoulli success probability with its trial
+// counts, e.g. "fraction of sampled graphs that were 2-connected".
+type Proportion struct {
+	Successes int
+	Trials    int
+}
+
+// Estimate returns successes/trials (0 when no trials have run).
+func (p Proportion) Estimate() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	return float64(p.Successes) / float64(p.Trials)
+}
+
+// WilsonInterval returns the Wilson score interval at the given z (e.g.
+// z = 1.96 for 95% confidence). Unlike the Wald interval it behaves at the
+// 0/1 boundaries, which the connectivity curves constantly touch.
+func (p Proportion) WilsonInterval(z float64) (lo, hi float64) {
+	if p.Trials == 0 {
+		return 0, 1
+	}
+	n := float64(p.Trials)
+	phat := p.Estimate()
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (phat + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(phat*(1-phat)/n+z2/(4*n*n))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// String renders the proportion with its 95% Wilson interval.
+func (p Proportion) String() string {
+	lo, hi := p.WilsonInterval(1.96)
+	return fmt.Sprintf("%.4f [%.4f, %.4f] (%d/%d)", p.Estimate(), lo, hi, p.Successes, p.Trials)
+}
+
+// Summary accumulates streaming mean/variance via Welford's algorithm.
+// The zero value is ready to use.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds a new observation into the summary.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the observation count.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 before any observation).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance (0 for fewer than two
+// observations).
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation (0 before any observation).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 before any observation).
+func (s *Summary) Max() float64 { return s.max }
+
+// StdErr returns the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// PoissonPMF returns P[X = k] for X ~ Poisson(lambda), in log space for
+// stability at large lambda. k < 0 or lambda < 0 yield 0.
+func PoissonPMF(lambda float64, k int) float64 {
+	if k < 0 || lambda < 0 {
+		return 0
+	}
+	if lambda == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	return math.Exp(float64(k)*math.Log(lambda) - lambda - combin.LogFactorial(k))
+}
+
+// PoissonCDF returns P[X ≤ k] for X ~ Poisson(lambda).
+func PoissonCDF(lambda float64, k int) float64 {
+	sum := 0.0
+	for i := 0; i <= k; i++ {
+		sum += PoissonPMF(lambda, i)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// TotalVariation returns the total-variation distance ½·Σ|p_i − q_i|
+// between two distributions given as aligned probability slices; shorter
+// slices are implicitly zero-padded.
+func TotalVariation(p, q []float64) float64 {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		var pi, qi float64
+		if i < len(p) {
+			pi = p[i]
+		}
+		if i < len(q) {
+			qi = q[i]
+		}
+		sum += math.Abs(pi - qi)
+	}
+	return sum / 2
+}
+
+// ChiSquare returns Pearson's X² statistic Σ (obs−exp)²/exp over cells with
+// positive expectation, along with the number of such cells. Cells with
+// exp ≤ 0 and obs = 0 are skipped; exp ≤ 0 with obs > 0 contributes +Inf.
+func ChiSquare(observed []float64, expected []float64) (statistic float64, cells int) {
+	n := len(observed)
+	if len(expected) > n {
+		n = len(expected)
+	}
+	for i := 0; i < n; i++ {
+		var obs, exp float64
+		if i < len(observed) {
+			obs = observed[i]
+		}
+		if i < len(expected) {
+			exp = expected[i]
+		}
+		if exp <= 0 {
+			if obs > 0 {
+				return math.Inf(1), cells + 1
+			}
+			continue
+		}
+		d := obs - exp
+		statistic += d * d / exp
+		cells++
+	}
+	return statistic, cells
+}
+
+// Histogram counts integer observations into a dense [0, max] slice.
+type Histogram struct {
+	counts []int
+	total  int
+}
+
+// Add records one observation of value v ≥ 0 (negatives are clamped to 0).
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	for len(h.counts) <= v {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[v]++
+	h.total++
+}
+
+// Counts returns a copy of the dense count slice.
+func (h *Histogram) Counts() []int {
+	return append([]int(nil), h.counts...)
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Normalized returns the empirical probability mass function.
+func (h *Histogram) Normalized() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// Mean returns the mean of the recorded observations.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	sum := 0.0
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// Quantile returns the smallest value at or above which fraction p of the
+// mass lies (p in [0,1]).
+func (h *Histogram) Quantile(p float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := p * float64(h.total)
+	acc := 0.0
+	for v, c := range h.counts {
+		acc += float64(c)
+		if acc >= target {
+			return v
+		}
+	}
+	return len(h.counts) - 1
+}
+
+// Median is Quantile(0.5).
+func (h *Histogram) Median() int { return h.Quantile(0.5) }
+
+// MeanCI returns a z-score confidence interval for the mean of arbitrary
+// float observations.
+func MeanCI(xs []float64, z float64) (mean, lo, hi float64) {
+	var s Summary
+	for _, x := range xs {
+		s.Add(x)
+	}
+	se := s.StdErr()
+	return s.Mean(), s.Mean() - z*se, s.Mean() + z*se
+}
+
+// Quantiles returns the requested empirical quantiles (nearest-rank) of xs.
+// It copies and sorts internally; xs is not modified.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	if len(xs) == 0 {
+		return make([]float64, len(qs))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out[i] = sorted[idx]
+	}
+	return out
+}

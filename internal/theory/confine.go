@@ -1,0 +1,151 @@
+package theory
+
+import (
+	"fmt"
+	"math"
+)
+
+// ConfineDirection states which way the Lemma 1 graph comparison goes.
+type ConfineDirection int
+
+const (
+	// ConfinedIsSubgraph means the original graph G_{n,q}(n,K,P,p) is a
+	// spanning SUPERgraph of the confined one (Lemma 1 property (i), used
+	// for the α → ∞ / one-law side: k-connectivity of the confined graph
+	// forces it in the original).
+	ConfinedIsSubgraph ConfineDirection = iota + 1
+	// ConfinedIsSupergraph means the original graph is a spanning SUBgraph
+	// of the confined one (Lemma 1 property (ii), used for the α → −∞ /
+	// zero-law side).
+	ConfinedIsSupergraph
+)
+
+// ConfinedModel is the outcome of the Section VI deviation-confinement
+// construction: an adjusted parameterisation (Ring, ChannelOn) of the same
+// model family whose deviation α is pulled toward the ±ln ln n band, plus
+// the direction of the induced spanning-subgraph relation.
+type ConfinedModel struct {
+	// Ring is the adjusted key ring size (K̃ or K̂; ≥ the original on the
+	// supergraph side, equal on the subgraph side).
+	Ring int
+	// ChannelOn is the adjusted channel probability (p̃ or p̂).
+	ChannelOn float64
+	// Alpha is the realised deviation of the adjusted parameters.
+	Alpha float64
+	// Direction tells which graph contains which.
+	Direction ConfineDirection
+}
+
+// ConfineDeviation implements the paper's Lemma 1 (Section VI): given model
+// parameters whose deviation α_n (eq. (6)) may be arbitrarily large in
+// magnitude, it produces adjusted parameters whose deviation is confined
+// near ±ln ln n while preserving a spanning-subgraph relation with the
+// original model, so that zero–one conclusions transfer monotonically.
+//
+// For α ≥ 0 it applies property (i): α̃ = min(α, ln ln n) and a reduced
+// channel probability p̃ with s·p̃ = (ln n + (k−1) ln ln n + α̃)/n; the
+// original graph contains the confined one.
+//
+// For α < 0 it applies property (ii): with bound
+// b = (ln n + (k−1) ln ln n + max(α, −ln ln n))/n, either (case ➊ s ≥ b)
+// keep K and raise the channel probability to p̂ = b/s ≤ 1, or (case ➋
+// s < b) set p̂ = 1 and grow the ring to the maximal K̂ with s(K̂,P,q) ≤ b;
+// the confined graph contains the original.
+func ConfineDeviation(n, pool, ring, q int, pOn float64, k int) (ConfinedModel, error) {
+	if n < 3 {
+		return ConfinedModel{}, fmt.Errorf("theory: confine needs n ≥ 3, got %d", n)
+	}
+	if k < 1 {
+		return ConfinedModel{}, fmt.Errorf("theory: confine needs k ≥ 1, got %d", k)
+	}
+	s, err := KeyShareProb(pool, ring, q)
+	if err != nil {
+		return ConfinedModel{}, fmt.Errorf("theory: confine: %w", err)
+	}
+	if pOn <= 0 || pOn > 1 {
+		return ConfinedModel{}, fmt.Errorf("theory: confine: channel probability %v outside (0,1]", pOn)
+	}
+	alpha, err := Alpha(n, s*pOn, k)
+	if err != nil {
+		return ConfinedModel{}, err
+	}
+	logN := math.Log(float64(n))
+	loglogN := math.Log(logN)
+	base := logN + float64(k-1)*loglogN
+
+	if alpha >= 0 {
+		// Property (i): clamp the deviation from above, thin the channel.
+		alphaTilde := math.Min(alpha, loglogN)
+		pTilde := (base + alphaTilde) / (float64(n) * s)
+		if pTilde > pOn {
+			pTilde = pOn // guard: rounding can only reduce, never exceed
+		}
+		return ConfinedModel{
+			Ring:      ring,
+			ChannelOn: pTilde,
+			Alpha:     alphaTilde,
+			Direction: ConfinedIsSubgraph,
+		}, nil
+	}
+
+	// Property (ii): clamp the deviation from below.
+	bound := (base + math.Max(alpha, -loglogN)) / float64(n)
+	if s >= bound {
+		// Case ➊: keep the ring, raise the channel probability.
+		pHat := bound / s
+		if pHat > 1 {
+			pHat = 1
+		}
+		if pHat < pOn {
+			pHat = pOn // p̂ ≥ p by construction; guard rounding
+		}
+		alphaHat, err := Alpha(n, s*pHat, k)
+		if err != nil {
+			return ConfinedModel{}, err
+		}
+		return ConfinedModel{
+			Ring:      ring,
+			ChannelOn: pHat,
+			Alpha:     alphaHat,
+			Direction: ConfinedIsSupergraph,
+		}, nil
+	}
+	// Case ➋: saturate the channel and grow the ring to the largest K̂
+	// whose share probability stays at or below the bound. s(·,P,q) is
+	// non-decreasing, enabling binary search over [ring, pool].
+	lo, hi := ring, pool // invariant: s(lo) ≤ bound; establish hi
+	sHi, err := KeyShareProb(pool, pool, q)
+	if err != nil {
+		return ConfinedModel{}, err
+	}
+	if sHi <= bound {
+		lo = pool
+	} else {
+		for hi-lo > 1 {
+			mid := lo + (hi-lo)/2
+			sMid, err := KeyShareProb(pool, mid, q)
+			if err != nil {
+				return ConfinedModel{}, err
+			}
+			if sMid <= bound {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+	}
+	sHat, err := KeyShareProb(pool, lo, q)
+	if err != nil {
+		return ConfinedModel{}, err
+	}
+	alphaHat, err := Alpha(n, sHat, k) // p̂ = 1
+	if err != nil {
+		return ConfinedModel{}, err
+	}
+	return ConfinedModel{
+		Ring:      lo,
+		ChannelOn: 1,
+		Alpha:     alphaHat,
+		Direction: ConfinedIsSupergraph,
+	}, nil
+}

@@ -1,0 +1,236 @@
+package theory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfineDeviationLargeAlpha(t *testing.T) {
+	// K far above threshold ⇒ huge positive α; property (i) must clamp it
+	// to ln ln n by thinning the channel.
+	const (
+		n    = 1000
+		pool = 10000
+		ring = 80
+		q    = 2
+		pOn  = 0.9
+		k    = 2
+	)
+	cm, err := ConfineDeviation(n, pool, ring, q, pOn, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Direction != ConfinedIsSubgraph {
+		t.Errorf("Direction = %v, want ConfinedIsSubgraph", cm.Direction)
+	}
+	loglogN := math.Log(math.Log(n))
+	if math.Abs(cm.Alpha-loglogN) > 1e-9 {
+		t.Errorf("confined alpha = %v, want ln ln n = %v", cm.Alpha, loglogN)
+	}
+	if cm.Ring != ring {
+		t.Errorf("property (i) must keep the ring: %d", cm.Ring)
+	}
+	if cm.ChannelOn >= pOn || cm.ChannelOn <= 0 {
+		t.Errorf("p̃ = %v, want in (0, %v)", cm.ChannelOn, pOn)
+	}
+	// The confined edge probability must realise the confined alpha.
+	tc, err := EdgeProb(pool, cm.Ring, q, cm.ChannelOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Alpha(n, tc, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(back-cm.Alpha) > 1e-6 {
+		t.Errorf("realised alpha %v != reported %v", back, cm.Alpha)
+	}
+}
+
+func TestConfineDeviationSmallPositiveAlphaIsIdentity(t *testing.T) {
+	// α already within [0, ln ln n]: property (i) is a no-op.
+	const (
+		n    = 1000
+		pool = 10000
+		q    = 2
+		k    = 1
+	)
+	// Find a (ring, p) with small positive alpha.
+	ring := 44
+	pOn := 0.5
+	s, err := KeyShareProb(pool, ring, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, err := Alpha(n, s*pOn, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha <= 0 || alpha >= math.Log(math.Log(n)) {
+		t.Skipf("test parameters landed at alpha=%v outside (0, ln ln n)", alpha)
+	}
+	cm, err := ConfineDeviation(n, pool, ring, q, pOn, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cm.ChannelOn-pOn) > 1e-12 || cm.Ring != ring {
+		t.Errorf("no-op expected, got ring=%d p=%v", cm.Ring, cm.ChannelOn)
+	}
+	if math.Abs(cm.Alpha-alpha) > 1e-9 {
+		t.Errorf("alpha changed from %v to %v", alpha, cm.Alpha)
+	}
+}
+
+func TestConfineDeviationNegativeAlphaCase1(t *testing.T) {
+	// Mildly negative α with s above the bound: case ➊ raises p, keeps K.
+	const (
+		n    = 1000
+		pool = 10000
+		ring = 43
+		q    = 2
+		pOn  = 0.5
+		k    = 1
+	)
+	s, err := KeyShareProb(pool, ring, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, err := Alpha(n, s*pOn, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha >= 0 {
+		t.Skipf("parameters gave alpha=%v, need negative", alpha)
+	}
+	cm, err := ConfineDeviation(n, pool, ring, q, pOn, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Direction != ConfinedIsSupergraph {
+		t.Errorf("Direction = %v, want ConfinedIsSupergraph", cm.Direction)
+	}
+	if cm.Ring != ring {
+		t.Errorf("case ➊ must keep the ring, got %d", cm.Ring)
+	}
+	if cm.ChannelOn < pOn || cm.ChannelOn > 1 {
+		t.Errorf("p̂ = %v, want in [%v, 1]", cm.ChannelOn, pOn)
+	}
+	loglogN := math.Log(math.Log(n))
+	if cm.Alpha < -loglogN-1e-9 {
+		t.Errorf("confined alpha %v below −ln ln n = %v", cm.Alpha, -loglogN)
+	}
+}
+
+func TestConfineDeviationNegativeAlphaCase2(t *testing.T) {
+	// Strongly negative α with a weak channel: even p̂ = 1 cannot reach the
+	// bound at the original K, so case ➋ grows the ring.
+	const (
+		n    = 1000
+		pool = 10000
+		ring = 20
+		q    = 2
+		pOn  = 0.1
+		k    = 2
+	)
+	cm, err := ConfineDeviation(n, pool, ring, q, pOn, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Direction != ConfinedIsSupergraph {
+		t.Errorf("Direction = %v, want ConfinedIsSupergraph", cm.Direction)
+	}
+	if cm.ChannelOn != 1 {
+		t.Errorf("case ➋ must saturate the channel, got %v", cm.ChannelOn)
+	}
+	if cm.Ring < ring {
+		t.Errorf("case ➋ must not shrink the ring: %d < %d", cm.Ring, ring)
+	}
+	// Maximality: K̂+1 must overshoot the bound (α > confined α at K̂+1).
+	if cm.Ring < pool {
+		sNext, err := KeyShareProb(pool, cm.Ring+1, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aNext, err := Alpha(n, sNext, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := -math.Log(math.Log(n))
+		if aNext <= bound {
+			t.Errorf("K̂+1 alpha %v still ≤ −ln ln n; K̂ not maximal", aNext)
+		}
+	}
+}
+
+func TestConfineDeviationErrors(t *testing.T) {
+	if _, err := ConfineDeviation(2, 100, 10, 2, 0.5, 1); err == nil {
+		t.Error("n < 3: want error")
+	}
+	if _, err := ConfineDeviation(1000, 100, 10, 2, 0.5, 0); err == nil {
+		t.Error("k < 1: want error")
+	}
+	if _, err := ConfineDeviation(1000, 5, 10, 2, 0.5, 1); err == nil {
+		t.Error("ring > pool: want error")
+	}
+	if _, err := ConfineDeviation(1000, 100, 10, 2, 0, 1); err == nil {
+		t.Error("p = 0: want error")
+	}
+	if _, err := ConfineDeviation(1000, 100, 10, 2, 1.2, 1); err == nil {
+		t.Error("p > 1: want error")
+	}
+}
+
+func TestQuickConfineInvariants(t *testing.T) {
+	// For any valid input: the confined parameters are valid, the edge
+	// probability moves in the direction the containment requires, and the
+	// confined alpha is never farther from the band than the original.
+	f := func(ringRaw, pRaw uint8, kRaw uint8) bool {
+		ring := 10 + int(ringRaw)%90
+		pOn := 0.05 + 0.95*float64(pRaw)/255
+		k := 1 + int(kRaw)%3
+		const (
+			n    = 1000
+			pool = 10000
+			q    = 2
+		)
+		s, err := KeyShareProb(pool, ring, q)
+		if err != nil {
+			return false
+		}
+		orig, err := Alpha(n, s*pOn, k)
+		if err != nil {
+			return false
+		}
+		cm, err := ConfineDeviation(n, pool, ring, q, pOn, k)
+		if err != nil {
+			return false
+		}
+		if cm.ChannelOn <= 0 || cm.ChannelOn > 1 || cm.Ring < 1 || cm.Ring > pool {
+			return false
+		}
+		tOrig := s * pOn
+		sConf, err := KeyShareProb(pool, cm.Ring, q)
+		if err != nil {
+			return false
+		}
+		tConf := sConf * cm.ChannelOn
+		switch cm.Direction {
+		case ConfinedIsSubgraph:
+			// Confined graph is sparser (or equal): t̃ ≤ t, α̃ ≤ α.
+			if tConf > tOrig+1e-12 || cm.Alpha > orig+1e-9 {
+				return false
+			}
+		case ConfinedIsSupergraph:
+			if tConf < tOrig-1e-12 || cm.Alpha < orig-1e-9 {
+				return false
+			}
+		default:
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+package theory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolSizeForKeyShareProb(t *testing.T) {
+	// The returned pool is the LARGEST with s(K, P, q) ≥ target:
+	// s at P must reach the target and s at P+1 must not.
+	tests := []struct {
+		ring, q int
+		target  float64
+	}{
+		{ring: 60, q: 1, target: 0.33},
+		{ring: 60, q: 2, target: 0.33},
+		{ring: 60, q: 3, target: 0.33},
+		{ring: 25, q: 2, target: 0.5},
+		{ring: 10, q: 1, target: 0.9},
+	}
+	for _, tt := range tests {
+		pool, err := PoolSizeForKeyShareProb(tt.ring, tt.q, tt.target)
+		if err != nil {
+			t.Fatalf("PoolSizeForKeyShareProb(%+v): %v", tt, err)
+		}
+		if pool < tt.ring {
+			t.Fatalf("%+v: pool %d below ring", tt, pool)
+		}
+		at, err := KeyShareProb(pool, tt.ring, tt.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if at < tt.target {
+			t.Errorf("%+v: s at P=%d is %v < target", tt, pool, at)
+		}
+		above, err := KeyShareProb(pool+1, tt.ring, tt.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if above >= tt.target {
+			t.Errorf("%+v: s at P+1=%d is %v ≥ target (not maximal)", tt, pool+1, above)
+		}
+	}
+}
+
+func TestPoolSizeForKeyShareProbTargetOne(t *testing.T) {
+	// s = 1 requires forced overlap ≥ q: largest pool with certainty.
+	pool, err := PoolSizeForKeyShareProb(5, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overlap of two 5-subsets of a P-pool is ≥ 2 surely iff 2·5 − P ≥ 2,
+	// i.e. P ≤ 8.
+	if pool != 8 {
+		t.Errorf("pool for certain overlap = %d, want 8", pool)
+	}
+}
+
+func TestPoolSizeForKeyShareProbErrors(t *testing.T) {
+	if _, err := PoolSizeForKeyShareProb(5, 0, 0.5); err == nil {
+		t.Error("q=0: want error")
+	}
+	if _, err := PoolSizeForKeyShareProb(1, 2, 0.5); err == nil {
+		t.Error("ring < q: want error")
+	}
+	if _, err := PoolSizeForKeyShareProb(5, 2, 0); err == nil {
+		t.Error("target 0: want error")
+	}
+	if _, err := PoolSizeForKeyShareProb(5, 2, 1.5); err == nil {
+		t.Error("target > 1: want error")
+	}
+}
+
+func TestQuickPoolSizeMonotoneInTarget(t *testing.T) {
+	// A harder target (larger s) needs a smaller pool.
+	f := func(raw uint8) bool {
+		lo := 0.1 + 0.4*float64(raw)/255 // target in [0.1, 0.5]
+		hi := lo + 0.3
+		pLo, err := PoolSizeForKeyShareProb(40, 2, lo)
+		if err != nil {
+			return false
+		}
+		pHi, err := PoolSizeForKeyShareProb(40, 2, hi)
+		if err != nil {
+			return false
+		}
+		return pHi <= pLo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKConnProbabilityErrorPaths(t *testing.T) {
+	if _, err := KConnProbability(1000, 10, 20, 2, 0.5, 2); err == nil {
+		t.Error("ring > pool: want error")
+	}
+	if _, err := KConnProbability(2, 100, 10, 2, 0.5, 2); err == nil {
+		t.Error("n < 3: want error")
+	}
+	if _, err := KConnProbability(1000, 100, 10, 2, 0.5, 0); err == nil {
+		t.Error("k = 0: want error")
+	}
+}
+
+func TestDesignRingSizeErrorPaths(t *testing.T) {
+	if _, err := DesignRingSize(1000, 10000, 2, 0.5, 2, 1.5); err == nil {
+		t.Error("target > 1: want error")
+	}
+	if _, err := DesignRingSize(2, 10000, 2, 0.5, 2, 0.9); err == nil {
+		t.Error("n < 3: want error")
+	}
+	// Unreachable target: even s = 1 cannot reach the required edge
+	// probability through a channel that is almost never on.
+	if _, err := DesignRingSize(100000, 4, 2, 0.0001, 2, 0.999); err == nil {
+		t.Error("unreachable design: want error")
+	}
+}

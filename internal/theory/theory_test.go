@@ -1,0 +1,477 @@
+package theory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/secure-wsn/qcomposite/internal/combin"
+)
+
+func TestKeyShareProbRange(t *testing.T) {
+	tests := []struct {
+		name          string
+		pool, ring, q int
+	}{
+		{name: "paper scale q2", pool: 10000, ring: 50, q: 2},
+		{name: "paper scale q3", pool: 10000, ring: 70, q: 3},
+		{name: "tiny", pool: 10, ring: 3, q: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s, err := KeyShareProb(tt.pool, tt.ring, tt.q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s < 0 || s > 1 {
+				t.Errorf("s = %v outside [0,1]", s)
+			}
+		})
+	}
+	if _, err := KeyShareProb(10, 20, 1); err == nil {
+		t.Error("ring > pool: want error")
+	}
+}
+
+func TestKeyShareProbAsymptoticAgreement(t *testing.T) {
+	// Lemma 2 regime: K large, K²/P small.
+	const pool = 1 << 24
+	for _, q := range []int{1, 2, 3} {
+		exact, err := KeyShareProb(pool, 300, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx := KeyShareProbAsymptotic(pool, 300, q)
+		if math.Abs(exact-approx) > 0.05*approx {
+			t.Errorf("q=%d: exact %v vs asymptotic %v differ by more than 5%%", q, exact, approx)
+		}
+	}
+	if got := KeyShareProbAsymptotic(0, 5, 2); got != 0 {
+		t.Errorf("zero pool asymptotic = %v", got)
+	}
+}
+
+func TestEdgeProbScalesWithChannel(t *testing.T) {
+	s, err := KeyShareProb(10000, 40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0, 0.2, 0.5, 1} {
+		got, err := EdgeProb(10000, 40, 2, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-p*s) > 1e-15 {
+			t.Errorf("EdgeProb(p=%v) = %v, want %v", p, got, p*s)
+		}
+	}
+	if _, err := EdgeProb(10000, 40, 2, -0.1); err == nil {
+		t.Error("negative p: want error")
+	}
+	if _, err := EdgeProb(10000, 40, 2, 1.1); err == nil {
+		t.Error("p > 1: want error")
+	}
+}
+
+func TestAlphaRoundTrip(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		for _, alpha := range []float64{-5, 0, 2.5, 10} {
+			tProb, err := EdgeProbForAlpha(1000, alpha, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := Alpha(1000, tProb, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(back-alpha) > 1e-9 {
+				t.Errorf("k=%d alpha=%v: round trip gave %v", k, alpha, back)
+			}
+		}
+	}
+	if _, err := Alpha(2, 0.5, 1); err == nil {
+		t.Error("n < 3: want error")
+	}
+	if _, err := Alpha(100, 0.5, 0); err == nil {
+		t.Error("k < 1: want error")
+	}
+	if _, err := EdgeProbForAlpha(2, 0, 1); err == nil {
+		t.Error("n < 3: want error")
+	}
+	if _, err := EdgeProbForAlpha(100, 0, 0); err == nil {
+		t.Error("k < 1: want error")
+	}
+}
+
+func TestKConnProbLimit(t *testing.T) {
+	// k=1, α=0: exp(−1) ≈ 0.3679.
+	got, err := KConnProbLimit(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-math.Exp(-1)) > 1e-12 {
+		t.Errorf("limit(0, 1) = %v, want e^{-1}", got)
+	}
+	// k=3, α=0: exp(−1/2).
+	got, err = KConnProbLimit(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-math.Exp(-0.5)) > 1e-12 {
+		t.Errorf("limit(0, 3) = %v, want e^{-1/2}", got)
+	}
+	// Zero–one endpoints (eqs. (8b), (8c)).
+	if got, err = KConnProbLimit(math.Inf(1), 2); err != nil || got != 1 {
+		t.Errorf("limit(+Inf) = %v, %v; want 1", got, err)
+	}
+	if got, err = KConnProbLimit(math.Inf(-1), 2); err != nil || got != 0 {
+		t.Errorf("limit(-Inf) = %v, %v; want 0", got, err)
+	}
+	if _, err = KConnProbLimit(0, 0); err == nil {
+		t.Error("k=0: want error")
+	}
+	// Monotone in α.
+	p1, _ := KConnProbLimit(1, 2)
+	p2, _ := KConnProbLimit(2, 2)
+	if p1 >= p2 {
+		t.Errorf("limit not increasing in α: %v vs %v", p1, p2)
+	}
+	// At a FIXED edge probability t, k-connectivity gets harder as k grows:
+	// α_k = n·t − ln n − (k−1)·ln ln n decreases with k and the factorial
+	// does not compensate near the threshold. (At fixed α the limit instead
+	// increases with k because α is measured against a k-dependent scaling.)
+	const n = 1000
+	tProb := (math.Log(n) + 2.5) / n
+	prev := 2.0
+	for k := 1; k <= 4; k++ {
+		alpha, err := Alpha(n, tProb, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pk, err := KConnProbLimit(alpha, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pk >= prev {
+			t.Errorf("P[%d-connected] = %v not below P[%d-connected] = %v at fixed t", k, pk, k-1, prev)
+		}
+		prev = pk
+	}
+}
+
+func TestMinDegreeLimitEqualsKConnLimit(t *testing.T) {
+	for _, alpha := range []float64{-2, 0, 3} {
+		a, err := KConnProbLimit(alpha, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := MinDegreeProbLimit(alpha, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("Lemma 8 limit %v != Theorem 1 limit %v", b, a)
+		}
+	}
+}
+
+// TestPaperKStarValues pins the reproduction of the paper's in-text table:
+// "the corresponding K* values are 35, 41, 52, 60, 67 and 78" for the six
+// curves of Figure 1 (n=1000, P=10000), ordered leftmost to rightmost:
+// (q=2,p=1), (q=2,p=.5), (q=2,p=.2), (q=3,p=1), (q=3,p=.5), (q=3,p=.2).
+//
+// The paper says the values come from the exact formula (5), but they in
+// fact track the Lemma 2 asymptotic s ≈ (K²/P)^q/q! — verified here and
+// independently with exact big.Rat arithmetic (see EXPERIMENTS.md, E2):
+//
+//	paper      : 35, 41, 52, 60, 67, 78
+//	asymptotic : 35, 41, 52, 59, 67, 77   (q=2 row exact, q=3 row −1 twice)
+//	exact (5)  : 36, 43, 55, 63, 71, 85
+//
+// Both solvers are pinned so any regression in either computation is caught.
+func TestPaperKStarValues(t *testing.T) {
+	tests := []struct {
+		q         int
+		p         float64
+		wantExact int
+		wantAsym  int
+		paper     int
+	}{
+		{q: 2, p: 1.0, wantExact: 36, wantAsym: 35, paper: 35},
+		{q: 2, p: 0.5, wantExact: 43, wantAsym: 41, paper: 41},
+		{q: 2, p: 0.2, wantExact: 55, wantAsym: 52, paper: 52},
+		{q: 3, p: 1.0, wantExact: 63, wantAsym: 59, paper: 60},
+		{q: 3, p: 0.5, wantExact: 71, wantAsym: 67, paper: 67},
+		{q: 3, p: 0.2, wantExact: 85, wantAsym: 77, paper: 78},
+	}
+	for _, tt := range tests {
+		gotExact, err := ThresholdRingSize(1000, 10000, tt.q, tt.p)
+		if err != nil {
+			t.Fatalf("ThresholdRingSize(q=%d, p=%v): %v", tt.q, tt.p, err)
+		}
+		if gotExact != tt.wantExact {
+			t.Errorf("exact K*(q=%d, p=%v) = %d, want %d", tt.q, tt.p, gotExact, tt.wantExact)
+		}
+		gotAsym, err := ThresholdRingSizeAsymptotic(1000, 10000, tt.q, tt.p)
+		if err != nil {
+			t.Fatalf("ThresholdRingSizeAsymptotic(q=%d, p=%v): %v", tt.q, tt.p, err)
+		}
+		if gotAsym != tt.wantAsym {
+			t.Errorf("asymptotic K*(q=%d, p=%v) = %d, want %d", tt.q, tt.p, gotAsym, tt.wantAsym)
+		}
+		// The paper's published value must sit within the [asymptotic, exact]
+		// bracket our two solvers produce.
+		if tt.paper < gotAsym || tt.paper > gotExact {
+			t.Errorf("paper K* = %d outside bracket [%d, %d] for q=%d p=%v",
+				tt.paper, gotAsym, gotExact, tt.q, tt.p)
+		}
+	}
+}
+
+func TestThresholdRingSizeAsymptoticErrors(t *testing.T) {
+	if _, err := ThresholdRingSizeAsymptotic(1, 100, 2, 1); err == nil {
+		t.Error("n < 2: want error")
+	}
+	if _, err := ThresholdRingSizeAsymptotic(1000, 0, 2, 1); err == nil {
+		t.Error("pool < 1: want error")
+	}
+	if _, err := ThresholdRingSizeAsymptotic(1000, 100, 0, 1); err == nil {
+		t.Error("q < 1: want error")
+	}
+	if _, err := ThresholdRingSizeAsymptotic(1000, 100, 2, 0); err == nil {
+		t.Error("p = 0: want error")
+	}
+}
+
+func TestThresholdRingSizeErrors(t *testing.T) {
+	if _, err := ThresholdRingSize(1, 100, 2, 1); err == nil {
+		t.Error("n < 2: want error")
+	}
+	if _, err := ThresholdRingSize(1000, 100, 2, 0); err == nil {
+		t.Error("p = 0: want error")
+	}
+	// A pool of size 2 with q=2 can reach s=1 at K=2 — should succeed.
+	if _, err := ThresholdRingSize(1000, 2, 2, 1); err != nil {
+		t.Errorf("tiny pool: %v", err)
+	}
+}
+
+func TestRingSizeForEdgeProbBoundary(t *testing.T) {
+	// target 0 ⇒ K = 0 suffices (t ≥ 0 always).
+	k, err := RingSizeForEdgeProb(1000, 2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 0 {
+		t.Errorf("K for target 0 = %d, want 0", k)
+	}
+	// Unreachable target errors.
+	if _, err := RingSizeForEdgeProb(1000, 2, 0.5, 0.9); err == nil {
+		t.Error("unreachable target: want error")
+	}
+}
+
+func TestAlphaForTargetInverts(t *testing.T) {
+	for _, k := range []int{1, 2, 4} {
+		for _, target := range []float64{0.1, 0.5, 0.9, 0.99} {
+			alpha, err := AlphaForTarget(k, target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := KConnProbLimit(alpha, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(back-target) > 1e-9 {
+				t.Errorf("k=%d target=%v: limit(alpha*) = %v", k, target, back)
+			}
+		}
+	}
+	if _, err := AlphaForTarget(0, 0.5); err == nil {
+		t.Error("k=0: want error")
+	}
+	for _, bad := range []float64{0, 1, -0.5, 2} {
+		if _, err := AlphaForTarget(1, bad); err == nil {
+			t.Errorf("target=%v: want error", bad)
+		}
+	}
+}
+
+func TestDesignRingSizeAchievesTarget(t *testing.T) {
+	const (
+		n    = 1000
+		pool = 10000
+	)
+	for _, tt := range []struct {
+		q      int
+		p      float64
+		k      int
+		target float64
+	}{
+		{q: 2, p: 1, k: 1, target: 0.95},
+		{q: 2, p: 0.5, k: 2, target: 0.9},
+		{q: 3, p: 0.2, k: 3, target: 0.99},
+	} {
+		ring, err := DesignRingSize(n, pool, tt.q, tt.p, tt.k, tt.target)
+		if err != nil {
+			t.Fatalf("DesignRingSize(%+v): %v", tt, err)
+		}
+		// The chosen K must achieve the target...
+		got, err := KConnProbability(n, pool, ring, tt.q, tt.p, tt.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < tt.target {
+			t.Errorf("%+v: K=%d achieves only %v", tt, ring, got)
+		}
+		// ...and K−1 must not (minimality).
+		if ring > 0 {
+			below, err := KConnProbability(n, pool, ring-1, tt.q, tt.p, tt.k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if below >= tt.target {
+				t.Errorf("%+v: K=%d is not minimal (K−1 achieves %v)", tt, ring, below)
+			}
+		}
+	}
+}
+
+func TestDesignRingSizeLargerKNeedsMoreKeys(t *testing.T) {
+	prev := 0
+	for k := 1; k <= 4; k++ {
+		ring, err := DesignRingSize(1000, 10000, 2, 0.5, k, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ring < prev {
+			t.Errorf("k=%d needs %d keys, fewer than k−1's %d", k, ring, prev)
+		}
+		prev = ring
+	}
+}
+
+func TestPoissonNodeCountMean(t *testing.T) {
+	// h=0: λ = n·e^{−nt}.
+	n := 1000
+	tProb := math.Log(float64(n)) / float64(n) // nt = ln n ⇒ λ_0 = 1
+	got, err := PoissonNodeCountMean(n, tProb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("λ_{n,0} at the connectivity threshold = %v, want 1", got)
+	}
+	if _, err := PoissonNodeCountMean(10, 0.1, -1); err == nil {
+		t.Error("negative h: want error")
+	}
+	// Large n·t must not overflow.
+	big, err := PoissonNodeCountMean(1e6, 0.5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(big) || math.IsInf(big, 0) {
+		t.Errorf("large-parameter λ = %v", big)
+	}
+}
+
+func TestExpectedDegree(t *testing.T) {
+	if got := ExpectedDegree(1001, 0.01); math.Abs(got-10) > 1e-12 {
+		t.Errorf("ExpectedDegree = %v, want 10", got)
+	}
+	if got := ExpectedDegree(0, 0.5); got != 0 {
+		t.Errorf("ExpectedDegree(0) = %v", got)
+	}
+}
+
+func TestCouplingParameters(t *testing.T) {
+	// Sparse regime of Lemmas 5–6: K = ω(ln n) and K²/P = o(1), so that the
+	// Lemma 2 asymptotic behind y_n is accurate.
+	const (
+		n    = 10000
+		pool = 1000000
+		ring = 300
+	)
+	x := CouplingX(n, pool, ring)
+	if x <= 0 || x >= float64(ring)/float64(pool) {
+		t.Errorf("x_n = %v, want in (0, K/P)", x)
+	}
+	// Lemma 6: y_n ≈ (P x²)^q / q! must undercut s(K,P,q).
+	for _, q := range []int{1, 2} {
+		y := CouplingY(pool, x, q)
+		s, err := KeyShareProb(pool, ring, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if y <= 0 || y >= s {
+			t.Errorf("q=%d: y_n = %v not in (0, s=%v)", q, y, s)
+		}
+		z := CouplingZ(n, pool, ring, q, 0.5)
+		if math.Abs(z-0.5*y) > 1e-15 {
+			t.Errorf("z_n = %v, want y·p = %v", z, 0.5*y)
+		}
+	}
+	// Degenerate inputs clamp to zero.
+	if CouplingX(n, pool, 1) != 0 {
+		t.Error("tiny ring should clamp x to 0")
+	}
+	if CouplingY(pool, 0, 2) != 0 {
+		t.Error("x=0 should give y=0")
+	}
+	if CouplingZ(1, 0, 0, 2, 0.5) != 0 {
+		t.Error("degenerate z should be 0")
+	}
+}
+
+func TestQuickEdgeProbMonotoneInRing(t *testing.T) {
+	// t(K,P,q,p) is non-decreasing in K — the property the binary searches
+	// in this package rely on.
+	f := func(poolRaw uint16, qRaw uint8) bool {
+		pool := 50 + int(poolRaw)%2000
+		q := 1 + int(qRaw)%3
+		prev := -1.0
+		for ring := 0; ring <= pool; ring += 1 + pool/40 {
+			tv, err := EdgeProb(pool, ring, q, 0.7)
+			if err != nil {
+				return false
+			}
+			if tv < prev-1e-12 {
+				return false
+			}
+			prev = tv
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickKConnProbabilityInUnitInterval(t *testing.T) {
+	f := func(ringRaw, kRaw uint8) bool {
+		ring := int(ringRaw) % 200
+		k := 1 + int(kRaw)%4
+		p, err := KConnProbability(1000, 10000, ring, 2, 0.5, k)
+		if err != nil {
+			return false
+		}
+		return p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFactorialConsistencyWithCombin(t *testing.T) {
+	// The (k−1)! in the Theorem 1 limit must match the combin kernel.
+	for k := 1; k <= 6; k++ {
+		p1, err := KConnProbLimit(0, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Exp(-1 / combin.Factorial(k-1))
+		if math.Abs(p1-want) > 1e-12 {
+			t.Errorf("k=%d: limit = %v, want %v", k, p1, want)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+// Package wsn is the wireless sensor network simulator: it deploys sensors
+// with a key predistribution scheme, samples the physical channel model,
+// runs shared-key discovery over usable channels, and exposes the resulting
+// secure topology — exactly the graph G_{n,q}(n,K,P,p) = G_q(n,K,P) ∩ G(n,p)
+// of the paper's Section II — together with the operational queries a
+// deployment cares about: secure paths, k-connectivity, failure injection,
+// and per-link keys.
+package wsn
+
+import (
+	"fmt"
+
+	"github.com/secure-wsn/qcomposite/internal/bitset"
+	"github.com/secure-wsn/qcomposite/internal/channel"
+	"github.com/secure-wsn/qcomposite/internal/graph"
+	"github.com/secure-wsn/qcomposite/internal/graphalgo"
+	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+// Config describes a deployment.
+type Config struct {
+	// Sensors is the number of sensors n.
+	Sensors int
+	// Scheme is the key predistribution scheme (e.g. keys.NewQComposite).
+	Scheme keys.Scheme
+	// Channel is the physical link model (e.g. channel.OnOff{P: 0.5}).
+	Channel channel.Model
+	// Seed drives all randomness of the deployment deterministically.
+	Seed uint64
+}
+
+func (c Config) validate() error {
+	if c.Sensors < 0 {
+		return fmt.Errorf("wsn: negative sensor count %d", c.Sensors)
+	}
+	if c.Scheme == nil {
+		return fmt.Errorf("wsn: missing key predistribution scheme")
+	}
+	if c.Channel == nil {
+		return fmt.Errorf("wsn: missing channel model")
+	}
+	return nil
+}
+
+// Link is an established secure link between two sensors.
+type Link struct {
+	// A and B are the endpoints, A < B.
+	A, B int32
+	// SharedKeys are the key IDs both endpoints hold (≥ q of them).
+	SharedKeys []keys.ID
+	// Key is the derived pairwise link key.
+	Key [keys.LinkKeySize]byte
+}
+
+// Network is a deployed WSN. It is not safe for concurrent mutation; treat
+// a Network as owned by one goroutine.
+type Network struct {
+	cfg         Config
+	rings       []keys.Ring
+	channels    *graph.Undirected
+	secure      *graph.Undirected
+	links       map[[2]int32]*Link
+	alive       []bool
+	deadN       int
+	failedLinks map[[2]int32]bool
+	revoked     *bitset.Set
+}
+
+// Deploy assigns key rings, samples the channel model, and performs
+// shared-key discovery over every usable channel, establishing a secure link
+// wherever at least q keys are shared.
+func Deploy(cfg Config) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed)
+	rings, err := cfg.Scheme.Assign(r, cfg.Sensors)
+	if err != nil {
+		return nil, fmt.Errorf("wsn: deploy: %w", err)
+	}
+	channels, err := cfg.Channel.Sample(r, cfg.Sensors)
+	if err != nil {
+		return nil, fmt.Errorf("wsn: deploy: %w", err)
+	}
+
+	q := cfg.Scheme.RequiredOverlap()
+	links := make(map[[2]int32]*Link)
+	var secureEdges []graph.Edge
+	channels.ForEachEdge(func(u, v int32) bool {
+		shared := rings[u].SharedWith(rings[v])
+		if len(shared) >= q {
+			secureEdges = append(secureEdges, graph.Edge{U: u, V: v})
+			links[[2]int32{u, v}] = &Link{
+				A:          u,
+				B:          v,
+				SharedKeys: shared,
+				Key:        keys.DeriveLinkKey(shared),
+			}
+		}
+		return true
+	})
+	secure, err := graph.NewFromEdges(cfg.Sensors, secureEdges)
+	if err != nil {
+		return nil, fmt.Errorf("wsn: deploy: %w", err)
+	}
+	alive := make([]bool, cfg.Sensors)
+	for i := range alive {
+		alive[i] = true
+	}
+	return &Network{
+		cfg:      cfg,
+		rings:    rings,
+		channels: channels,
+		secure:   secure,
+		links:    links,
+		alive:    alive,
+	}, nil
+}
+
+// Sensors returns the number of deployed sensors.
+func (n *Network) Sensors() int { return n.cfg.Sensors }
+
+// Scheme returns the key predistribution scheme the network was deployed
+// with.
+func (n *Network) Scheme() keys.Scheme { return n.cfg.Scheme }
+
+// AliveCount returns the number of non-failed sensors.
+func (n *Network) AliveCount() int { return n.cfg.Sensors - n.deadN }
+
+// Alive reports whether sensor v has not failed.
+func (n *Network) Alive(v int32) bool {
+	return int(v) >= 0 && int(v) < len(n.alive) && n.alive[v]
+}
+
+// Ring returns sensor v's key ring.
+func (n *Network) Ring(v int32) (keys.Ring, error) {
+	if int(v) < 0 || int(v) >= len(n.rings) {
+		return keys.Ring{}, fmt.Errorf("wsn: sensor %d out of range", v)
+	}
+	return n.rings[v], nil
+}
+
+// ChannelTopology returns the sampled channel graph (ignores failures).
+func (n *Network) ChannelTopology() *graph.Undirected { return n.channels }
+
+// FullSecureTopology returns the secure topology over all sensors, failed or
+// not — the graph G_{n,q} the paper analyses.
+func (n *Network) FullSecureTopology() *graph.Undirected { return n.secure }
+
+// SecureTopology returns the secure topology induced by the currently alive
+// sensors, relabelled densely, along with the mapping from new index to
+// original sensor ID.
+func (n *Network) SecureTopology() (*graph.Undirected, []int32, error) {
+	sub, orig, err := graph.InducedSubgraph(n.secure, n.alive)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wsn: secure topology: %w", err)
+	}
+	return sub, orig, nil
+}
+
+// Link returns the established secure link between u and v, if any. Links
+// to or from failed sensors are reported as absent.
+func (n *Network) Link(u, v int32) (*Link, bool) {
+	if u == v || !n.Alive(u) || !n.Alive(v) {
+		return nil, false
+	}
+	if u > v {
+		u, v = v, u
+	}
+	l, ok := n.links[[2]int32{u, v}]
+	if !ok {
+		return nil, false
+	}
+	// Copy at the boundary: callers must not mutate internal state.
+	cp := *l
+	cp.SharedKeys = append([]keys.ID(nil), l.SharedKeys...)
+	return &cp, true
+}
+
+// Links returns all currently usable secure links (both endpoints alive).
+func (n *Network) Links() []Link {
+	out := make([]Link, 0, len(n.links))
+	n.secure.ForEachEdge(func(u, v int32) bool {
+		if n.alive[u] && n.alive[v] {
+			if l, ok := n.links[[2]int32{u, v}]; ok {
+				cp := *l
+				cp.SharedKeys = append([]keys.ID(nil), l.SharedKeys...)
+				out = append(out, cp)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// IsConnected reports whether the alive part of the network is connected.
+func (n *Network) IsConnected() (bool, error) {
+	sub, _, err := n.SecureTopology()
+	if err != nil {
+		return false, err
+	}
+	return graphalgo.IsConnected(sub), nil
+}
+
+// IsKConnected reports whether the alive part of the network is k-connected
+// (the paper's resilience property: it survives any k−1 further failures).
+func (n *Network) IsKConnected(k int) (bool, error) {
+	sub, _, err := n.SecureTopology()
+	if err != nil {
+		return false, err
+	}
+	return graphalgo.IsKConnected(sub, k), nil
+}
+
+// SecurePath returns a shortest multi-hop path of secure links between alive
+// sensors a and b (inclusive, in original sensor IDs), or nil when no such
+// path exists.
+func (n *Network) SecurePath(a, b int32) ([]int32, error) {
+	if !n.Alive(a) || !n.Alive(b) {
+		return nil, fmt.Errorf("wsn: secure path endpoints must be alive sensors (a=%d, b=%d)", a, b)
+	}
+	sub, orig, err := n.SecureTopology()
+	if err != nil {
+		return nil, err
+	}
+	// Map original IDs to induced indices.
+	newID := make(map[int32]int32, len(orig))
+	for i, o := range orig {
+		newID[o] = int32(i)
+	}
+	path := graphalgo.ShortestPath(sub, newID[a], newID[b])
+	if path == nil {
+		return nil, nil
+	}
+	out := make([]int32, len(path))
+	for i, v := range path {
+		out[i] = orig[v]
+	}
+	return out, nil
+}
+
+// FailNodes marks the given sensors as failed. Failing an already-failed or
+// out-of-range sensor is an error.
+func (n *Network) FailNodes(ids ...int32) error {
+	for _, id := range ids {
+		if int(id) < 0 || int(id) >= len(n.alive) {
+			return fmt.Errorf("wsn: sensor %d out of range", id)
+		}
+		if !n.alive[id] {
+			return fmt.Errorf("wsn: sensor %d already failed", id)
+		}
+	}
+	for _, id := range ids {
+		n.alive[id] = false
+		n.deadN++
+	}
+	return nil
+}
+
+// FailRandom fails count uniformly chosen alive sensors and returns their
+// IDs.
+func (n *Network) FailRandom(r *rng.Rand, count int) ([]int32, error) {
+	aliveIDs := make([]int32, 0, n.AliveCount())
+	for v, ok := range n.alive {
+		if ok {
+			aliveIDs = append(aliveIDs, int32(v))
+		}
+	}
+	if count < 0 || count > len(aliveIDs) {
+		return nil, fmt.Errorf("wsn: cannot fail %d of %d alive sensors", count, len(aliveIDs))
+	}
+	// Partial Fisher–Yates over the alive list.
+	for i := 0; i < count; i++ {
+		j := i + r.Intn(len(aliveIDs)-i)
+		aliveIDs[i], aliveIDs[j] = aliveIDs[j], aliveIDs[i]
+	}
+	chosen := append([]int32(nil), aliveIDs[:count]...)
+	if err := n.FailNodes(chosen...); err != nil {
+		return nil, err
+	}
+	return chosen, nil
+}
+
+// RestoreAll brings every failed sensor back (fresh-deployment state).
+func (n *Network) RestoreAll() {
+	for i := range n.alive {
+		n.alive[i] = true
+	}
+	n.deadN = 0
+}
+
+// Report summarises the deployed network.
+type Report struct {
+	Sensors        int
+	Alive          int
+	SecureLinks    int     // usable secure links among alive sensors
+	ChannelEdges   int     // raw channel graph edges
+	MinDegree      int     // of the alive secure topology
+	MeanDegree     float64 // of the alive secure topology
+	Components     int
+	LargestComp    int
+	Connected      bool
+	SchemeName     string
+	ChannelName    string
+	RequiredShared int
+}
+
+// Snapshot computes a Report for the current network state.
+func (n *Network) Snapshot() (Report, error) {
+	sub, _, err := n.SecureTopology()
+	if err != nil {
+		return Report{}, err
+	}
+	_, comps := graphalgo.Components(sub)
+	rep := Report{
+		Sensors:        n.cfg.Sensors,
+		Alive:          n.AliveCount(),
+		SecureLinks:    sub.M(),
+		ChannelEdges:   n.channels.M(),
+		MinDegree:      sub.MinDegree(),
+		Components:     comps,
+		LargestComp:    graphalgo.LargestComponentSize(sub),
+		Connected:      comps <= 1,
+		SchemeName:     n.cfg.Scheme.Name(),
+		ChannelName:    n.cfg.Channel.Name(),
+		RequiredShared: n.cfg.Scheme.RequiredOverlap(),
+	}
+	if sub.N() > 0 {
+		rep.MeanDegree = 2 * float64(sub.M()) / float64(sub.N())
+	}
+	return rep, nil
+}
