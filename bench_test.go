@@ -1,8 +1,14 @@
 // Benchmarks regenerating every evaluation artifact of the paper (one bench
-// per experiment id in DESIGN.md/EXPERIMENTS.md). Each iteration performs
-// one unit of the experiment — typically "sample one topology and test the
-// property" — so ns/op measures the cost of one Monte Carlo trial and the
-// full experiment cost is trials × points × ns/op.
+// per experiment E1–E8; the experiment ids are documented in the cmd/ tool
+// that produces each artifact). Each iteration performs one unit of the
+// experiment — typically "sample one topology and test the property" — so
+// ns/op measures the cost of one Monte Carlo trial and the full experiment
+// cost is trials × points × ns/op.
+//
+// BenchmarkDeployPipeline tracks the wsn.Deployer hot path that the cmd
+// tools' sweeps run on: connectivity-only trials (no link keys derived)
+// versus link-key-materializing trials, against the fresh-allocation
+// one-shot Deploy.
 //
 // Run all:  go test -bench=. -benchmem .
 package qcomposite_test
@@ -183,6 +189,78 @@ func BenchmarkE6ZeroOneTrial(b *testing.B) {
 		}
 		_ = graphalgo.IsKConnected(g, k)
 	}
+}
+
+// BenchmarkDeployPipeline measures one full-network deployment trial at the
+// Figure 1 scale (n = 1000, P = 10000, K = 41, q = 2, p = 0.5) in the three
+// modes a Monte Carlo workload runs in:
+//
+//   - connectivity-only: a reused Deployer, no Link/Links access, so no
+//     per-edge SHA-256 is ever paid (the Figure 1 trial shape);
+//   - materialize-links: the same reused Deployer plus a Links() call that
+//     lazily derives every link key (the adversary/E7 trial shape);
+//   - fresh-deploy: the one-shot wsn.Deploy plus Links(), paying full
+//     allocation every trial — the pre-Deployer upper bound.
+//
+// For history: the eager-derivation Deploy this package shipped before the
+// Deployer refactor ran this exact connectivity-only trial at ≈ 61200
+// allocs/op and 6.5 MB/op.
+func BenchmarkDeployPipeline(b *testing.B) {
+	scheme, err := keys.NewQComposite(10000, 41, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := wsn.Config{Sensors: 1000, Scheme: scheme, Channel: channel.OnOff{P: 0.5}}
+
+	b.Run("connectivity-only", func(b *testing.B) {
+		d, err := wsn.NewDeployer(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net, err := d.Deploy(uint64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := net.IsConnected(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("materialize-links", func(b *testing.B) {
+		d, err := wsn.NewDeployer(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net, err := d.Deploy(uint64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if links := net.Links(); len(links) == 0 {
+				b.Fatal("no links materialized")
+			}
+		}
+	})
+	b.Run("fresh-deploy", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := cfg
+			cfg.Seed = uint64(i)
+			net, err := wsn.Deploy(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if links := net.Links(); len(links) == 0 {
+				b.Fatal("no links materialized")
+			}
+		}
+	})
 }
 
 // BenchmarkE7ResilienceTrial measures one resilience trial: deploy a

@@ -8,6 +8,12 @@
 //
 // Output: an aligned table, a terminal ASCII rendering of the figure, and
 // optional CSV (-csv) for external plotting.
+//
+// The sweep runs through experiment.SweepProportion over the (K, q, p) grid
+// with per-point deterministic seeding, and each trial deploys a full
+// network through a reusable wsn.DeployerPool (amortized rings, discovery
+// workspace and liveness buffers; no link keys are ever derived, since
+// connectivity trials never touch them).
 package main
 
 import (
@@ -17,8 +23,13 @@ import (
 	"os"
 	"time"
 
+	"github.com/secure-wsn/qcomposite/internal/channel"
 	"github.com/secure-wsn/qcomposite/internal/core"
 	"github.com/secure-wsn/qcomposite/internal/experiment"
+	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/montecarlo"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+	"github.com/secure-wsn/qcomposite/internal/wsn"
 )
 
 func main() {
@@ -46,9 +57,19 @@ func run() error {
 		q int
 		p float64
 	}
-	curves := []curve{
-		{q: 2, p: 1}, {q: 2, p: 0.5}, {q: 2, p: 0.2},
-		{q: 3, p: 1}, {q: 3, p: 0.5}, {q: 3, p: 0.2},
+	qs := []int{2, 3}
+	ps := []float64{1, 0.5, 0.2}
+	curves := make([]curve, 0, len(qs)*len(ps))
+	curveIdx := map[curve]int{}
+	for _, q := range qs {
+		for _, p := range ps {
+			curveIdx[curve{q: q, p: p}] = len(curves)
+			curves = append(curves, curve{q: q, p: p})
+		}
+	}
+	var ks []int
+	for k := *kMin; k <= *kMax; k += *kStep {
+		ks = append(ks, k)
 	}
 
 	fmt.Printf("Figure 1 reproduction: P[G_{n,q}(n=%d, K, P=%d, p) is connected] vs K\n", *n, *pool)
@@ -64,23 +85,47 @@ func run() error {
 
 	ctx := context.Background()
 	start := time.Now()
-	for k := *kMin; k <= *kMax; k += *kStep {
-		row := []string{fmt.Sprintf("%d", k)}
-		for ci, c := range curves {
-			m := core.Model{N: *n, K: k, P: *pool, Q: c.q, ChannelOn: c.p}
-			est, err := m.EstimateConnectivity(ctx, core.EstimateConfig{
-				Trials:  *trials,
-				Workers: *workers,
-				Seed:    *seed + uint64(ci*1000+k),
+	results, err := experiment.SweepProportion(ctx,
+		experiment.Grid{Ks: ks, Qs: qs, Ps: ps},
+		experiment.SweepConfig{Trials: *trials, Workers: *workers, Seed: *seed},
+		func(pt experiment.GridPoint) (montecarlo.Trial, error) {
+			scheme, err := keys.NewQComposite(*pool, pt.K, pt.Q)
+			if err != nil {
+				return nil, err
+			}
+			dp, err := wsn.NewDeployerPool(wsn.Config{
+				Sensors: *n,
+				Scheme:  scheme,
+				Channel: channel.OnOff{P: pt.P},
 			})
 			if err != nil {
-				return fmt.Errorf("K=%d %s: %w", k, series[ci].Name, err)
+				return nil, err
 			}
-			lo, hi := est.WilsonInterval(1.96)
-			series[ci].AddCI(float64(k), est.Estimate(), lo, hi)
-			row = append(row, fmt.Sprintf("%.3f", est.Estimate()))
+			return func(trial int, r *rng.Rand) (bool, error) {
+				d := dp.Get()
+				defer dp.Put(d)
+				net, err := d.DeployRand(r)
+				if err != nil {
+					return false, err
+				}
+				return net.IsConnected()
+			}, nil
+		})
+	if err != nil {
+		return err
+	}
+	rows := map[int][]string{}
+	for _, res := range results {
+		ci := curveIdx[curve{q: res.Point.Q, p: res.Point.P}]
+		lo, hi := res.Value.WilsonInterval(1.96)
+		series[ci].AddCI(float64(res.Point.K), res.Value.Estimate(), lo, hi)
+		if _, ok := rows[res.Point.K]; !ok {
+			rows[res.Point.K] = make([]string, len(curves))
 		}
-		table.AddRow(row...)
+		rows[res.Point.K][ci] = fmt.Sprintf("%.3f", res.Value.Estimate())
+	}
+	for _, k := range ks {
+		table.AddRow(append([]string{fmt.Sprintf("%d", k)}, rows[k]...)...)
 	}
 	if err := table.Render(os.Stdout); err != nil {
 		return err

@@ -17,13 +17,15 @@ import (
 	"os"
 	"time"
 
+	"github.com/secure-wsn/qcomposite/internal/channel"
 	"github.com/secure-wsn/qcomposite/internal/core"
 	"github.com/secure-wsn/qcomposite/internal/experiment"
 	"github.com/secure-wsn/qcomposite/internal/graphalgo"
+	"github.com/secure-wsn/qcomposite/internal/keys"
 	"github.com/secure-wsn/qcomposite/internal/montecarlo"
-	"github.com/secure-wsn/qcomposite/internal/randgraph"
 	"github.com/secure-wsn/qcomposite/internal/rng"
 	"github.com/secure-wsn/qcomposite/internal/theory"
+	"github.com/secure-wsn/qcomposite/internal/wsn"
 )
 
 func main() {
@@ -69,50 +71,54 @@ func run() error {
 		"K", "mean degree n·t", "largest comp fraction", "isolated fraction", "e^{-deg}")
 	ctx := context.Background()
 	start := time.Now()
-	for _, ring := range rings {
+
+	// One sweep over the K axis measures both statistics on each deployed
+	// topology (a two-component SampleVec), so no network is ever sampled
+	// twice. Each grid point gets a DeployerPool that amortizes deployment
+	// buffers across its trials.
+	grid := experiment.Grid{Ks: rings, Qs: []int{*q}, Ps: []float64{*pOn}}
+	cfg := experiment.SweepConfig{Trials: *trials, Workers: *workers, Seed: *seed}
+	results, err := experiment.SweepMeanVec(ctx, grid, cfg, 2,
+		func(pt experiment.GridPoint) (montecarlo.SampleVec, error) {
+			scheme, err := keys.NewQComposite(*pool, pt.K, pt.Q)
+			if err != nil {
+				return nil, err
+			}
+			dp, err := wsn.NewDeployerPool(wsn.Config{
+				Sensors: *n,
+				Scheme:  scheme,
+				Channel: channel.OnOff{P: pt.P},
+			})
+			if err != nil {
+				return nil, err
+			}
+			return func(trial int, r *rng.Rand) ([]float64, error) {
+				d := dp.Get()
+				defer dp.Put(d)
+				net, err := d.DeployRand(r)
+				if err != nil {
+					return nil, err
+				}
+				g := net.FullSecureTopology()
+				hist := g.DegreeHistogram()
+				return []float64{
+					float64(graphalgo.LargestComponentSize(g)) / float64(*n),
+					float64(hist[0]) / float64(*n),
+				}, nil
+			}, nil
+		})
+	if err != nil {
+		return err
+	}
+	for i, ring := range rings {
 		m := core.Model{N: *n, K: ring, P: *pool, Q: *q, ChannelOn: *pOn}
 		tProb, err := m.EdgeProbability()
 		if err != nil {
 			return err
 		}
 		deg := float64(*n) * tProb
-		// Two metric passes share the same seeds, so both statistics are
-		// measured on identical samples.
-		largest, err := montecarlo.Collect(ctx, montecarlo.Config{
-			Trials: *trials, Workers: *workers, Seed: *seed + uint64(ring),
-		}, func(trial int, r *rng.Rand) (float64, error) {
-			s, err := randgraph.NewQSampler(*n, ring, *pool, *q)
-			if err != nil {
-				return 0, err
-			}
-			g, err := s.SampleComposite(r, *pOn)
-			if err != nil {
-				return 0, err
-			}
-			return float64(graphalgo.LargestComponentSize(g)) / float64(*n), nil
-		})
-		if err != nil {
-			return fmt.Errorf("K=%d: %w", ring, err)
-		}
-		isoVals, err := montecarlo.Collect(ctx, montecarlo.Config{
-			Trials: *trials, Workers: *workers, Seed: *seed + uint64(ring),
-		}, func(trial int, r *rng.Rand) (float64, error) {
-			s, err := randgraph.NewQSampler(*n, ring, *pool, *q)
-			if err != nil {
-				return 0, err
-			}
-			g, err := s.SampleComposite(r, *pOn)
-			if err != nil {
-				return 0, err
-			}
-			hist := g.DegreeHistogram()
-			return float64(hist[0]) / float64(*n), nil
-		})
-		if err != nil {
-			return fmt.Errorf("K=%d isolated: %w", ring, err)
-		}
-		lf := mean(largest)
-		iso := mean(isoVals)
+		lf := results[i].Values[0].Mean()
+		iso := results[i].Values[1].Mean()
 		pred := math.Exp(-deg)
 		giant.Add(deg, lf)
 		isolated.Add(deg, iso)
@@ -156,15 +162,4 @@ func run() error {
 		fmt.Printf("wrote %s\n", *csvPath)
 	}
 	return nil
-}
-
-func mean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	sum := 0.0
-	for _, x := range xs {
-		sum += x
-	}
-	return sum / float64(len(xs))
 }

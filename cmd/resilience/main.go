@@ -6,9 +6,18 @@
 //
 // Both the simulated attack on deployed networks and the closed-form
 // prediction are reported.
+//
+// The (q, capture-count) grid runs through experiment.SweepMean — each point
+// deterministically seeded, trials parallel across the worker pool — with one
+// reusable wsn.DeployerPool per scheme dimensioning, so repeated deployments
+// amortize their buffers. Note that evaluating a capture walks every secure
+// link (adversary.Capture calls Links()), so each trial does materialize the
+// full link-key table; the win here is the amortized deployment plus the
+// parallelism, not lazy key derivation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +27,7 @@ import (
 	"github.com/secure-wsn/qcomposite/internal/channel"
 	"github.com/secure-wsn/qcomposite/internal/experiment"
 	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/montecarlo"
 	"github.com/secure-wsn/qcomposite/internal/rng"
 	"github.com/secure-wsn/qcomposite/internal/theory"
 	"github.com/secure-wsn/qcomposite/internal/wsn"
@@ -39,6 +49,7 @@ func run() error {
 		xMax    = flag.Int("xmax", 120, "largest capture count")
 		xStep   = flag.Int("xstep", 10, "capture count step")
 		trials  = flag.Int("trials", 30, "deployments averaged per point")
+		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
 		seed    = flag.Uint64("seed", 1, "base RNG seed")
 		csvPath = flag.String("csv", "", "write series CSV to this path")
 	)
@@ -59,49 +70,86 @@ func run() error {
 	}
 	fmt.Printf("%d sensors, %d deployments per point\n\n", *sensors, *trials)
 
-	var series []experiment.Series
-	table := experiment.NewTable("captured", "q", "simulated fraction", "analytic fraction")
-	start := time.Now()
+	var qs []int
 	for q := 1; q <= *qMax; q++ {
-		sim := experiment.Series{Name: fmt.Sprintf("q=%d simulated", q)}
-		ana := experiment.Series{Name: fmt.Sprintf("q=%d analytic", q)}
-		scheme, err := keys.NewQComposite(pools[q], *ring, q)
-		if err != nil {
-			return err
-		}
-		for x := 0; x <= *xMax; x += *xStep {
-			var fracSum float64
-			for trial := 0; trial < *trials; trial++ {
-				net, err := wsn.Deploy(wsn.Config{
+		qs = append(qs, q)
+	}
+	var captures []float64
+	for x := 0; x <= *xMax; x += *xStep {
+		captures = append(captures, float64(x))
+	}
+
+	start := time.Now()
+	// One sweep over the (q, capture count) grid; each q dimension reuses a
+	// single DeployerPool across all its capture counts and trials. A trial
+	// deploys from the per-trial stream and runs the capture with the same
+	// stream, so every point is reproducible in isolation.
+	deployerPools := map[int]*wsn.DeployerPool{}
+	results, err := experiment.SweepMean(context.Background(),
+		experiment.Grid{Ks: []int{*ring}, Qs: qs, Xs: captures},
+		experiment.SweepConfig{Trials: *trials, Workers: *workers, Seed: *seed},
+		func(pt experiment.GridPoint) (montecarlo.Sample, error) {
+			dp, ok := deployerPools[pt.Q]
+			if !ok {
+				scheme, err := keys.NewQComposite(pools[pt.Q], pt.K, pt.Q)
+				if err != nil {
+					return nil, err
+				}
+				dp, err = wsn.NewDeployerPool(wsn.Config{
 					Sensors: *sensors,
 					Scheme:  scheme,
 					Channel: channel.AlwaysOn{},
-					Seed:    *seed + uint64(q*100000+x*100+trial),
 				})
 				if err != nil {
-					return fmt.Errorf("deploy q=%d x=%d: %w", q, x, err)
+					return nil, err
 				}
-				res, err := adversary.CaptureRandom(net, rng.NewStream(*seed, uint64(q*100000+x*100+trial)), x)
+				deployerPools[pt.Q] = dp
+			}
+			captured := int(pt.X)
+			return func(trial int, r *rng.Rand) (float64, error) {
+				d := dp.Get()
+				defer dp.Put(d)
+				net, err := d.DeployRand(r)
 				if err != nil {
-					return fmt.Errorf("capture q=%d x=%d: %w", q, x, err)
+					return 0, err
 				}
-				fracSum += res.Fraction()
-			}
-			simFrac := fracSum / float64(*trials)
-			anaFrac, err := adversary.AnalyticCompromiseFraction(pools[q], *ring, q, x)
-			if err != nil {
-				return err
-			}
-			sim.Add(float64(x), simFrac)
-			ana.Add(float64(x), anaFrac)
-			table.AddRow(
-				fmt.Sprintf("%d", x),
-				fmt.Sprintf("%d", q),
-				fmt.Sprintf("%.4f", simFrac),
-				fmt.Sprintf("%.4f", anaFrac),
-			)
+				res, err := adversary.CaptureRandom(net, r, captured)
+				if err != nil {
+					return 0, err
+				}
+				return res.Fraction(), nil
+			}, nil
+		})
+	if err != nil {
+		return err
+	}
+
+	var series []experiment.Series
+	table := experiment.NewTable("captured", "q", "simulated fraction", "analytic fraction")
+	curves := map[int][2]*experiment.Series{}
+	for _, q := range qs {
+		sim := &experiment.Series{Name: fmt.Sprintf("q=%d simulated", q)}
+		ana := &experiment.Series{Name: fmt.Sprintf("q=%d analytic", q)}
+		curves[q] = [2]*experiment.Series{sim, ana}
+	}
+	for _, res := range results {
+		q, x := res.Point.Q, int(res.Point.X)
+		simFrac := res.Value.Mean()
+		anaFrac, err := adversary.AnalyticCompromiseFraction(pools[q], *ring, q, x)
+		if err != nil {
+			return err
 		}
-		series = append(series, sim, ana)
+		curves[q][0].Add(res.Point.X, simFrac)
+		curves[q][1].Add(res.Point.X, anaFrac)
+		table.AddRow(
+			fmt.Sprintf("%d", x),
+			fmt.Sprintf("%d", q),
+			fmt.Sprintf("%.4f", simFrac),
+			fmt.Sprintf("%.4f", anaFrac),
+		)
+	}
+	for _, q := range qs {
+		series = append(series, *curves[q][0], *curves[q][1])
 	}
 	if err := table.Render(os.Stdout); err != nil {
 		return err

@@ -1,0 +1,3 @@
+module github.com/secure-wsn/qcomposite
+
+go 1.24

@@ -13,9 +13,11 @@ import (
 	"github.com/secure-wsn/qcomposite/internal/adversary"
 	"github.com/secure-wsn/qcomposite/internal/channel"
 	"github.com/secure-wsn/qcomposite/internal/core"
+	"github.com/secure-wsn/qcomposite/internal/experiment"
 	"github.com/secure-wsn/qcomposite/internal/graph"
 	"github.com/secure-wsn/qcomposite/internal/graphalgo"
 	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/montecarlo"
 	"github.com/secure-wsn/qcomposite/internal/randgraph"
 	"github.com/secure-wsn/qcomposite/internal/rng"
 	"github.com/secure-wsn/qcomposite/internal/theory"
@@ -280,5 +282,70 @@ func TestAttackDoesNotAffectConnectivityState(t *testing.T) {
 	}
 	if before != after {
 		t.Errorf("capture mutated the network: %+v vs %+v", before, after)
+	}
+}
+
+// TestSweepDeployerPipeline exercises the full zero-waste pipeline the cmd
+// tools run on — experiment.SweepProportion fanning a (K, p) grid across the
+// Monte Carlo engine, each trial deploying through a shared wsn.DeployerPool
+// — and checks determinism (bit-identical repeat) plus the physics: the
+// connectivity probability must be monotone in both K and p on average.
+func TestSweepDeployerPipeline(t *testing.T) {
+	const (
+		n    = 200
+		pool = 2000
+		q    = 2
+	)
+	grid := experiment.Grid{Ks: []int{20, 30, 40}, Qs: []int{q}, Ps: []float64{0.4, 0.9}}
+	cfg := experiment.SweepConfig{Trials: 40, Seed: 9}
+	run := func() []experiment.ProportionResult {
+		res, err := experiment.SweepProportion(context.Background(), grid, cfg,
+			func(pt experiment.GridPoint) (montecarlo.Trial, error) {
+				scheme, err := keys.NewQComposite(pool, pt.K, pt.Q)
+				if err != nil {
+					return nil, err
+				}
+				dp, err := wsn.NewDeployerPool(wsn.Config{
+					Sensors: n, Scheme: scheme, Channel: channel.OnOff{P: pt.P},
+				})
+				if err != nil {
+					return nil, err
+				}
+				return func(trial int, r *rng.Rand) (bool, error) {
+					d := dp.Get()
+					defer dp.Put(d)
+					net, err := d.DeployRand(r)
+					if err != nil {
+						return false, err
+					}
+					return net.IsConnected()
+				}, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a) != grid.Len() {
+		t.Fatalf("%d results, want %d", len(a), grid.Len())
+	}
+	byPoint := map[[2]interface{}]float64{}
+	for i := range a {
+		if a[i].Value != b[i].Value {
+			t.Errorf("point %d not reproducible across sweep runs", i)
+		}
+		byPoint[[2]interface{}{a[i].Point.K, a[i].Point.P}] = a[i].Value.Estimate()
+	}
+	// Monotone in K at fixed p, and in p at fixed K (allowing MC wiggle).
+	for _, p := range grid.Ps {
+		if byPoint[[2]interface{}{20, p}] > byPoint[[2]interface{}{40, p}]+0.15 {
+			t.Errorf("p=%g: connectivity not increasing in K", p)
+		}
+	}
+	for _, K := range grid.Ks {
+		if byPoint[[2]interface{}{K, 0.9}]+0.15 < byPoint[[2]interface{}{K, 0.4}] {
+			t.Errorf("K=%d: connectivity decreasing in p", K)
+		}
 	}
 }

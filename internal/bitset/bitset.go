@@ -217,6 +217,29 @@ func (s *Set) Indices(dst []int) []int {
 	return dst
 }
 
+// ForEachIntersection calls fn on each element of s ∩ t in ascending order,
+// without materialising the intersection. Iteration stops early if fn returns
+// false. Sets of differing capacity intersect over the shorter word prefix
+// (bits beyond a set's capacity are zero, so this equals the mathematical
+// intersection).
+func (s *Set) ForEachIntersection(t *Set, fn func(i int) bool) {
+	a, b := s.words, t.words
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for wi, w := range a {
+		w &= b[wi]
+		base := wi * wordBits
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			if !fn(base + tz) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
 // ForEach calls fn on each element in ascending order. Iteration stops early
 // if fn returns false.
 func (s *Set) ForEach(fn func(i int) bool) {

@@ -365,3 +365,61 @@ func BenchmarkIntersectsAtLeast2(b *testing.B) {
 		_ = a.IntersectsAtLeast(c, 2)
 	}
 }
+
+func TestForEachIntersection(t *testing.T) {
+	a, err := FromIndices(256, []int{1, 2, 64, 65, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromIndices(256, []int{2, 64, 99, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	a.ForEachIntersection(b, func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	want := []int{2, 64, 200}
+	if len(got) != len(want) {
+		t.Fatalf("intersection = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("intersection = %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	var first []int
+	a.ForEachIntersection(b, func(i int) bool {
+		first = append(first, i)
+		return false
+	})
+	if len(first) != 1 || first[0] != 2 {
+		t.Errorf("early stop visited %v, want [2]", first)
+	}
+	// Differing capacities intersect over the common prefix.
+	small, err := FromIndices(64, []int{2, 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = got[:0]
+	a.ForEachIntersection(small, func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("mixed-cap intersection = %v, want [2]", got)
+	}
+	// Count agreement with IntersectionCount on every pair combination.
+	pairs := []*Set{a, b, small, New(256), New(0)}
+	for _, s := range pairs {
+		for _, u := range pairs {
+			n := 0
+			s.ForEachIntersection(u, func(int) bool { n++; return true })
+			if want := s.IntersectionCount(u); n != want {
+				t.Errorf("ForEachIntersection visited %d, IntersectionCount = %d", n, want)
+			}
+		}
+	}
+}

@@ -19,12 +19,18 @@ import (
 type Model interface {
 	// Name identifies the model in reports.
 	Name() string
+	// Validate reports whether the model's parameters are well-formed. It is
+	// checked eagerly at construction time (wsn.NewDeployer, wsn.Deploy) so
+	// misconfigurations surface before any sampling work.
+	Validate() error
 	// Sample draws the channel graph on n nodes.
 	Sample(r *rng.Rand, n int) (*graph.Undirected, error)
 }
 
 // OnOff is the paper's on/off channel model: each channel is independently
-// on with probability P (0 < P ≤ 1).
+// on with probability P (0 ≤ P ≤ 1). P = 0 is the degenerate all-off network
+// (an empty channel graph), the well-defined limit of a vanishing disk
+// radius; P = 1 is full visibility.
 type OnOff struct {
 	// P is the probability that a channel is on.
 	P float64
@@ -35,10 +41,18 @@ var _ Model = OnOff{}
 // Name implements Model.
 func (m OnOff) Name() string { return fmt.Sprintf("on-off(p=%g)", m.P) }
 
+// Validate implements Model: P must lie in [0, 1].
+func (m OnOff) Validate() error {
+	if math.IsNaN(m.P) || m.P < 0 || m.P > 1 {
+		return fmt.Errorf("channel: on probability %v outside [0,1]", m.P)
+	}
+	return nil
+}
+
 // Sample implements Model by drawing G(n, p).
 func (m OnOff) Sample(r *rng.Rand, n int) (*graph.Undirected, error) {
-	if m.P <= 0 || m.P > 1 {
-		return nil, fmt.Errorf("channel: on probability %v outside (0,1]", m.P)
+	if err := m.Validate(); err != nil {
+		return nil, err
 	}
 	g, err := randgraph.ErdosRenyi(r, n, m.P)
 	if err != nil {
@@ -56,6 +70,9 @@ var _ Model = AlwaysOn{}
 
 // Name implements Model.
 func (AlwaysOn) Name() string { return "always-on" }
+
+// Validate implements Model: AlwaysOn has no parameters.
+func (AlwaysOn) Validate() error { return nil }
 
 // Sample implements Model by returning the complete graph.
 func (AlwaysOn) Sample(_ *rng.Rand, n int) (*graph.Undirected, error) {
@@ -88,8 +105,21 @@ func (m Disk) Name() string {
 	return fmt.Sprintf("disk(r=%g)", m.Radius)
 }
 
+// Validate implements Model: Radius must be finite and non-negative. A zero
+// radius is well-defined (no sensor reaches any other: an empty channel
+// graph), matching the P = 0 limit of EquivalentOnOff.
+func (m Disk) Validate() error {
+	if math.IsNaN(m.Radius) || math.IsInf(m.Radius, 0) || m.Radius < 0 {
+		return fmt.Errorf("channel: disk radius %v must be finite and non-negative", m.Radius)
+	}
+	return nil
+}
+
 // Sample implements Model by drawing a random geometric graph.
 func (m Disk) Sample(r *rng.Rand, n int) (*graph.Undirected, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
 	g, _, err := randgraph.Geometric(r, n, m.Radius, randgraph.GeometricOptions{Torus: m.Torus})
 	if err != nil {
 		return nil, fmt.Errorf("channel: disk: %w", err)
@@ -101,6 +131,9 @@ func (m Disk) Sample(r *rng.Rand, n int) (*graph.Undirected, error) {
 // positions, for deployments that need coordinates (visualisation, routing
 // studies).
 func (m Disk) SamplePositions(r *rng.Rand, n int) (*graph.Undirected, []randgraph.GeometricPoint, error) {
+	if err := m.Validate(); err != nil {
+		return nil, nil, err
+	}
 	g, pts, err := randgraph.Geometric(r, n, m.Radius, randgraph.GeometricOptions{Torus: m.Torus})
 	if err != nil {
 		return nil, nil, fmt.Errorf("channel: disk: %w", err)
@@ -110,7 +143,9 @@ func (m Disk) SamplePositions(r *rng.Rand, n int) (*graph.Undirected, []randgrap
 
 // EquivalentOnOff returns the on/off model whose channel-on probability
 // matches the disk model's marginal pair probability on the torus
-// (p = π·r²), the comparison device of experiment E8.
+// (p = π·r²), the comparison device of experiment E8. A zero radius maps to
+// OnOff{P: 0}, the (valid) empty channel graph, so the equivalence holds at
+// the degenerate end of a radius sweep too.
 func (m Disk) EquivalentOnOff() OnOff {
 	p := math.Pi * m.Radius * m.Radius
 	if p > 1 {

@@ -27,18 +27,79 @@ func TestOnOffSample(t *testing.T) {
 }
 
 func TestOnOffValidation(t *testing.T) {
-	for _, p := range []float64{0, -0.1, 1.5} {
+	for _, p := range []float64{-0.1, 1.5, math.NaN()} {
+		if err := (OnOff{P: p}).Validate(); err == nil {
+			t.Errorf("p=%v: Validate: want error", p)
+		}
 		if _, err := (OnOff{P: p}).Sample(rng.New(1), 10); err == nil {
-			t.Errorf("p=%v: want error", p)
+			t.Errorf("p=%v: Sample: want error", p)
 		}
 	}
+	// p = 0 is the degenerate all-off network: valid, empty channel graph.
+	g, err := (OnOff{P: 0}).Sample(rng.New(1), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 10 || g.M() != 0 {
+		t.Errorf("p=0 graph: N=%d M=%d, want N=10 M=0", g.N(), g.M())
+	}
 	// p = 1 is the full-visibility special case of on/off and is valid.
-	g, err := (OnOff{P: 1}).Sample(rng.New(1), 10)
+	g, err = (OnOff{P: 1}).Sample(rng.New(1), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if g.M() != 45 {
 		t.Errorf("p=1 edges = %d, want 45", g.M())
+	}
+}
+
+func TestDiskValidation(t *testing.T) {
+	for _, r := range []float64{-0.5, math.NaN(), math.Inf(1)} {
+		if err := (Disk{Radius: r}).Validate(); err == nil {
+			t.Errorf("radius=%v: Validate: want error", r)
+		}
+		if _, err := (Disk{Radius: r}).Sample(rng.New(1), 10); err == nil {
+			t.Errorf("radius=%v: Sample: want error", r)
+		}
+		if _, _, err := (Disk{Radius: r}).SamplePositions(rng.New(1), 10); err == nil {
+			t.Errorf("radius=%v: SamplePositions: want error", r)
+		}
+	}
+	for _, m := range []Model{OnOff{P: 0.5}, AlwaysOn{}, Disk{Radius: 0.2}} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: Validate: %v", m.Name(), err)
+		}
+	}
+}
+
+// TestDiskZeroRadius pins the degenerate-radius contract: a zero radius is a
+// valid empty channel graph, and its EquivalentOnOff (P = 0) samples an
+// equally valid empty graph instead of failing at Sample time.
+func TestDiskZeroRadius(t *testing.T) {
+	m := Disk{Radius: 0, Torus: true}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("zero radius Validate: %v", err)
+	}
+	g, err := m.Sample(rng.New(4), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 40 || g.M() != 0 {
+		t.Errorf("zero-radius graph: N=%d M=%d, want N=40 M=0", g.N(), g.M())
+	}
+	eq := m.EquivalentOnOff()
+	if eq.P != 0 {
+		t.Fatalf("EquivalentOnOff P = %v, want 0", eq.P)
+	}
+	if err := eq.Validate(); err != nil {
+		t.Fatalf("EquivalentOnOff Validate: %v", err)
+	}
+	g, err = eq.Sample(rng.New(4), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 40 || g.M() != 0 {
+		t.Errorf("equivalent on/off graph: N=%d M=%d, want N=40 M=0", g.N(), g.M())
 	}
 }
 

@@ -1,0 +1,196 @@
+package experiment
+
+// Sweep runs a (K, q, p[, x]) parameter grid through the Monte Carlo engine
+// with per-point deterministic seeding: every grid point gets its own base
+// seed derived from (Seed, K, q, p, x) via chained rng.StreamSeed mixing —
+// the point's parameters, not its grid position — so any point of any sweep
+// can be reproduced in isolation and adding points to one axis never
+// perturbs the other points' results for the same base seed.
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"github.com/secure-wsn/qcomposite/internal/montecarlo"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+	"github.com/secure-wsn/qcomposite/internal/stats"
+)
+
+// Grid is a cartesian parameter grid over the model axes the paper sweeps:
+// key ring size K, overlap requirement q, and channel-on probability p. The
+// optional auxiliary axis X carries experiment-specific values (capture
+// counts, disk radii); leave it nil for a single zero.
+type Grid struct {
+	Ks []int
+	Qs []int
+	Ps []float64
+	Xs []float64
+}
+
+// GridPoint is one grid point. Index is its position in Points() order —
+// presentation metadata only; per-point seeds are derived from the
+// parameters (K, Q, P, X), never from Index (see SweepConfig.PointSeed).
+type GridPoint struct {
+	Index int
+	K, Q  int
+	P     float64
+	X     float64
+}
+
+func (g Grid) axes() (ks []int, qs []int, ps, xs []float64) {
+	ks, qs, ps, xs = g.Ks, g.Qs, g.Ps, g.Xs
+	if len(ks) == 0 {
+		ks = []int{0}
+	}
+	if len(qs) == 0 {
+		qs = []int{0}
+	}
+	if len(ps) == 0 {
+		ps = []float64{0}
+	}
+	if len(xs) == 0 {
+		xs = []float64{0}
+	}
+	return ks, qs, ps, xs
+}
+
+// Len returns the number of grid points. Empty axes count as one degenerate
+// value, so a grid used over fewer than four axes still enumerates.
+func (g Grid) Len() int {
+	ks, qs, ps, xs := g.axes()
+	return len(ks) * len(qs) * len(ps) * len(xs)
+}
+
+// Points enumerates the grid in row-major order (K outermost, then q, p, X).
+func (g Grid) Points() []GridPoint {
+	ks, qs, ps, xs := g.axes()
+	out := make([]GridPoint, 0, g.Len())
+	for _, k := range ks {
+		for _, q := range qs {
+			for _, p := range ps {
+				for _, x := range xs {
+					out = append(out, GridPoint{Index: len(out), K: k, Q: q, P: p, X: x})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SweepConfig controls one sweep run.
+type SweepConfig struct {
+	// Trials is the number of Monte Carlo trials per grid point.
+	Trials int
+	// Workers bounds per-point parallelism; 0 means all CPUs.
+	Workers int
+	// Seed is the sweep's base seed. Every grid point runs with an
+	// independent base seed mixed from (Seed, K, q, p, x); trials within a
+	// point derive per-trial streams from that, as montecarlo always does.
+	Seed uint64
+}
+
+// PointSeed returns the deterministic Monte Carlo base seed of grid point pt
+// under this sweep configuration. The seed is a function of the point's
+// parameters, not its grid index, so extending any grid axis leaves the
+// seeds — and hence the published estimates — of all existing points intact.
+func (c SweepConfig) PointSeed(pt GridPoint) uint64 {
+	s := rng.StreamSeed(c.Seed, uint64(int64(pt.K)))
+	s = rng.StreamSeed(s, uint64(int64(pt.Q)))
+	s = rng.StreamSeed(s, math.Float64bits(pt.P))
+	return rng.StreamSeed(s, math.Float64bits(pt.X))
+}
+
+// ProportionResult is one proportion-valued sweep measurement.
+type ProportionResult struct {
+	Point GridPoint
+	Value stats.Proportion
+}
+
+// MeanResult is one mean-valued sweep measurement.
+type MeanResult struct {
+	Point GridPoint
+	Value *stats.Summary
+}
+
+// SweepProportion estimates a success proportion at every grid point. build
+// is called once per point and returns the trial to run there (typically
+// closing over a sampler or wsn.DeployerPool for that point's parameters).
+// Points run sequentially; trials within a point run across the worker pool.
+func SweepProportion(ctx context.Context, grid Grid, cfg SweepConfig,
+	build func(pt GridPoint) (montecarlo.Trial, error)) ([]ProportionResult, error) {
+	out := make([]ProportionResult, 0, grid.Len())
+	for _, pt := range grid.Points() {
+		trial, err := build(pt)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: sweep point %v: %w", pt, err)
+		}
+		est, err := montecarlo.EstimateProportion(ctx, montecarlo.Config{
+			Trials:  cfg.Trials,
+			Workers: cfg.Workers,
+			Seed:    cfg.PointSeed(pt),
+		}, trial)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: sweep point %v: %w", pt, err)
+		}
+		out = append(out, ProportionResult{Point: pt, Value: est})
+	}
+	return out, nil
+}
+
+// MeanVecResult is one multi-statistic sweep measurement: Values[i] is the
+// Summary of the i-th component returned by the point's SampleVec.
+type MeanVecResult struct {
+	Point  GridPoint
+	Values []*stats.Summary
+}
+
+// SweepMeanVec estimates several mean-valued statistics per grid point from
+// one set of samples: the point's SampleVec returns dims observations per
+// trial, so paired statistics (e.g. two properties of the same deployed
+// topology) never pay the sampling cost twice.
+func SweepMeanVec(ctx context.Context, grid Grid, cfg SweepConfig, dims int,
+	build func(pt GridPoint) (montecarlo.SampleVec, error)) ([]MeanVecResult, error) {
+	out := make([]MeanVecResult, 0, grid.Len())
+	for _, pt := range grid.Points() {
+		sample, err := build(pt)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: sweep point %v: %w", pt, err)
+		}
+		sums, err := montecarlo.EstimateMeanVec(ctx, montecarlo.Config{
+			Trials:  cfg.Trials,
+			Workers: cfg.Workers,
+			Seed:    cfg.PointSeed(pt),
+		}, dims, sample)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: sweep point %v: %w", pt, err)
+		}
+		out = append(out, MeanVecResult{Point: pt, Values: sums})
+	}
+	return out, nil
+}
+
+// SweepMean estimates a mean-valued statistic at every grid point, with the
+// same seeding discipline as SweepProportion: two sweeps with equal Seed and
+// grids observe identical per-trial randomness point for point, so paired
+// statistics are measured on identical samples.
+func SweepMean(ctx context.Context, grid Grid, cfg SweepConfig,
+	build func(pt GridPoint) (montecarlo.Sample, error)) ([]MeanResult, error) {
+	out := make([]MeanResult, 0, grid.Len())
+	for _, pt := range grid.Points() {
+		sample, err := build(pt)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: sweep point %v: %w", pt, err)
+		}
+		sum, err := montecarlo.EstimateMean(ctx, montecarlo.Config{
+			Trials:  cfg.Trials,
+			Workers: cfg.Workers,
+			Seed:    cfg.PointSeed(pt),
+		}, sample)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: sweep point %v: %w", pt, err)
+		}
+		out = append(out, MeanResult{Point: pt, Value: sum})
+	}
+	return out, nil
+}

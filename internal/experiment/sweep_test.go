@@ -1,0 +1,223 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/secure-wsn/qcomposite/internal/montecarlo"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+func TestGridEnumeration(t *testing.T) {
+	g := Grid{Ks: []int{10, 20}, Qs: []int{1, 2, 3}, Ps: []float64{0.2, 0.5}}
+	if g.Len() != 12 {
+		t.Fatalf("Len = %d, want 12", g.Len())
+	}
+	pts := g.Points()
+	if len(pts) != 12 {
+		t.Fatalf("Points() returned %d, want 12", len(pts))
+	}
+	for i, pt := range pts {
+		if pt.Index != i {
+			t.Errorf("point %d has Index %d", i, pt.Index)
+		}
+		if pt.X != 0 {
+			t.Errorf("point %d has X %v, want 0 (axis unset)", i, pt.X)
+		}
+	}
+	// Row-major: K outermost, then q, then p.
+	if pts[0] != (GridPoint{Index: 0, K: 10, Q: 1, P: 0.2}) {
+		t.Errorf("first point = %+v", pts[0])
+	}
+	if pts[1] != (GridPoint{Index: 1, K: 10, Q: 1, P: 0.5}) {
+		t.Errorf("second point = %+v", pts[1])
+	}
+	if pts[11] != (GridPoint{Index: 11, K: 20, Q: 3, P: 0.5}) {
+		t.Errorf("last point = %+v", pts[11])
+	}
+	// The auxiliary axis multiplies in when set.
+	g.Xs = []float64{0, 30, 60}
+	if g.Len() != 36 || len(g.Points()) != 36 {
+		t.Errorf("with Xs: Len = %d, points = %d, want 36", g.Len(), len(g.Points()))
+	}
+	// A fully empty grid still has one degenerate point.
+	if (Grid{}).Len() != 1 {
+		t.Errorf("empty grid Len = %d, want 1", (Grid{}).Len())
+	}
+}
+
+func TestSweepProportionDeterministicSeeding(t *testing.T) {
+	grid := Grid{Ks: []int{1, 2}, Ps: []float64{0.3, 0.7}}
+	cfg := SweepConfig{Trials: 200, Workers: 4, Seed: 11}
+	run := func() []ProportionResult {
+		res, err := SweepProportion(context.Background(), grid, cfg,
+			func(pt GridPoint) (montecarlo.Trial, error) {
+				return func(trial int, r *rng.Rand) (bool, error) {
+					return r.Float64() < pt.P, nil
+				}, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a) != grid.Len() {
+		t.Fatalf("got %d results, want %d", len(a), grid.Len())
+	}
+	for i := range a {
+		if a[i].Value != b[i].Value {
+			t.Errorf("point %d not reproducible: %+v vs %+v", i, a[i].Value, b[i].Value)
+		}
+		if a[i].Point != b[i].Point {
+			t.Errorf("point %d metadata differs", i)
+		}
+		// The estimate should track the per-point success probability.
+		est := a[i].Value.Estimate()
+		if diff := est - a[i].Point.P; diff > 0.12 || diff < -0.12 {
+			t.Errorf("point %d estimate %v far from p=%v", i, est, a[i].Point.P)
+		}
+	}
+	// Distinct points get distinct base seeds (independent randomness).
+	if cfg.PointSeed(a[0].Point) == cfg.PointSeed(a[1].Point) {
+		t.Error("two grid points share a base seed")
+	}
+}
+
+// TestSweepMeanPairedSamples verifies the paired-measurement property: two
+// sweeps with the same seed observe the same per-trial generator states, so
+// paired statistics are computed on identical samples.
+func TestSweepMeanPairedSamples(t *testing.T) {
+	grid := Grid{Ks: []int{5, 9}}
+	cfg := SweepConfig{Trials: 50, Workers: 3, Seed: 77}
+	observe := func() [][]float64 {
+		var all [][]float64
+		res, err := SweepMean(context.Background(), grid, cfg,
+			func(pt GridPoint) (montecarlo.Sample, error) {
+				return func(trial int, r *rng.Rand) (float64, error) {
+					return float64(r.Uint64()%1000) + float64(pt.K), nil
+				}, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range res {
+			all = append(all, []float64{p.Value.Mean(), p.Value.Min(), p.Value.Max()})
+		}
+		return all
+	}
+	a, b := observe(), observe()
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Errorf("point %d stat %d: %v vs %v", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+func TestSweepErrorPropagation(t *testing.T) {
+	grid := Grid{Ks: []int{1, 2, 3}}
+	wantErr := errors.New("boom")
+	_, err := SweepProportion(context.Background(), grid, SweepConfig{Trials: 5, Seed: 1},
+		func(pt GridPoint) (montecarlo.Trial, error) {
+			if pt.K == 2 {
+				return nil, wantErr
+			}
+			return func(int, *rng.Rand) (bool, error) { return true, nil }, nil
+		})
+	if !errors.Is(err, wantErr) {
+		t.Errorf("builder error not propagated: %v", err)
+	}
+	_, err = SweepMean(context.Background(), grid, SweepConfig{Trials: 5, Seed: 1},
+		func(pt GridPoint) (montecarlo.Sample, error) {
+			return func(trial int, r *rng.Rand) (float64, error) {
+				if pt.K == 3 && trial == 2 {
+					return 0, wantErr
+				}
+				return 1, nil
+			}, nil
+		})
+	if !errors.Is(err, wantErr) {
+		t.Errorf("trial error not propagated: %v", err)
+	}
+}
+
+// TestPointSeedStableUnderAxisExtension pins the seeding contract: a point's
+// seed depends on its parameters, not its grid index, so growing any axis
+// leaves existing points' seeds (and hence published results) untouched.
+func TestPointSeedStableUnderAxisExtension(t *testing.T) {
+	cfg := SweepConfig{Trials: 1, Seed: 42}
+	small := Grid{Ks: []int{28, 32}, Qs: []int{2}, Ps: []float64{1, 0.5}}
+	big := Grid{Ks: []int{28, 32, 36}, Qs: []int{2, 3}, Ps: []float64{1, 0.5, 0.2}}
+	bigSeeds := map[GridPoint]uint64{}
+	for _, pt := range big.Points() {
+		key := pt
+		key.Index = 0
+		bigSeeds[key] = cfg.PointSeed(pt)
+	}
+	for _, pt := range small.Points() {
+		key := pt
+		key.Index = 0
+		want, ok := bigSeeds[key]
+		if !ok {
+			t.Fatalf("point %+v missing from extended grid", key)
+		}
+		if got := cfg.PointSeed(pt); got != want {
+			t.Errorf("point %+v: seed %d in small grid, %d in extended grid", key, got, want)
+		}
+	}
+	// And distinct parameter tuples still get distinct seeds.
+	seen := map[uint64]GridPoint{}
+	for _, pt := range big.Points() {
+		s := cfg.PointSeed(pt)
+		if prev, dup := seen[s]; dup {
+			t.Errorf("points %+v and %+v share seed %d", prev, pt, s)
+		}
+		seen[s] = pt
+	}
+}
+
+// TestSweepMeanVecMatchesSweepMean checks that the vector sweep with one
+// component is exactly SweepMean, and that a two-component sweep measures
+// both statistics on the same per-trial randomness.
+func TestSweepMeanVecMatchesSweepMean(t *testing.T) {
+	grid := Grid{Ks: []int{3, 6}}
+	cfg := SweepConfig{Trials: 30, Workers: 2, Seed: 5}
+	ctx := context.Background()
+	scalar, err := SweepMean(ctx, grid, cfg, func(pt GridPoint) (montecarlo.Sample, error) {
+		return func(trial int, r *rng.Rand) (float64, error) {
+			return float64(r.Uint64() % 100), nil
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, err := SweepMeanVec(ctx, grid, cfg, 2, func(pt GridPoint) (montecarlo.SampleVec, error) {
+		return func(trial int, r *rng.Rand) ([]float64, error) {
+			v := float64(r.Uint64() % 100)
+			return []float64{v, 2 * v}, nil
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scalar {
+		if got, want := vec[i].Values[0].Mean(), scalar[i].Value.Mean(); got != want {
+			t.Errorf("point %d: vec mean %v, scalar mean %v", i, got, want)
+		}
+		if got, want := vec[i].Values[1].Mean(), 2*scalar[i].Value.Mean(); got != want {
+			t.Errorf("point %d: second component mean %v, want %v", i, got, want)
+		}
+	}
+	// A dimension mismatch aborts with a clear error.
+	_, err = SweepMeanVec(ctx, grid, cfg, 3, func(pt GridPoint) (montecarlo.SampleVec, error) {
+		return func(trial int, r *rng.Rand) ([]float64, error) {
+			return []float64{1}, nil
+		}, nil
+	})
+	if err == nil {
+		t.Error("dims mismatch: want error")
+	}
+}

@@ -13,6 +13,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -71,7 +72,7 @@ func NewFromEdges(n int, edges []Edge) (*Undirected, error) {
 	for v := 0; v < n; v++ {
 		lo, hi := off[v], off[v+1]
 		seg := adj[lo:hi]
-		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+		slices.Sort(seg)
 		newOff[v] = w
 		var prev int32 = -1
 		for _, u := range seg {

@@ -1,0 +1,76 @@
+package keys
+
+import (
+	"fmt"
+
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+// RingArena amortizes ring storage across repeated assignments: all key IDs
+// of an assignment live in one flat backing slice and the Ring headers in one
+// slice, so assigning n rings costs O(1) allocations after the first use.
+//
+// Rings returned by an arena-backed assignment are views into the arena and
+// remain valid only until the next assignment into the same arena. The zero
+// value is ready to use.
+type RingArena struct {
+	ids     []ID
+	rings   []Ring
+	buf     []ID // per-ring scratch for sampling before sort/dedup
+	sampler *rng.SubsetSampler
+}
+
+// ArenaAssigner is implemented by schemes that can assign key rings into a
+// caller-provided arena, avoiding the per-ring allocations of Scheme.Assign.
+// wsn.Deployer uses it when available.
+type ArenaAssigner interface {
+	Scheme
+	// AssignInto draws the key rings for n sensors into the arena. It must
+	// consume randomness exactly as Assign does, so that a deployment is
+	// byte-identical whichever entry point is used.
+	AssignInto(r *rng.Rand, n int, a *RingArena) ([]Ring, error)
+}
+
+var _ ArenaAssigner = (*QComposite)(nil)
+
+// AssignInto implements ArenaAssigner. It draws the same rings as Assign for
+// the same generator state (same per-sensor subset draws, in order), but
+// stores them in the arena.
+func (s *QComposite) AssignInto(r *rng.Rand, n int, a *RingArena) ([]Ring, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("keys: negative sensor count %d", n)
+	}
+	// A SubsetSampler rolls its permutation back after every draw, so a
+	// cached one behaves exactly like a fresh one and can be reused across
+	// assignments (it is the arena's largest single buffer).
+	if a.sampler == nil || a.sampler.Universe() != s.pool {
+		var err error
+		a.sampler, err = rng.NewSubsetSampler(s.pool)
+		if err != nil {
+			return nil, fmt.Errorf("keys: assign: %w", err)
+		}
+	}
+	sampler := a.sampler
+	// Reserve the full worst case up front: the flat slice must not grow
+	// while rings are being appended, or earlier Ring views would alias a
+	// stale backing array.
+	if cap(a.ids) < n*s.ring {
+		a.ids = make([]ID, 0, n*s.ring)
+	}
+	a.ids = a.ids[:0]
+	if cap(a.rings) < n {
+		a.rings = make([]Ring, 0, n)
+	}
+	a.rings = a.rings[:0]
+	for v := 0; v < n; v++ {
+		buf, err := sampler.AppendSample(r, s.ring, a.buf[:0])
+		a.buf = buf
+		if err != nil {
+			return nil, fmt.Errorf("keys: assign sensor %d: %w", v, err)
+		}
+		start := len(a.ids)
+		a.ids = append(a.ids, sortDedup(a.buf)...)
+		a.rings = append(a.rings, Ring{ids: a.ids[start:len(a.ids):len(a.ids)]})
+	}
+	return a.rings, nil
+}

@@ -1,0 +1,108 @@
+package keys
+
+import (
+	"fmt"
+
+	"github.com/secure-wsn/qcomposite/internal/bitset"
+)
+
+// denseRingFactor selects the Intersector strategy: the bitset path scans
+// pool/64 words per query while the sorted merge scans up to 2·K elements, so
+// word-parallel intersection wins once pool ≤ denseRingFactor·K (i.e. the
+// word count drops below the merge length).
+const denseRingFactor = 128
+
+// Intersector answers ring-intersection queries over a fixed set of rings
+// with a density-adaptive strategy: when rings are dense relative to the pool
+// (K ≥ pool/denseRingFactor) it indexes every ring as a pool-width bitset and
+// intersects word-parallel; otherwise it falls back to the sorted merge of
+// Ring.SharedCount/SharedWith. Both strategies are exact, so query results
+// are identical either way.
+//
+// An Intersector amortizes its bitsets across Reset calls, making it suitable
+// for repeated deployments. It is not safe for concurrent use.
+type Intersector struct {
+	pool  int
+	rings []Ring
+	dense bool
+	sets  []*bitset.Set
+}
+
+// NewIntersector returns an Intersector over rings drawn from a pool of the
+// given size.
+func NewIntersector(pool int) (*Intersector, error) {
+	if pool <= 0 {
+		return nil, fmt.Errorf("keys: intersector pool size %d must be positive", pool)
+	}
+	return &Intersector{pool: pool}, nil
+}
+
+// Reset points the Intersector at a new set of rings (typically one
+// deployment's assignment) and rebuilds its index if the dense strategy is
+// selected. Ring IDs must lie in [0, pool).
+func (x *Intersector) Reset(rings []Ring) error {
+	x.rings = rings
+	minRing := 0
+	for i, r := range rings {
+		if i == 0 || r.Len() < minRing {
+			minRing = r.Len()
+		}
+	}
+	x.dense = len(rings) > 0 && x.pool <= denseRingFactor*minRing
+	if !x.dense {
+		return nil
+	}
+	for len(x.sets) < len(rings) {
+		x.sets = append(x.sets, bitset.New(x.pool))
+	}
+	for i, r := range rings {
+		s := x.sets[i]
+		s.Clear()
+		for _, k := range r.ids {
+			if int(k) < 0 || int(k) >= x.pool {
+				x.dense = false
+				return fmt.Errorf("keys: intersector: ring %d key %d outside pool [0,%d)", i, k, x.pool)
+			}
+			s.Add(int(k))
+		}
+	}
+	return nil
+}
+
+// Dense reports whether the bitset strategy is active (exported for tests and
+// benchmarks; callers get identical answers either way).
+func (x *Intersector) Dense() bool { return x.dense }
+
+// SharedCount returns |ring(u) ∩ ring(v)| without allocating.
+func (x *Intersector) SharedCount(u, v int32) int {
+	if x.dense {
+		return x.sets[u].IntersectionCount(x.sets[v])
+	}
+	return x.rings[u].SharedCount(x.rings[v])
+}
+
+// HasAtLeast reports whether rings u and v share at least q keys. It is the
+// hot predicate of shared-key discovery and short-circuits where the
+// representation allows.
+func (x *Intersector) HasAtLeast(u, v int32, q int) bool {
+	if q <= 0 {
+		return true
+	}
+	if x.dense {
+		return x.sets[u].IntersectsAtLeast(x.sets[v], q)
+	}
+	return x.rings[u].SharedAtLeast(x.rings[v], q)
+}
+
+// AppendShared appends the sorted shared keys of rings u and v to dst and
+// returns the extended slice.
+func (x *Intersector) AppendShared(u, v int32, dst []ID) []ID {
+	if x.dense {
+		x.sets[u].ForEachIntersection(x.sets[v], func(i int) bool {
+			dst = append(dst, ID(i))
+			return true
+		})
+		return dst
+	}
+	return x.rings[u].AppendShared(x.rings[v], dst)
+}

@@ -30,16 +30,21 @@ type Ring struct {
 // NewRing builds a ring from the given IDs (copied, sorted, deduplicated).
 func NewRing(ids []ID) Ring {
 	cp := append([]ID(nil), ids...)
-	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
-	out := cp[:0]
-	var prev ID = -1
-	for _, k := range cp {
-		if k != prev {
+	return Ring{ids: sortDedup(cp)}
+}
+
+// sortDedup sorts ids in place and removes adjacent duplicates, returning the
+// compacted prefix. The comparison is index-based rather than against an
+// in-band sentinel, so every ID value — including negative ones — is kept.
+func sortDedup(ids []ID) []ID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:0]
+	for i, k := range ids {
+		if i == 0 || k != out[len(out)-1] {
 			out = append(out, k)
-			prev = k
 		}
 	}
-	return Ring{ids: out}
+	return out
 }
 
 // Len returns the number of keys in the ring.
@@ -54,14 +59,30 @@ func (r Ring) Contains(k ID) bool {
 // IDs returns a copy of the ring's sorted key IDs.
 func (r Ring) IDs() []ID { return append([]ID(nil), r.ids...) }
 
+// ForEachID calls fn on each key ID in ascending order without copying.
+// Iteration stops early if fn returns false.
+func (r Ring) ForEachID(fn func(ID) bool) {
+	for _, k := range r.ids {
+		if !fn(k) {
+			return
+		}
+	}
+}
+
 // SharedWith returns the keys present in both rings, by sorted merge.
 func (r Ring) SharedWith(other Ring) []ID {
-	var shared []ID
+	return r.AppendShared(other, nil)
+}
+
+// AppendShared appends the keys present in both rings to dst (sorted merge)
+// and returns the extended slice. Pass a reused buffer to avoid allocating on
+// hot paths.
+func (r Ring) AppendShared(other Ring, dst []ID) []ID {
 	i, j := 0, 0
 	for i < len(r.ids) && j < len(other.ids) {
 		switch {
 		case r.ids[i] == other.ids[j]:
-			shared = append(shared, r.ids[i])
+			dst = append(dst, r.ids[i])
 			i++
 			j++
 		case r.ids[i] < other.ids[j]:
@@ -70,7 +91,7 @@ func (r Ring) SharedWith(other Ring) []ID {
 			j++
 		}
 	}
-	return shared
+	return dst
 }
 
 // SharedCount returns |r ∩ other| without allocating.
@@ -90,6 +111,33 @@ func (r Ring) SharedCount(other Ring) int {
 		}
 	}
 	return count
+}
+
+// SharedAtLeast reports whether |r ∩ other| ≥ q, short-circuiting as soon as
+// the running count reaches q — the hot predicate of q-composite shared-key
+// discovery on the sorted-merge path.
+func (r Ring) SharedAtLeast(other Ring, q int) bool {
+	if q <= 0 {
+		return true
+	}
+	count := 0
+	i, j := 0, 0
+	for i < len(r.ids) && j < len(other.ids) {
+		switch {
+		case r.ids[i] == other.ids[j]:
+			count++
+			if count >= q {
+				return true
+			}
+			i++
+			j++
+		case r.ids[i] < other.ids[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
 }
 
 // Scheme is a key predistribution scheme: it assigns rings to sensors before
@@ -188,15 +236,23 @@ const LinkKeySize = sha256.Size
 // (k₁‖k₂‖…‖k_m in the Chan–Perrig–Song construction). More shared keys
 // strictly strengthen the link: an adversary must know every one of them.
 func DeriveLinkKey(shared []ID) [LinkKeySize]byte {
-	sorted := append([]ID(nil), shared...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	h := sha256.New()
-	var buf [4]byte
-	for _, k := range sorted {
-		binary.BigEndian.PutUint32(buf[:], uint32(k))
-		h.Write(buf[:])
+	sorted := shared
+	if !sort.SliceIsSorted(shared, func(i, j int) bool { return shared[i] < shared[j] }) {
+		sorted = append([]ID(nil), shared...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	}
-	var out [LinkKeySize]byte
-	copy(out[:], h.Sum(nil))
-	return out
+	// Hash the big-endian concatenation k₁‖k₂‖…‖k_m. Shared sets are tiny
+	// (a handful of keys beyond q), so a small stack buffer avoids heap
+	// traffic on the materialization path.
+	var stack [64]byte
+	buf := stack[:0]
+	if 4*len(sorted) > len(stack) {
+		buf = make([]byte, 0, 4*len(sorted))
+	}
+	for _, k := range sorted {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], uint32(k))
+		buf = append(buf, b[:]...)
+	}
+	return sha256.Sum256(buf)
 }

@@ -121,20 +121,47 @@ feed:
 type Sample func(trial int, r *rng.Rand) (float64, error)
 
 // EstimateMean runs cfg.Trials trials of fn and aggregates the observations
-// into a Summary (mean, variance, extremes).
+// into a Summary (mean, variance, extremes). It is EstimateMeanVec with one
+// component, so the concurrency/cancellation behavior is shared.
 func EstimateMean(ctx context.Context, cfg Config, fn Sample) (*stats.Summary, error) {
+	summaries, err := EstimateMeanVec(ctx, cfg, 1,
+		func(trial int, r *rng.Rand) ([]float64, error) {
+			v, err := fn(trial, r)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{v}, nil
+		})
+	if summaries == nil {
+		return nil, err
+	}
+	return summaries[0], err
+}
+
+// SampleVec is a trial producing several numeric observations at once, for
+// workloads that measure multiple statistics on one sampled object (e.g.
+// largest-component fraction and isolated fraction of the same topology)
+// without paying the sampling cost per statistic.
+type SampleVec func(trial int, r *rng.Rand) ([]float64, error)
+
+// EstimateMeanVec runs cfg.Trials trials of fn and aggregates component i of
+// every observation into its own Summary. fn must return exactly dims values
+// each trial; a mismatch aborts the run.
+func EstimateMeanVec(ctx context.Context, cfg Config, dims int, fn SampleVec) ([]*stats.Summary, error) {
+	if dims <= 0 {
+		return nil, fmt.Errorf("montecarlo: dims must be positive, got %d", dims)
+	}
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	// Collect into a dense slice indexed by trial so the Summary folds
-	// observations in deterministic order regardless of completion order.
-	values := make([]float64, cfg.Trials)
+	// Dense per-trial storage so each Summary folds observations in
+	// deterministic order regardless of completion order.
+	values := make([][]float64, cfg.Trials)
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
-		done     = make([]bool, cfg.Trials)
 	)
 	trialCh := make(chan int)
 	cancelCtx, cancel := context.WithCancel(ctx)
@@ -146,6 +173,9 @@ func EstimateMean(ctx context.Context, cfg Config, fn Sample) (*stats.Summary, e
 			defer wg.Done()
 			for trial := range trialCh {
 				v, err := fn(trial, rng.NewStream(cfg.Seed, uint64(trial)))
+				if err == nil && len(v) != dims {
+					err = fmt.Errorf("montecarlo: trial returned %d values, want %d", len(v), dims)
+				}
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
@@ -153,7 +183,6 @@ func EstimateMean(ctx context.Context, cfg Config, fn Sample) (*stats.Summary, e
 					}
 				} else {
 					values[trial] = v
-					done[trial] = true
 				}
 				mu.Unlock()
 				if err != nil {
@@ -180,16 +209,24 @@ feed:
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	var summary stats.Summary
-	for i, ok := range done {
-		if ok {
-			summary.Add(values[i])
+	summaries := make([]*stats.Summary, dims)
+	for i := range summaries {
+		summaries[i] = &stats.Summary{}
+	}
+	completed := 0
+	for _, v := range values {
+		if v == nil {
+			continue
+		}
+		completed++
+		for i, x := range v {
+			summaries[i].Add(x)
 		}
 	}
 	if err := ctx.Err(); err != nil {
-		return &summary, fmt.Errorf("montecarlo: cancelled after %d/%d trials: %w", summary.N(), cfg.Trials, err)
+		return summaries, fmt.Errorf("montecarlo: cancelled after %d/%d trials: %w", completed, cfg.Trials, err)
 	}
-	return &summary, nil
+	return summaries, nil
 }
 
 // Collect runs cfg.Trials trials of fn and returns every observation in

@@ -45,15 +45,23 @@ func New(seed uint64) *Rand {
 	return r
 }
 
-// NewStream returns a generator for the sub-stream identified by (seed, id).
-// Distinct ids yield statistically independent streams; this is how parallel
-// Monte Carlo trials obtain per-trial reproducible randomness.
-func NewStream(seed, id uint64) *Rand {
+// StreamSeed returns the derived seed of the sub-stream identified by
+// (seed, id) — the value NewStream seeds its generator with. Exposed so that
+// higher layers (e.g. parameter sweeps) can assign deterministic per-unit
+// base seeds that are themselves fed to seed-taking APIs.
+func StreamSeed(seed, id uint64) uint64 {
 	// Mix the id through SplitMix64 before combining so that consecutive ids
 	// land far apart in seed space.
 	st := id
 	mixed := splitMix64(&st)
-	return New(seed ^ mixed ^ 0xd1b54a32d192ed03*id)
+	return seed ^ mixed ^ 0xd1b54a32d192ed03*id
+}
+
+// NewStream returns a generator for the sub-stream identified by (seed, id).
+// Distinct ids yield statistically independent streams; this is how parallel
+// Monte Carlo trials obtain per-trial reproducible randomness.
+func NewStream(seed, id uint64) *Rand {
+	return New(StreamSeed(seed, id))
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.

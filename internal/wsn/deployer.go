@@ -1,0 +1,309 @@
+package wsn
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/secure-wsn/qcomposite/internal/graph"
+	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+// maxCounterNodes bounds the network size for which the Deployer keeps a
+// dense pair-count table (n·(n−1)/2 bytes, ≈ 2 MB at the cap). Larger
+// deployments fall back to per-channel-edge intersection.
+const maxCounterNodes = 2048
+
+// maxCountedOverlap is the saturation point of the dense pair counters; the
+// index strategy is only exact for q below it, which every practical
+// q-composite deployment satisfies (q is single digits in the paper).
+const maxCountedOverlap = 255
+
+// Deployer deploys networks repeatedly with amortized buffers: key-ring
+// storage (one flat arena), the shared-key discovery workspace, edge lists
+// and liveness flags are all reused across calls, so a Monte Carlo trial
+// pays only for what cannot be shared (the sampled channel graph and the
+// final CSR topology).
+//
+// The returned *Network aliases the Deployer's buffers and remains valid
+// only until the next Deploy/DeployRand call; callers that need a long-lived
+// network should use the package-level Deploy, which dedicates a Deployer to
+// the one network. A Deployer is not safe for concurrent use — use a
+// DeployerPool to share one configuration across Monte Carlo workers.
+//
+// Shared-key discovery is strategy-adaptive. When the channel graph is dense
+// relative to the key index (and n is small enough for a dense counter
+// table), discovery inverts the assignment into a key→holders index and
+// counts shared keys per co-holding pair — O(Σ_k h_k²) instead of one ring
+// intersection per channel edge. Otherwise it intersects rings per channel
+// edge through a density-adaptive keys.Intersector (bitset-backed for dense
+// rings, sorted merge for sparse ones). Both strategies compute the same
+// exact predicate, so the resulting topology is byte-identical either way.
+type Deployer struct {
+	cfg   Config
+	arena keys.RingArena
+	ix    *keys.Intersector
+	edges []graph.Edge
+	alive []bool
+
+	// Inverted-index discovery workspace (allocated on first use).
+	keyCnt   []int32 // per-key holder count, then fill cursor
+	keyOff   []int32 // prefix offsets into holders
+	holders  []int32 // sensors holding each key, grouped by key
+	counts   []uint8 // shared-key count per node pair (triangular index)
+	touched  []int32 // packed (u<<16|v) pairs with a nonzero count
+	rowStart []int32 // triangular row offsets: idx(u,v) = rowStart[u] + v
+}
+
+// NewDeployer validates the configuration (including the channel model's
+// Validate) and returns a Deployer for it. The configuration's Seed field is
+// ignored; each Deploy call takes its own seed.
+func NewDeployer(cfg Config) (*Deployer, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return newDeployer(cfg), nil
+}
+
+// newDeployer constructs a Deployer for an already-validated configuration.
+func newDeployer(cfg Config) *Deployer {
+	return &Deployer{cfg: cfg}
+}
+
+// Config returns the deployment configuration (Seed field as passed to
+// NewDeployer, not any per-call seed).
+func (d *Deployer) Config() Config { return d.cfg }
+
+// Deploy deploys a network from the given seed. It is deterministic: equal
+// seeds yield byte-identical secure topologies and link keys, matching the
+// package-level Deploy with the same Config.
+func (d *Deployer) Deploy(seed uint64) (*Network, error) {
+	cfg := d.cfg
+	cfg.Seed = seed
+	return d.deploy(cfg, rng.New(seed))
+}
+
+// DeployRand deploys a network drawing all randomness from r — the entry
+// point for Monte Carlo trials that are handed a per-trial stream.
+func (d *Deployer) DeployRand(r *rng.Rand) (*Network, error) {
+	return d.deploy(d.cfg, r)
+}
+
+func (d *Deployer) deploy(cfg Config, r *rng.Rand) (*Network, error) {
+	n := cfg.Sensors
+
+	// 1. Key predistribution. Schemes that support arena assignment write
+	// the rings into the Deployer's arena; others allocate per deployment.
+	var rings []keys.Ring
+	var err error
+	if aa, ok := cfg.Scheme.(keys.ArenaAssigner); ok {
+		rings, err = aa.AssignInto(r, n, &d.arena)
+	} else {
+		rings, err = cfg.Scheme.Assign(r, n)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wsn: deploy: %w", err)
+	}
+
+	// 2. Physical channel sampling.
+	channels, err := cfg.Channel.Sample(r, n)
+	if err != nil {
+		return nil, fmt.Errorf("wsn: deploy: %w", err)
+	}
+
+	// 3. Shared-key discovery over usable channels.
+	q := cfg.Scheme.RequiredOverlap()
+	d.edges = d.edges[:0]
+	if d.useIndexDiscovery(channels, q) {
+		err = d.discoverByIndex(rings, channels, q)
+	} else {
+		err = d.discoverByEdges(rings, channels, q)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wsn: deploy: %w", err)
+	}
+	secure, err := graph.NewFromEdges(n, d.edges)
+	if err != nil {
+		return nil, fmt.Errorf("wsn: deploy: %w", err)
+	}
+
+	// 4. Liveness flags (reused).
+	if cap(d.alive) < n {
+		d.alive = make([]bool, n)
+	}
+	d.alive = d.alive[:n]
+	for i := range d.alive {
+		d.alive[i] = true
+	}
+
+	return &Network{
+		cfg:      cfg,
+		rings:    rings,
+		channels: channels,
+		secure:   secure,
+		alive:    d.alive,
+	}, nil
+}
+
+// useIndexDiscovery decides the discovery strategy. The inverted index costs
+// roughly n·K index building plus Σ_k h_k² ≈ n·K·(n·K/P) pair increments;
+// per-edge intersection costs one O(K) ring intersection per channel edge.
+// The index also needs the dense counter table (n ≤ maxCounterNodes) and
+// exact counters (q below saturation).
+func (d *Deployer) useIndexDiscovery(channels *graph.Undirected, q int) bool {
+	n := d.cfg.Sensors
+	if n < 2 || n > maxCounterNodes || q > maxCountedOverlap {
+		return false
+	}
+	ring := float64(d.cfg.Scheme.RingSize())
+	pool := float64(d.cfg.Scheme.PoolSize())
+	nk := float64(n) * ring
+	indexWork := nk * (nk/pool + 1)
+	edgeWork := float64(channels.M()) * ring
+	return edgeWork > indexWork
+}
+
+// discoverByEdges intersects the endpoint rings of every channel edge.
+func (d *Deployer) discoverByEdges(rings []keys.Ring, channels *graph.Undirected, q int) error {
+	if d.ix == nil {
+		ix, err := keys.NewIntersector(d.cfg.Scheme.PoolSize())
+		if err != nil {
+			return err
+		}
+		d.ix = ix
+	}
+	if err := d.ix.Reset(rings); err != nil {
+		return err
+	}
+	channels.ForEachEdge(func(u, v int32) bool {
+		if d.ix.HasAtLeast(u, v, q) {
+			d.edges = append(d.edges, graph.Edge{U: u, V: v})
+		}
+		return true
+	})
+	return nil
+}
+
+// discoverByIndex inverts the assignment into a key→holders index, counts
+// shared keys for every co-holding pair, and keeps pairs that both meet the
+// overlap requirement and have an on channel. Counters saturate at
+// maxCountedOverlap, which useIndexDiscovery guarantees is ≥ q. Ring IDs
+// outside [0, PoolSize) are a validation error, matching the per-edge path.
+func (d *Deployer) discoverByIndex(rings []keys.Ring, channels *graph.Undirected, q int) error {
+	n := d.cfg.Sensors
+	pool := d.cfg.Scheme.PoolSize()
+	if len(d.keyCnt) < pool {
+		d.keyCnt = make([]int32, pool)
+		d.keyOff = make([]int32, pool+1)
+	}
+	if len(d.rowStart) < n {
+		d.rowStart = make([]int32, n)
+		d.counts = make([]uint8, n*(n-1)/2)
+	}
+	// idx(u,v) for u < v flattens the strict upper triangle row by row.
+	acc := int32(0)
+	for u := 0; u < n; u++ {
+		d.rowStart[u] = acc - int32(u) - 1
+		acc += int32(n - u - 1)
+	}
+
+	// Invert: holders[keyOff[k]:keyOff[k+1]] lists the sensors holding k.
+	keyCnt := d.keyCnt[:pool]
+	for k := range keyCnt {
+		keyCnt[k] = 0
+	}
+	total := 0
+	for v, ring := range rings {
+		var badID keys.ID
+		bad := false
+		ring.ForEachID(func(k keys.ID) bool {
+			if int(k) < 0 || int(k) >= pool {
+				badID, bad = k, true
+				return false
+			}
+			keyCnt[k]++
+			total++
+			return true
+		})
+		if bad {
+			return fmt.Errorf("wsn: ring %d key %d outside pool [0,%d)", v, badID, pool)
+		}
+	}
+	d.keyOff[0] = 0
+	for k := 0; k < pool; k++ {
+		d.keyOff[k+1] = d.keyOff[k] + keyCnt[k]
+		keyCnt[k] = 0 // reuse as fill cursor
+	}
+	if cap(d.holders) < total {
+		d.holders = make([]int32, total)
+	}
+	holders := d.holders[:total]
+	for v, ring := range rings {
+		ring.ForEachID(func(k keys.ID) bool {
+			holders[d.keyOff[k]+keyCnt[k]] = int32(v)
+			keyCnt[k]++
+			return true
+		})
+	}
+
+	// Count shared keys per co-holding pair. Holder lists are ascending (we
+	// filled them by ascending sensor), so hs[i] < hs[j] for i < j.
+	d.touched = d.touched[:0]
+	for k := 0; k < pool; k++ {
+		hs := holders[d.keyOff[k]:d.keyOff[k+1]]
+		for i := 0; i < len(hs); i++ {
+			base := d.rowStart[hs[i]]
+			packed := int32(hs[i]) << 16
+			for j := i + 1; j < len(hs); j++ {
+				idx := base + hs[j]
+				if d.counts[idx] == 0 {
+					d.touched = append(d.touched, packed|hs[j])
+				}
+				if d.counts[idx] < maxCountedOverlap {
+					d.counts[idx]++
+				}
+			}
+		}
+	}
+
+	// Emit qualifying pairs with an on channel, resetting counters as we go
+	// so the table is all-zero for the next deployment.
+	for _, p := range d.touched {
+		u, v := p>>16, p&0xffff
+		idx := d.rowStart[u] + v
+		if int(d.counts[idx]) >= q && channels.HasEdge(u, v) {
+			d.edges = append(d.edges, graph.Edge{U: u, V: v})
+		}
+		d.counts[idx] = 0
+	}
+	return nil
+}
+
+// DeployerPool shares one deployment configuration across concurrent Monte
+// Carlo workers: each worker borrows a Deployer per trial, so buffers are
+// amortized per worker without any locking on the deploy path.
+type DeployerPool struct {
+	cfg  Config
+	pool sync.Pool
+}
+
+// NewDeployerPool validates the configuration once and returns the pool.
+func NewDeployerPool(cfg Config) (*DeployerPool, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &DeployerPool{cfg: cfg}, nil
+}
+
+// Get borrows a Deployer. Return it with Put when the trial is done with
+// the deployed network.
+func (p *DeployerPool) Get() *Deployer {
+	if d, ok := p.pool.Get().(*Deployer); ok {
+		return d
+	}
+	return newDeployer(p.cfg)
+}
+
+// Put returns a borrowed Deployer to the pool. Networks deployed from it
+// must no longer be used.
+func (p *DeployerPool) Put(d *Deployer) { p.pool.Put(d) }

@@ -1,0 +1,279 @@
+package wsn
+
+import (
+	"context"
+	"testing"
+
+	"github.com/secure-wsn/qcomposite/internal/channel"
+	"github.com/secure-wsn/qcomposite/internal/graph"
+	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/montecarlo"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+// graphsEqual reports exact topology equality.
+func graphsEqual(a, b *graph.Undirected) bool {
+	return a.N() == b.N() && a.M() == b.M() &&
+		a.IsSpanningSubgraphOf(b) && b.IsSpanningSubgraphOf(a)
+}
+
+// requireSameNetwork asserts byte-identical secure topology, channel
+// topology, shared keys and link keys between two deployments.
+func requireSameNetwork(t *testing.T, want, got *Network) {
+	t.Helper()
+	if !graphsEqual(want.FullSecureTopology(), got.FullSecureTopology()) {
+		t.Fatal("secure topologies differ")
+	}
+	if !graphsEqual(want.ChannelTopology(), got.ChannelTopology()) {
+		t.Fatal("channel topologies differ")
+	}
+	wantLinks, gotLinks := want.Links(), got.Links()
+	if len(wantLinks) != len(gotLinks) {
+		t.Fatalf("%d links, want %d", len(gotLinks), len(wantLinks))
+	}
+	for i := range wantLinks {
+		w, g := wantLinks[i], gotLinks[i]
+		if w.A != g.A || w.B != g.B {
+			t.Fatalf("link %d endpoints (%d,%d), want (%d,%d)", i, g.A, g.B, w.A, w.B)
+		}
+		if w.Key != g.Key {
+			t.Fatalf("link (%d,%d) keys differ", w.A, w.B)
+		}
+		if len(w.SharedKeys) != len(g.SharedKeys) {
+			t.Fatalf("link (%d,%d) shared %v, want %v", w.A, w.B, g.SharedKeys, w.SharedKeys)
+		}
+		for j := range w.SharedKeys {
+			if w.SharedKeys[j] != g.SharedKeys[j] {
+				t.Fatalf("link (%d,%d) shared %v, want %v", w.A, w.B, g.SharedKeys, w.SharedKeys)
+			}
+		}
+	}
+}
+
+// deployerConfigs covers both discovery strategies and all channel models:
+// dense channels at small n take the inverted-index path, near-empty
+// channels the per-edge path (the strategy is logged per case).
+func deployerConfigs(t *testing.T) map[string]Config {
+	t.Helper()
+	scheme, err := keys.NewQComposite(500, 40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparseScheme, err := keys.NewQComposite(8000, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Config{
+		"onoff-dense":   {Sensors: 120, Scheme: scheme, Channel: channel.OnOff{P: 0.8}},
+		"onoff-sparse":  {Sensors: 120, Scheme: sparseScheme, Channel: channel.OnOff{P: 0.01}},
+		"always-on":     {Sensors: 80, Scheme: scheme, Channel: channel.AlwaysOn{}},
+		"disk-torus":    {Sensors: 100, Scheme: scheme, Channel: channel.Disk{Radius: 0.3, Torus: true}},
+		"disk-zero":     {Sensors: 50, Scheme: scheme, Channel: channel.Disk{}},
+		"onoff-all-off": {Sensors: 50, Scheme: scheme, Channel: channel.OnOff{}},
+	}
+}
+
+// TestDeployerMatchesDeploy is the central equivalence test of the lazy
+// pipeline: for every configuration and seed, Deployer.Deploy must produce
+// exactly the network the one-shot Deploy does — same secure topology, same
+// shared keys, same derived link keys.
+func TestDeployerMatchesDeploy(t *testing.T) {
+	for name, cfg := range deployerConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			d, err := NewDeployer(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := uint64(0); seed < 4; seed++ {
+				cfg.Seed = seed
+				want, err := Deploy(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := d.Deploy(seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameNetwork(t, want, got)
+			}
+		})
+	}
+}
+
+// TestDeployerReuseIsDeterministic pins the amortization contract: reusing
+// one Deployer across different seeds must not leak state between
+// deployments — redeploying an earlier seed reproduces its network exactly.
+func TestDeployerReuseIsDeterministic(t *testing.T) {
+	for name, cfg := range deployerConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			d, err := NewDeployer(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, err := d.Deploy(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Snapshot before the buffers are recycled.
+			firstTopo := first.FullSecureTopology()
+			firstLinks := first.Links()
+			if _, err := d.Deploy(2); err != nil {
+				t.Fatal(err)
+			}
+			again, err := d.Deploy(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !graphsEqual(firstTopo, again.FullSecureTopology()) {
+				t.Fatal("redeploying seed 1 changed the topology")
+			}
+			againLinks := again.Links()
+			if len(firstLinks) != len(againLinks) {
+				t.Fatalf("%d links, want %d", len(againLinks), len(firstLinks))
+			}
+			for i := range firstLinks {
+				if firstLinks[i].Key != againLinks[i].Key {
+					t.Fatalf("link %d key changed across reuse", i)
+				}
+			}
+		})
+	}
+}
+
+// TestLazyLinkKeysMatchDerivation checks that lazily materialized keys are
+// the canonical derivation of the (surviving) shared set, before and after
+// revocation invalidates the table.
+func TestLazyLinkKeysMatchDerivation(t *testing.T) {
+	scheme, err := keys.NewQComposite(300, 30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Deploy(Config{Sensors: 80, Scheme: scheme, Channel: channel.OnOff{P: 0.9}, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func() {
+		t.Helper()
+		links := net.Links()
+		if len(links) == 0 {
+			t.Fatal("test network has no links")
+		}
+		for _, l := range links {
+			ra, err := net.Ring(l.A)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := net.Ring(l.B)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]keys.ID, 0, len(l.SharedKeys))
+			for _, k := range ra.SharedWith(rb) {
+				if net.RevokedKeyCount() == 0 || !revokedContains(net, k) {
+					want = append(want, k)
+				}
+			}
+			if len(want) != len(l.SharedKeys) {
+				t.Fatalf("link (%d,%d) shared %v, want %v", l.A, l.B, l.SharedKeys, want)
+			}
+			if l.Key != keys.DeriveLinkKey(want) {
+				t.Fatalf("link (%d,%d) key is not DeriveLinkKey(shared)", l.A, l.B)
+			}
+		}
+	}
+	check()
+	if _, err := net.RevokeNodeKeys(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	check()
+}
+
+func revokedContains(n *Network, k keys.ID) bool {
+	return n.revoked != nil && n.revoked.Contains(int(k))
+}
+
+// TestDeployerPoolConcurrent drives a DeployerPool through the Monte Carlo
+// engine under full parallelism; with -race this is the concurrency check,
+// and the proportion must be reproducible across runs.
+func TestDeployerPoolConcurrent(t *testing.T) {
+	scheme, err := keys.NewQComposite(500, 36, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewDeployerPool(Config{Sensors: 100, Scheme: scheme, Channel: channel.OnOff{P: 0.7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() float64 {
+		est, err := montecarlo.EstimateProportion(context.Background(), montecarlo.Config{
+			Trials: 40,
+			Seed:   3,
+		}, func(trial int, r *rng.Rand) (bool, error) {
+			d := pool.Get()
+			defer pool.Put(d)
+			net, err := d.DeployRand(r)
+			if err != nil {
+				return false, err
+			}
+			return net.IsConnected()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est.Estimate()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("pooled estimate not reproducible: %v vs %v", a, b)
+	}
+}
+
+// TestNewDeployerValidatesEagerly covers construction-time validation,
+// including the channel model's Validate.
+func TestNewDeployerValidatesEagerly(t *testing.T) {
+	scheme, err := keys.NewQComposite(100, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Sensors: -1, Scheme: scheme, Channel: channel.AlwaysOn{}},
+		{Sensors: 10, Channel: channel.AlwaysOn{}},
+		{Sensors: 10, Scheme: scheme},
+		{Sensors: 10, Scheme: scheme, Channel: channel.OnOff{P: -0.5}},
+		{Sensors: 10, Scheme: scheme, Channel: channel.Disk{Radius: -2}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewDeployer(cfg); err == nil {
+			t.Errorf("config %d: want error", i)
+		}
+		if _, err := NewDeployerPool(cfg); err == nil {
+			t.Errorf("config %d: pool: want error", i)
+		}
+	}
+}
+
+// TestDiscoveryStrategySelection asserts that the test configurations above
+// genuinely exercise both discovery strategies.
+func TestDiscoveryStrategySelection(t *testing.T) {
+	cfgs := deployerConfigs(t)
+	wantIndex := map[string]bool{
+		"onoff-dense":   true,
+		"onoff-sparse":  false, // ~70 channel edges: per-edge intersection wins
+		"always-on":     true,
+		"onoff-all-off": false, // empty channel graph
+	}
+	for name, want := range wantIndex {
+		cfg := cfgs[name]
+		d, err := NewDeployer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		channels, err := cfg.Channel.Sample(rng.New(1), cfg.Sensors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := d.useIndexDiscovery(channels, cfg.Scheme.RequiredOverlap()); got != want {
+			t.Errorf("%s: useIndexDiscovery = %v, want %v (channel edges %d)",
+				name, got, want, channels.M())
+		}
+	}
+}

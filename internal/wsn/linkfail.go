@@ -26,7 +26,7 @@ func (n *Network) FailLink(u, v int32) error {
 		u, v = v, u
 	}
 	key := [2]int32{u, v}
-	if _, ok := n.links[key]; !ok {
+	if !n.secure.HasEdge(u, v) {
 		return fmt.Errorf("wsn: no secure link between %d and %d", u, v)
 	}
 	if n.failedLinks == nil {
@@ -62,7 +62,7 @@ func (n *Network) FailRandomLinks(r *rng.Rand, count int) ([][2]int32, error) {
 // usableLinkKeys lists secure links with both endpoints alive and the link
 // itself not failed, in deterministic (sorted edge) order.
 func (n *Network) usableLinkKeys() [][2]int32 {
-	out := make([][2]int32, 0, len(n.links))
+	out := make([][2]int32, 0, n.secure.M())
 	n.secure.ForEachEdge(func(u, v int32) bool {
 		key := [2]int32{u, v}
 		if n.alive[u] && n.alive[v] && !n.failedLinks[key] {

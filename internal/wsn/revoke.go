@@ -37,9 +37,10 @@ func (n *Network) RevokeNodeKeys(ids ...int32) (int, error) {
 		n.revoked = bitset.New(n.cfg.Scheme.PoolSize())
 	}
 	for _, id := range ids {
-		for _, k := range n.rings[id].IDs() {
+		n.rings[id].ForEachID(func(k keys.ID) bool {
 			n.revoked.Add(int(k))
-		}
+			return true
+		})
 	}
 	// Fail the revoked sensors (idempotently).
 	for _, id := range ids {
@@ -48,28 +49,16 @@ func (n *Network) RevokeNodeKeys(ids ...int32) (int, error) {
 			n.deadN++
 		}
 	}
-	// Rebuild the secure topology against the revocation list.
+	// Rebuild the secure topology against the cumulative revocation list: a
+	// link survives iff ≥ q of its shared keys are unrevoked. Link keys for
+	// the surviving shared sets are re-derived lazily on next access.
 	q := n.cfg.Scheme.RequiredOverlap()
 	torn := 0
 	var edges []graph.Edge
-	newLinks := make(map[[2]int32]*Link, len(n.links))
 	n.secure.ForEachEdge(func(u, v int32) bool {
-		key := [2]int32{u, v}
-		link := n.links[key]
-		surviving := link.SharedKeys[:0:0]
-		for _, k := range link.SharedKeys {
-			if !n.revoked.Contains(int(k)) {
-				surviving = append(surviving, k)
-			}
-		}
-		if len(surviving) >= q {
+		n.sharedBuf = n.appendSurvivingShared(u, v, n.sharedBuf[:0])
+		if len(n.sharedBuf) >= q {
 			edges = append(edges, graph.Edge{U: u, V: v})
-			newLinks[key] = &Link{
-				A:          u,
-				B:          v,
-				SharedKeys: surviving,
-				Key:        keys.DeriveLinkKey(surviving),
-			}
 		} else if n.alive[u] && n.alive[v] {
 			torn++
 		}
@@ -80,7 +69,7 @@ func (n *Network) RevokeNodeKeys(ids ...int32) (int, error) {
 		return 0, fmt.Errorf("wsn: revoke: %w", err)
 	}
 	n.secure = secure
-	n.links = newLinks
+	n.invalidateLinks()
 	return torn, nil
 }
 

@@ -40,6 +40,9 @@ func (c Config) validate() error {
 	if c.Channel == nil {
 		return fmt.Errorf("wsn: missing channel model")
 	}
+	if err := c.Channel.Validate(); err != nil {
+		return fmt.Errorf("wsn: invalid channel model: %w", err)
+	}
 	return nil
 }
 
@@ -55,67 +58,95 @@ type Link struct {
 
 // Network is a deployed WSN. It is not safe for concurrent mutation; treat
 // a Network as owned by one goroutine.
+//
+// Link keys are derived lazily: shared-key discovery during deployment only
+// decides which links exist, and the per-link SHA-256 key material is
+// materialized on the first Link/Links access (and again after revocations,
+// which change the surviving shared sets). Connectivity-only workloads
+// therefore never pay for key derivation.
 type Network struct {
 	cfg         Config
 	rings       []keys.Ring
 	channels    *graph.Undirected
 	secure      *graph.Undirected
-	links       map[[2]int32]*Link
 	alive       []bool
 	deadN       int
 	failedLinks map[[2]int32]bool
 	revoked     *bitset.Set
+
+	// Lazily materialized link table over the current secure topology;
+	// linkIdx == nil means not yet materialized. Invalidated by revocation.
+	linkIdx   map[[2]int32]int32
+	linkStore []Link
+	sharedBuf []keys.ID // scratch for shared-set queries
 }
 
 // Deploy assigns key rings, samples the channel model, and performs
 // shared-key discovery over every usable channel, establishing a secure link
 // wherever at least q keys are shared.
+//
+// Deploy is the one-shot entry point; Monte Carlo workloads that deploy
+// repeatedly should use a Deployer (or DeployerPool), which amortizes every
+// internal buffer across deployments.
 func Deploy(cfg Config) (*Network, error) {
-	if err := cfg.validate(); err != nil {
+	d, err := NewDeployer(cfg)
+	if err != nil {
 		return nil, err
 	}
-	r := rng.New(cfg.Seed)
-	rings, err := cfg.Scheme.Assign(r, cfg.Sensors)
-	if err != nil {
-		return nil, fmt.Errorf("wsn: deploy: %w", err)
-	}
-	channels, err := cfg.Channel.Sample(r, cfg.Sensors)
-	if err != nil {
-		return nil, fmt.Errorf("wsn: deploy: %w", err)
-	}
+	return d.Deploy(cfg.Seed)
+}
 
-	q := cfg.Scheme.RequiredOverlap()
-	links := make(map[[2]int32]*Link)
-	var secureEdges []graph.Edge
-	channels.ForEachEdge(func(u, v int32) bool {
-		shared := rings[u].SharedWith(rings[v])
-		if len(shared) >= q {
-			secureEdges = append(secureEdges, graph.Edge{U: u, V: v})
-			links[[2]int32{u, v}] = &Link{
-				A:          u,
-				B:          v,
-				SharedKeys: shared,
-				Key:        keys.DeriveLinkKey(shared),
-			}
-		}
+// materializeLinks builds the link table for the current secure topology:
+// one pass collects every link's surviving shared keys into a flat arena,
+// a second derives the link keys. Called lazily from Link/Links.
+func (n *Network) materializeLinks() {
+	if n.linkIdx != nil {
+		return
+	}
+	m := n.secure.M()
+	n.linkIdx = make(map[[2]int32]int32, m)
+	if cap(n.linkStore) < m {
+		n.linkStore = make([]Link, 0, m)
+	}
+	n.linkStore = n.linkStore[:0]
+	flat := make([]keys.ID, 0, 2*m)
+	offs := make([]int, 1, m+1)
+	n.secure.ForEachEdge(func(u, v int32) bool {
+		flat = n.appendSurvivingShared(u, v, flat)
+		offs = append(offs, len(flat))
+		n.linkIdx[[2]int32{u, v}] = int32(len(n.linkStore))
+		n.linkStore = append(n.linkStore, Link{A: u, B: v})
 		return true
 	})
-	secure, err := graph.NewFromEdges(cfg.Sensors, secureEdges)
-	if err != nil {
-		return nil, fmt.Errorf("wsn: deploy: %w", err)
+	for i := range n.linkStore {
+		shared := flat[offs[i]:offs[i+1]:offs[i+1]]
+		n.linkStore[i].SharedKeys = shared
+		n.linkStore[i].Key = keys.DeriveLinkKey(shared)
 	}
-	alive := make([]bool, cfg.Sensors)
-	for i := range alive {
-		alive[i] = true
+}
+
+// invalidateLinks drops the materialized link table (after revocation).
+func (n *Network) invalidateLinks() {
+	n.linkIdx = nil
+	n.linkStore = n.linkStore[:0]
+}
+
+// appendSurvivingShared appends the shared keys of u and v that have not
+// been revoked, in ascending order.
+func (n *Network) appendSurvivingShared(u, v int32, dst []keys.ID) []keys.ID {
+	start := len(dst)
+	dst = n.rings[u].AppendShared(n.rings[v], dst)
+	if n.revoked == nil {
+		return dst
 	}
-	return &Network{
-		cfg:      cfg,
-		rings:    rings,
-		channels: channels,
-		secure:   secure,
-		links:    links,
-		alive:    alive,
-	}, nil
+	w := start
+	for _, k := range dst[start:] {
+		if !n.revoked.Contains(int(k)) {
+			dst[w] = k
+			w++
+		}
+	}
+	return dst[:w]
 }
 
 // Sensors returns the number of deployed sensors.
@@ -160,7 +191,9 @@ func (n *Network) SecureTopology() (*graph.Undirected, []int32, error) {
 }
 
 // Link returns the established secure link between u and v, if any. Links
-// to or from failed sensors are reported as absent.
+// to or from failed sensors are reported as absent. The first call (after
+// deployment or revocation) materializes the link table, deriving every
+// link key.
 func (n *Network) Link(u, v int32) (*Link, bool) {
 	if u == v || !n.Alive(u) || !n.Alive(v) {
 		return nil, false
@@ -168,34 +201,41 @@ func (n *Network) Link(u, v int32) (*Link, bool) {
 	if u > v {
 		u, v = v, u
 	}
-	l, ok := n.links[[2]int32{u, v}]
+	n.materializeLinks()
+	idx, ok := n.linkIdx[[2]int32{u, v}]
 	if !ok {
 		return nil, false
 	}
 	// Copy at the boundary: callers must not mutate internal state.
+	l := &n.linkStore[idx]
 	cp := *l
 	cp.SharedKeys = append([]keys.ID(nil), l.SharedKeys...)
 	return &cp, true
 }
 
 // Links returns all currently usable secure links (both endpoints alive).
+// Like Link, the first call materializes the link table.
 func (n *Network) Links() []Link {
-	out := make([]Link, 0, len(n.links))
-	n.secure.ForEachEdge(func(u, v int32) bool {
-		if n.alive[u] && n.alive[v] {
-			if l, ok := n.links[[2]int32{u, v}]; ok {
-				cp := *l
-				cp.SharedKeys = append([]keys.ID(nil), l.SharedKeys...)
-				out = append(out, cp)
-			}
+	n.materializeLinks()
+	out := make([]Link, 0, len(n.linkStore))
+	for i := range n.linkStore {
+		l := &n.linkStore[i]
+		if n.alive[l.A] && n.alive[l.B] {
+			cp := *l
+			cp.SharedKeys = append([]keys.ID(nil), l.SharedKeys...)
+			out = append(out, cp)
 		}
-		return true
-	})
+	}
 	return out
 }
 
 // IsConnected reports whether the alive part of the network is connected.
+// With no failed sensors it runs directly on the full secure topology,
+// skipping the induced-subgraph copy — the hot path of connectivity trials.
 func (n *Network) IsConnected() (bool, error) {
+	if n.deadN == 0 {
+		return graphalgo.IsConnected(n.secure), nil
+	}
 	sub, _, err := n.SecureTopology()
 	if err != nil {
 		return false, err
@@ -206,6 +246,9 @@ func (n *Network) IsConnected() (bool, error) {
 // IsKConnected reports whether the alive part of the network is k-connected
 // (the paper's resilience property: it survives any k−1 further failures).
 func (n *Network) IsKConnected(k int) (bool, error) {
+	if n.deadN == 0 {
+		return graphalgo.IsKConnected(n.secure, k), nil
+	}
 	sub, _, err := n.SecureTopology()
 	if err != nil {
 		return false, err
