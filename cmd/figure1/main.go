@@ -60,10 +60,8 @@ func run() error {
 	qs := []int{2, 3}
 	ps := []float64{1, 0.5, 0.2}
 	curves := make([]curve, 0, len(qs)*len(ps))
-	curveIdx := map[curve]int{}
 	for _, q := range qs {
 		for _, p := range ps {
-			curveIdx[curve{q: q, p: p}] = len(curves)
 			curves = append(curves, curve{q: q, p: p})
 		}
 	}
@@ -74,14 +72,6 @@ func run() error {
 
 	fmt.Printf("Figure 1 reproduction: P[G_{n,q}(n=%d, K, P=%d, p) is connected] vs K\n", *n, *pool)
 	fmt.Printf("%d trials/point, seed %d\n\n", *trials, *seed)
-
-	columns := []string{"K"}
-	series := make([]experiment.Series, len(curves))
-	for i, c := range curves {
-		series[i].Name = fmt.Sprintf("q=%d, p=%g", c.q, c.p)
-		columns = append(columns, fmt.Sprintf("q=%d,p=%g", c.q, c.p))
-	}
-	table := experiment.NewTable(columns...)
 
 	ctx := context.Background()
 	start := time.Now()
@@ -114,25 +104,23 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	rows := map[int][]string{}
-	for _, res := range results {
-		ci := curveIdx[curve{q: res.Point.Q, p: res.Point.P}]
-		lo, hi := res.Value.WilsonInterval(1.96)
-		series[ci].AddCI(float64(res.Point.K), res.Value.Estimate(), lo, hi)
-		if _, ok := rows[res.Point.K]; !ok {
-			rows[res.Point.K] = make([]string, len(curves))
-		}
-		rows[res.Point.K][ci] = fmt.Sprintf("%.3f", res.Value.Estimate())
-	}
-	for _, k := range ks {
-		table.AddRow(append([]string{fmt.Sprintf("%d", k)}, rows[k]...)...)
-	}
-	if err := table.Render(os.Stdout); err != nil {
+	// Pivot: one row per K, one column/series per (q, p) curve. The grid
+	// enumerates (K, q, p) row-major, so curves appear in (q, p) order.
+	presented := experiment.PivotSweep(experiment.PivotSpec{
+		RowHeaders: []string{"K"},
+		RowCells: func(pt experiment.GridPoint) []string {
+			return []string{fmt.Sprintf("%d", pt.K)}
+		},
+	}, experiment.ProportionMeasurements(results, 1.96,
+		func(pt experiment.GridPoint) float64 { return float64(pt.K) },
+		func(pt experiment.GridPoint) string { return fmt.Sprintf("q=%d, p=%g", pt.Q, pt.P) },
+	))
+	if err := presented.Table.Render(os.Stdout); err != nil {
 		return err
 	}
 	fmt.Printf("\nelapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
 
-	if err := experiment.RenderChart(os.Stdout, series, experiment.ChartOptions{
+	if err := experiment.RenderChart(os.Stdout, presented.Series, experiment.ChartOptions{
 		Title:  fmt.Sprintf("Empirical probability of connectivity (n=%d, P=%d, %d trials)", *n, *pool, *trials),
 		XLabel: "key ring size K",
 		YLabel: "P[connected]",
@@ -156,12 +144,7 @@ func run() error {
 	}
 
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			return fmt.Errorf("create csv: %w", err)
-		}
-		defer f.Close()
-		if err := experiment.WriteSeriesCSV(f, series); err != nil {
+		if err := presented.SaveSeriesCSV(*csvPath); err != nil {
 			return err
 		}
 		fmt.Printf("\nwrote %s\n", *csvPath)

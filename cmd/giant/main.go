@@ -64,11 +64,6 @@ func run() error {
 		}
 	}
 
-	giant := experiment.Series{Name: "largest component fraction"}
-	isolated := experiment.Series{Name: "isolated fraction"}
-	prediction := experiment.Series{Name: "e^{-deg} (isolated prediction)"}
-	table := experiment.NewTable(
-		"K", "mean degree n·t", "largest comp fraction", "isolated fraction", "e^{-deg}")
 	ctx := context.Background()
 	start := time.Now()
 
@@ -110,34 +105,44 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	for i, ring := range rings {
+	// Mean secure degree n·t per ring size — both the series' x axis and a
+	// leading table column.
+	degOf := make(map[int]float64, len(rings))
+	for _, ring := range rings {
 		m := core.Model{N: *n, K: ring, P: *pool, Q: *q, ChannelOn: *pOn}
 		tProb, err := m.EdgeProbability()
 		if err != nil {
 			return err
 		}
-		deg := float64(*n) * tProb
-		lf := results[i].Values[0].Mean()
-		iso := results[i].Values[1].Mean()
-		pred := math.Exp(-deg)
-		giant.Add(deg, lf)
-		isolated.Add(deg, iso)
-		prediction.Add(deg, pred)
-		table.AddRow(
-			fmt.Sprintf("%d", ring),
-			fmt.Sprintf("%.2f", deg),
-			fmt.Sprintf("%.4f", lf),
-			fmt.Sprintf("%.4f", iso),
-			fmt.Sprintf("%.4f", pred),
-		)
+		degOf[ring] = float64(*n) * tProb
 	}
-	if err := table.Render(os.Stdout); err != nil {
+	xDeg := func(pt experiment.GridPoint) float64 { return degOf[pt.K] }
+	// Two measured curves from the paired SampleVec components, plus the
+	// e^{-deg} isolated-node prediction as a third (theory-only) curve.
+	ms := experiment.MeanVecMeasurements(results, 0, 0, xDeg, "largest component fraction")
+	ms = append(ms, experiment.MeanVecMeasurements(results, 1, 0, xDeg, "isolated fraction")...)
+	for _, res := range results {
+		deg := degOf[res.Point.K]
+		pred := math.Exp(-deg)
+		ms = append(ms, experiment.Measurement{
+			Point: res.Point, Curve: "e^{-deg} (isolated prediction)",
+			X: deg, Y: pred, Lo: pred, Hi: pred,
+		})
+	}
+	presented := experiment.PivotSweep(experiment.PivotSpec{
+		RowHeaders: []string{"K", "mean degree n·t"},
+		RowCells: func(pt experiment.GridPoint) []string {
+			return []string{fmt.Sprintf("%d", pt.K), fmt.Sprintf("%.2f", degOf[pt.K])}
+		},
+		FormatCell: func(m experiment.Measurement) string { return fmt.Sprintf("%.4f", m.Y) },
+	}, ms)
+	if err := presented.Table.Render(os.Stdout); err != nil {
 		return err
 	}
 	fmt.Printf("\nelapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
 
 	if err := experiment.RenderChart(os.Stdout,
-		[]experiment.Series{giant, isolated, prediction}, experiment.ChartOptions{
+		presented.Series, experiment.ChartOptions{
 			Title:  "Giant component and isolated nodes vs mean secure degree",
 			XLabel: "mean degree n·t",
 			YLabel: "fraction of n",
@@ -151,12 +156,7 @@ func run() error {
 	fmt.Println("mean degree ≈ ln n — the gap the paper's eq. (9) rule bridges.")
 
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			return fmt.Errorf("create csv: %w", err)
-		}
-		defer f.Close()
-		if err := experiment.WriteSeriesCSV(f, []experiment.Series{giant, isolated, prediction}); err != nil {
+		if err := presented.SaveSeriesCSV(*csvPath); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *csvPath)

@@ -101,7 +101,7 @@ func connectivityRate(scheme keys.Scheme, ch channel.Model, sensors, trials int,
 			Sensors: sensors,
 			Scheme:  scheme,
 			Channel: ch,
-			Seed:    seedBase*1_000_000 + uint64(scheme.RingSize())*1000 + uint64(trial),
+			Seed:    seedBase*1_000_000 + uint64(keys.MaxRingSize(scheme))*1000 + uint64(trial),
 		})
 		if err != nil {
 			return 0, err

@@ -7,6 +7,7 @@ package qcomposite_test
 import (
 	"context"
 	"math"
+	"reflect"
 	"testing"
 
 	"github.com/secure-wsn/qcomposite"
@@ -280,7 +281,7 @@ func TestAttackDoesNotAffectConnectivityState(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if before != after {
+	if !reflect.DeepEqual(before, after) {
 		t.Errorf("capture mutated the network: %+v vs %+v", before, after)
 	}
 }

@@ -1,0 +1,163 @@
+package channel
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/secure-wsn/qcomposite/internal/graph"
+	"github.com/secure-wsn/qcomposite/internal/randgraph"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+// ClassModel is a channel model whose link probabilities depend on the
+// sensors' classes. A deployment threads the key scheme's per-sensor class
+// labels to SampleClasses, so the scheme and channel share one
+// deployment-level class assignment (wsn.Config validates the pairing).
+type ClassModel interface {
+	Model
+	// ClassCount returns the number of sensor classes the model expects.
+	ClassCount() int
+	// SampleClasses draws the channel graph on n nodes whose classes are
+	// given by labels (one entry per node; nil means every node is class 0).
+	SampleClasses(r *rng.Rand, n int, labels []uint8) (*graph.Undirected, error)
+}
+
+// HeterOnOff is the heterogeneous on/off channel model of Eletreby and Yağan
+// (arXiv:1908.09826): the channel between a class-i and a class-j sensor is
+// on independently with probability P[i][j]. With one class it degenerates
+// to the paper's uniform OnOff model; paired with a multi-class
+// keys.Heterogeneous scheme it yields the heterogeneous random
+// key graph ∩ heterogeneous Erdős–Rényi composite of that paper.
+type HeterOnOff struct {
+	// P is the symmetric class-pair on-probability matrix.
+	P [][]float64
+}
+
+var (
+	_ Model      = HeterOnOff{}
+	_ ClassModel = HeterOnOff{}
+)
+
+// UniformHeterOnOff returns the r-class HeterOnOff whose every class pair is
+// on with the same probability p — the uniform on/off channel written in
+// class form, for pairing a heterogeneous scheme with the 1604.00460 model
+// (heterogeneous keys, homogeneous channels).
+func UniformHeterOnOff(classes int, p float64) HeterOnOff {
+	m := make([][]float64, classes)
+	for i := range m {
+		m[i] = make([]float64, classes)
+		for j := range m[i] {
+			m[i][j] = p
+		}
+	}
+	return HeterOnOff{P: m}
+}
+
+// Name implements Model.
+func (m HeterOnOff) Name() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "heter-on-off(p=[")
+	for i, row := range m.P {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		for j, p := range row {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%g", p)
+		}
+	}
+	b.WriteString("])")
+	return b.String()
+}
+
+// ClassCount implements ClassModel.
+func (m HeterOnOff) ClassCount() int { return len(m.P) }
+
+// Validate implements Model: the matrix must be non-empty, square,
+// symmetric, with entries in [0, 1].
+func (m HeterOnOff) Validate() error {
+	r := len(m.P)
+	if r == 0 {
+		return fmt.Errorf("channel: heterogeneous on/off needs at least one class")
+	}
+	// Check every row length before touching m.P[j][i]: the symmetry check
+	// reads across rows, so a ragged matrix must fail here, not panic there.
+	for i, row := range m.P {
+		if len(row) != r {
+			return fmt.Errorf("channel: on-probability matrix row %d has %d entries, want %d", i, len(row), r)
+		}
+	}
+	for i, row := range m.P {
+		for j, p := range row {
+			if math.IsNaN(p) || p < 0 || p > 1 {
+				return fmt.Errorf("channel: on probability P[%d][%d]=%v outside [0,1]", i, j, p)
+			}
+			if m.P[j][i] != p {
+				return fmt.Errorf("channel: on-probability matrix asymmetric at (%d,%d): %v vs %v", i, j, p, m.P[j][i])
+			}
+		}
+	}
+	return nil
+}
+
+// Sample implements Model. Without class labels only the single-class
+// instance is well-defined (it is OnOff); multi-class instances must be
+// sampled through SampleClasses with a deployment's label assignment.
+func (m HeterOnOff) Sample(r *rng.Rand, n int) (*graph.Undirected, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(m.P) > 1 {
+		return nil, fmt.Errorf("channel: heterogeneous on/off with %d classes needs per-sensor labels; deploy it with a class-aware scheme", len(m.P))
+	}
+	return OnOff{P: m.P[0][0]}.Sample(r, n)
+}
+
+// SampleClasses implements ClassModel: the channel graph is the union of
+// one Erdős–Rényi block per class pair — within-class blocks G(n_i, P[i][i])
+// and cross-class bipartite blocks with probability P[i][j] — each sampled
+// with geometric skipping. Blocks are drawn in fixed (i ≤ j) order, so the
+// draw is deterministic in (r, labels).
+func (m HeterOnOff) SampleClasses(r *rng.Rand, n int, labels []uint8) (*graph.Undirected, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("channel: negative node count %d", n)
+	}
+	if labels != nil && len(labels) != n {
+		return nil, fmt.Errorf("channel: %d class labels for %d nodes", len(labels), n)
+	}
+	classes := len(m.P)
+	buckets := make([][]int32, classes)
+	for v := 0; v < n; v++ {
+		c := 0
+		if labels != nil {
+			c = int(labels[v])
+		}
+		if c >= classes {
+			return nil, fmt.Errorf("channel: node %d has class %d, model has %d classes", v, c, classes)
+		}
+		buckets[c] = append(buckets[c], int32(v))
+	}
+	var edges []graph.Edge
+	var err error
+	for i := 0; i < classes; i++ {
+		if edges, err = randgraph.AppendErdosRenyiSubset(r, buckets[i], m.P[i][i], edges); err != nil {
+			return nil, fmt.Errorf("channel: heterogeneous on/off: %w", err)
+		}
+		for j := i + 1; j < classes; j++ {
+			if edges, err = randgraph.AppendErdosRenyiBipartite(r, buckets[i], buckets[j], m.P[i][j], edges); err != nil {
+				return nil, fmt.Errorf("channel: heterogeneous on/off: %w", err)
+			}
+		}
+	}
+	g, err := graph.NewFromEdges(n, edges)
+	if err != nil {
+		return nil, fmt.Errorf("channel: heterogeneous on/off: %w", err)
+	}
+	return g, nil
+}

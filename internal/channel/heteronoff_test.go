@@ -1,0 +1,108 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+func TestHeterOnOffValidate(t *testing.T) {
+	good := HeterOnOff{P: [][]float64{{0.2, 0.5}, {0.5, 0.9}}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid matrix rejected: %v", err)
+	}
+	bad := []HeterOnOff{
+		{P: nil},
+		{P: [][]float64{{0.5, 0.5}}}, // not square
+		{P: [][]float64{{1, 1, 1}, {1, 1, 1}, {1}}},            // ragged (regression: used to panic)
+		{P: [][]float64{{0.5, 0.2}, {0.3, 0.5}}},               // asymmetric
+		{P: [][]float64{{1.5}}},                                // entry > 1
+		{P: [][]float64{{-0.1}}},                               // entry < 0
+		{P: [][]float64{{math.NaN()}}},                         // NaN
+		{P: [][]float64{{0.5, math.NaN()}, {math.NaN(), 0.5}}}, // NaN off-diagonal
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("matrix %d accepted: %v", i, m.P)
+		}
+	}
+}
+
+// TestHeterOnOffOneClassMatchesOnOff pins the degenerate case: a 1-class
+// HeterOnOff must sample exactly the OnOff graph, through both Sample and
+// SampleClasses (nil labels), from the same stream.
+func TestHeterOnOffOneClassMatchesOnOff(t *testing.T) {
+	const (
+		n = 200
+		p = 0.3
+	)
+	m := UniformHeterOnOff(1, p)
+	for seed := uint64(0); seed < 3; seed++ {
+		want, err := OnOff{P: p}.Sample(rng.New(seed), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Sample(rng.New(seed), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotC, err := m.SampleClasses(rng.New(seed), n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range []interface {
+			N() int
+			M() int
+			HasEdge(u, v int32) bool
+		}{got, gotC} {
+			if g.N() != want.N() || g.M() != want.M() {
+				t.Fatalf("seed %d: %d nodes %d edges, want %d nodes %d edges",
+					seed, g.N(), g.M(), want.N(), want.M())
+			}
+		}
+		want.ForEachEdge(func(u, v int32) bool {
+			if !got.HasEdge(u, v) || !gotC.HasEdge(u, v) {
+				t.Fatalf("seed %d: edge (%d,%d) missing", seed, u, v)
+			}
+			return true
+		})
+	}
+}
+
+// TestHeterOnOffSampleClassesBlocks checks the class-structured draw: with
+// p=[1 0; 0 1] every within-class pair is an edge and no cross-class pair
+// is.
+func TestHeterOnOffSampleClassesBlocks(t *testing.T) {
+	m := HeterOnOff{P: [][]float64{{1, 0}, {0, 1}}}
+	const n = 40
+	labels := make([]uint8, n)
+	for v := range labels {
+		labels[v] = uint8(v % 2)
+	}
+	g, err := m.SampleClasses(rng.New(1), n, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			same := labels[u] == labels[v]
+			if g.HasEdge(u, v) != same {
+				t.Fatalf("edge (%d,%d): got %v, want %v", u, v, g.HasEdge(u, v), same)
+			}
+		}
+	}
+
+	// Multi-class Sample without labels is ill-defined and must error.
+	if _, err := m.Sample(rng.New(1), n); err == nil {
+		t.Error("multi-class Sample without labels accepted")
+	}
+	// Out-of-range label must error, not panic.
+	if _, err := m.SampleClasses(rng.New(1), 3, []uint8{0, 2, 0}); err == nil {
+		t.Error("out-of-range class label accepted")
+	}
+	// Label/count mismatch must error.
+	if _, err := m.SampleClasses(rng.New(1), 3, []uint8{0, 1}); err == nil {
+		t.Error("label count mismatch accepted")
+	}
+}

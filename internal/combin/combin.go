@@ -65,20 +65,38 @@ func BigBinomial(n, k int) *big.Int {
 // This is eq. (4) of the paper. It returns -Inf when the outcome u is
 // impossible. It reports an error for invalid parameters (K < 0, P < K).
 func HypergeomLogPMF(pool, ring, u int) (float64, error) {
-	if ring < 0 || pool < ring {
-		return 0, fmt.Errorf("combin: invalid hypergeometric parameters pool=%d ring=%d", pool, ring)
+	return HypergeomLogPMF2(pool, ring, ring, u)
+}
+
+// HypergeomLogPMF2 generalises HypergeomLogPMF to rings of unequal sizes —
+// the overlap law of the heterogeneous key predistribution scheme, where a
+// class-i and a class-j sensor draw K_i- and K_j-subsets of the same pool:
+//
+//	P[X = u] = C(K₁,u)·C(P−K₁, K₂−u) / C(P,K₂)
+func HypergeomLogPMF2(pool, ring1, ring2, u int) (float64, error) {
+	if ring1 < 0 || ring2 < 0 || pool < ring1 || pool < ring2 {
+		return 0, fmt.Errorf("combin: invalid hypergeometric parameters pool=%d rings=%d,%d", pool, ring1, ring2)
 	}
-	if u < 0 || u > ring || ring-u > pool-ring {
+	if u < 0 || u > ring1 || u > ring2 || ring2-u > pool-ring1 {
 		return math.Inf(-1), nil
 	}
-	return LogBinomial(ring, u) +
-		LogBinomial(pool-ring, ring-u) -
-		LogBinomial(pool, ring), nil
+	return LogBinomial(ring1, u) +
+		LogBinomial(pool-ring1, ring2-u) -
+		LogBinomial(pool, ring2), nil
 }
 
 // HypergeomPMF returns P[X = u] for the overlap distribution of eq. (4).
 func HypergeomPMF(pool, ring, u int) (float64, error) {
 	lp, err := HypergeomLogPMF(pool, ring, u)
+	if err != nil {
+		return 0, err
+	}
+	return math.Exp(lp), nil
+}
+
+// HypergeomPMF2 returns P[X = u] for the unequal-ring overlap distribution.
+func HypergeomPMF2(pool, ring1, ring2, u int) (float64, error) {
+	lp, err := HypergeomLogPMF2(pool, ring1, ring2, u)
 	if err != nil {
 		return 0, err
 	}
@@ -97,25 +115,38 @@ func HypergeomPMF(pool, ring, u int) (float64, error) {
 // the pmf decays super-geometrically, stopping once further terms cannot
 // move the sum at double precision.
 func HypergeomTail(pool, ring, q int) (float64, error) {
-	if ring < 0 || pool < ring {
-		return 0, fmt.Errorf("combin: invalid hypergeometric parameters pool=%d ring=%d", pool, ring)
+	return HypergeomTail2(pool, ring, ring, q)
+}
+
+// HypergeomTail2 generalises HypergeomTail to rings of unequal sizes: the
+// probability that a K₁-subset and an independent K₂-subset of a P-element
+// pool share at least q elements — s(K₁, K₂, P, q) of the heterogeneous
+// scheme (Eletreby–Yağan). The same dense/sparse regime split as
+// HypergeomTail keeps both ends accurate.
+func HypergeomTail2(pool, ring1, ring2, q int) (float64, error) {
+	if ring1 < 0 || ring2 < 0 || pool < ring1 || pool < ring2 {
+		return 0, fmt.Errorf("combin: invalid hypergeometric parameters pool=%d rings=%d,%d", pool, ring1, ring2)
 	}
 	if q <= 0 {
 		return 1, nil
 	}
-	if q > ring {
-		// The overlap of two K-subsets can never exceed K.
+	maxOverlap := ring1
+	if ring2 < maxOverlap {
+		maxOverlap = ring2
+	}
+	if q > maxOverlap {
+		// The overlap can never exceed the smaller ring.
 		return 0, nil
 	}
 	lo := 0
-	if min := 2*ring - pool; lo < min {
-		lo = min // overlap cannot be smaller than 2K−P
+	if min := ring1 + ring2 - pool; lo < min {
+		lo = min // overlap cannot be smaller than K₁+K₂−P
 	}
-	if HypergeomMean(pool, ring) >= float64(q) {
+	if HypergeomMean2(pool, ring1, ring2) >= float64(q) {
 		// Dense regime: complement of the short head sum.
 		head := 0.0
 		for u := lo; u < q; u++ {
-			p, err := HypergeomPMF(pool, ring, u)
+			p, err := HypergeomPMF2(pool, ring1, ring2, u)
 			if err != nil {
 				return 0, err
 			}
@@ -129,8 +160,8 @@ func HypergeomTail(pool, ring, q int) (float64, error) {
 	}
 	// Sparse regime: direct tail sum with early exit past the mode.
 	sum := 0.0
-	for u := q; u <= ring; u++ {
-		p, err := HypergeomPMF(pool, ring, u)
+	for u := q; u <= maxOverlap; u++ {
+		p, err := HypergeomPMF2(pool, ring1, ring2, u)
 		if err != nil {
 			return 0, err
 		}
@@ -147,10 +178,15 @@ func HypergeomTail(pool, ring, q int) (float64, error) {
 
 // HypergeomMean returns E[X] = K²/P for the overlap distribution.
 func HypergeomMean(pool, ring int) float64 {
+	return HypergeomMean2(pool, ring, ring)
+}
+
+// HypergeomMean2 returns E[X] = K₁·K₂/P for the unequal-ring overlap.
+func HypergeomMean2(pool, ring1, ring2 int) float64 {
 	if pool <= 0 {
 		return 0
 	}
-	return float64(ring) * float64(ring) / float64(pool)
+	return float64(ring1) * float64(ring2) / float64(pool)
 }
 
 // LogChoose2 returns ln C(n,2) = ln(n(n−1)/2), −Inf for n < 2.

@@ -1,0 +1,159 @@
+package experiment
+
+// The sweep presenter turns per-grid-point measurements into the three
+// presentation artifacts every cmd tool wants — named Series for charts and
+// CSV, and a pivoted aligned Table — replacing the hand-rolled
+// rows-map/series assembly each tool used to carry.
+
+import (
+	"fmt"
+	"os"
+)
+
+// Measurement is one presented sweep value: the grid point it came from,
+// the curve (series name and table column) it belongs to, its x coordinate,
+// and the value with an optional [Lo, Hi] confidence band (set Lo = Hi = Y
+// when no band applies).
+type Measurement struct {
+	Point  GridPoint
+	Curve  string
+	X, Y   float64
+	Lo, Hi float64
+}
+
+// ProportionMeasurements adapts SweepProportion results into measurements:
+// x positions the point on its series, curve names the series/column, and
+// the confidence band is the Wilson interval at critical value z (z ≤ 0
+// omits the band).
+func ProportionMeasurements(results []ProportionResult, z float64,
+	x func(GridPoint) float64, curve func(GridPoint) string) []Measurement {
+	ms := make([]Measurement, len(results))
+	for i, res := range results {
+		m := Measurement{
+			Point: res.Point,
+			Curve: curve(res.Point),
+			X:     x(res.Point),
+			Y:     res.Value.Estimate(),
+		}
+		m.Lo, m.Hi = m.Y, m.Y
+		if z > 0 {
+			m.Lo, m.Hi = res.Value.WilsonInterval(z)
+		}
+		ms[i] = m
+	}
+	return ms
+}
+
+// MeanVecMeasurements adapts one component of SweepMeanVec results into
+// measurements, with a mean ± z·stderr confidence band (z ≤ 0 omits it).
+func MeanVecMeasurements(results []MeanVecResult, dim int, z float64,
+	x func(GridPoint) float64, curve string) []Measurement {
+	ms := make([]Measurement, len(results))
+	for i, res := range results {
+		sum := res.Values[dim]
+		m := Measurement{
+			Point: res.Point,
+			Curve: curve,
+			X:     x(res.Point),
+			Y:     sum.Mean(),
+		}
+		m.Lo, m.Hi = m.Y, m.Y
+		if z > 0 {
+			half := z * sum.StdErr()
+			m.Lo, m.Hi = m.Y-half, m.Y+half
+		}
+		ms[i] = m
+	}
+	return ms
+}
+
+// PivotSpec describes how measurements become table rows.
+type PivotSpec struct {
+	// RowHeaders are the leading column headers (e.g. ["K"], or
+	// ["K", "mean degree"]).
+	RowHeaders []string
+	// RowCells produces the leading cells of the row a grid point belongs
+	// to. Points with equal cell tuples share a row; rows appear in
+	// first-seen order.
+	RowCells func(pt GridPoint) []string
+	// FormatCell renders a measurement into its table cell; nil means
+	// "%.3f" of Y.
+	FormatCell func(m Measurement) string
+}
+
+// PresentedSweep bundles the presentation artifacts of one sweep: the
+// pivoted table and the per-curve series (chart and CSV input).
+type PresentedSweep struct {
+	Table  *Table
+	Series []Series
+}
+
+// PivotSweep assembles measurements into a PresentedSweep: series are
+// grouped by curve name in first-seen order, and the table has one row per
+// distinct RowCells tuple (first-seen order) with one trailing column per
+// curve.
+func PivotSweep(spec PivotSpec, ms []Measurement) *PresentedSweep {
+	format := spec.FormatCell
+	if format == nil {
+		format = func(m Measurement) string { return fmt.Sprintf("%.3f", m.Y) }
+	}
+
+	curveIdx := map[string]int{}
+	var curves []string
+	rowIdx := map[string]int{}
+	var rowLead [][]string
+	type cellKey struct{ row, curve int }
+	cells := map[cellKey]string{}
+
+	ps := &PresentedSweep{}
+	for _, m := range ms {
+		ci, ok := curveIdx[m.Curve]
+		if !ok {
+			ci = len(curves)
+			curveIdx[m.Curve] = ci
+			curves = append(curves, m.Curve)
+			ps.Series = append(ps.Series, Series{Name: m.Curve})
+		}
+		ps.Series[ci].AddCI(m.X, m.Y, m.Lo, m.Hi)
+
+		lead := spec.RowCells(m.Point)
+		key := fmt.Sprintf("%q", lead)
+		ri, ok := rowIdx[key]
+		if !ok {
+			ri = len(rowLead)
+			rowIdx[key] = ri
+			rowLead = append(rowLead, lead)
+		}
+		cells[cellKey{row: ri, curve: ci}] = format(m)
+	}
+
+	columns := append(append([]string(nil), spec.RowHeaders...), curves...)
+	ps.Table = NewTable(columns...)
+	for ri, lead := range rowLead {
+		row := append([]string(nil), lead...)
+		for ci := range curves {
+			row = append(row, cells[cellKey{row: ri, curve: ci}])
+		}
+		ps.Table.AddRow(row...)
+	}
+	return ps
+}
+
+// SaveSeriesCSV writes series as long-format CSV (series, x, y, lo, hi) to
+// path — the shared tail of every cmd tool's -csv flag.
+func SaveSeriesCSV(path string, series []Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiment: create csv: %w", err)
+	}
+	defer f.Close()
+	if err := WriteSeriesCSV(f, series); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// SaveSeriesCSV writes the presented series to path.
+func (ps *PresentedSweep) SaveSeriesCSV(path string) error {
+	return SaveSeriesCSV(path, ps.Series)
+}

@@ -1,0 +1,161 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/secure-wsn/qcomposite/internal/stats"
+)
+
+// pivotFixture builds measurements over a 2×2 (K, p) grid with two curves.
+func pivotFixture() []Measurement {
+	var ms []Measurement
+	idx := 0
+	for _, k := range []int{10, 20} {
+		for _, p := range []float64{0.2, 0.8} {
+			pt := GridPoint{Index: idx, K: k, P: p}
+			ms = append(ms, Measurement{
+				Point: pt,
+				Curve: curveName(p),
+				X:     float64(k),
+				Y:     float64(k) * p,
+				Lo:    float64(k)*p - 1,
+				Hi:    float64(k)*p + 1,
+			})
+			idx++
+		}
+	}
+	return ms
+}
+
+func curveName(p float64) string {
+	if p < 0.5 {
+		return "p=0.2"
+	}
+	return "p=0.8"
+}
+
+func TestPivotSweepShapesTableAndSeries(t *testing.T) {
+	ps := PivotSweep(PivotSpec{
+		RowHeaders: []string{"K"},
+		RowCells:   func(pt GridPoint) []string { return []string{itoa(pt.K)} },
+	}, pivotFixture())
+
+	if len(ps.Series) != 2 {
+		t.Fatalf("%d series, want 2", len(ps.Series))
+	}
+	// Curves appear in first-seen order.
+	if ps.Series[0].Name != "p=0.2" || ps.Series[1].Name != "p=0.8" {
+		t.Errorf("series order %q, %q", ps.Series[0].Name, ps.Series[1].Name)
+	}
+	for _, s := range ps.Series {
+		if len(s.Points) != 2 {
+			t.Errorf("series %q has %d points, want 2", s.Name, len(s.Points))
+		}
+	}
+	if got := ps.Series[1].Points[0]; got.X != 10 || got.Y != 8 || got.Lo != 7 || got.Hi != 9 {
+		t.Errorf("series point = %+v", got)
+	}
+
+	if len(ps.Table.Columns) != 3 || ps.Table.Columns[0] != "K" ||
+		ps.Table.Columns[1] != "p=0.2" || ps.Table.Columns[2] != "p=0.8" {
+		t.Errorf("columns = %v", ps.Table.Columns)
+	}
+	if len(ps.Table.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(ps.Table.Rows))
+	}
+	// Default cell format is %.3f of Y.
+	if ps.Table.Rows[0][0] != "10" || ps.Table.Rows[0][1] != "2.000" || ps.Table.Rows[0][2] != "8.000" {
+		t.Errorf("row 0 = %v", ps.Table.Rows[0])
+	}
+	if ps.Table.Rows[1][0] != "20" || ps.Table.Rows[1][2] != "16.000" {
+		t.Errorf("row 1 = %v", ps.Table.Rows[1])
+	}
+}
+
+func TestPivotSweepMultiLeadAndCustomFormat(t *testing.T) {
+	ps := PivotSweep(PivotSpec{
+		RowHeaders: []string{"K", "2K"},
+		RowCells: func(pt GridPoint) []string {
+			return []string{itoa(pt.K), itoa(2 * pt.K)}
+		},
+		FormatCell: func(m Measurement) string { return "cell" },
+	}, pivotFixture())
+	if len(ps.Table.Columns) != 4 {
+		t.Fatalf("columns = %v", ps.Table.Columns)
+	}
+	if ps.Table.Rows[0][1] != "20" || ps.Table.Rows[0][2] != "cell" {
+		t.Errorf("row 0 = %v", ps.Table.Rows[0])
+	}
+}
+
+func TestProportionMeasurements(t *testing.T) {
+	results := []ProportionResult{
+		{Point: GridPoint{K: 30, P: 0.5}, Value: stats.Proportion{Successes: 40, Trials: 100}},
+	}
+	ms := ProportionMeasurements(results, 1.96,
+		func(pt GridPoint) float64 { return float64(pt.K) },
+		func(pt GridPoint) string { return "c" })
+	if len(ms) != 1 {
+		t.Fatal("no measurements")
+	}
+	m := ms[0]
+	if m.X != 30 || m.Curve != "c" || m.Y != 0.4 {
+		t.Errorf("measurement = %+v", m)
+	}
+	lo, hi := results[0].Value.WilsonInterval(1.96)
+	if m.Lo != lo || m.Hi != hi {
+		t.Errorf("band = [%v,%v], want [%v,%v]", m.Lo, m.Hi, lo, hi)
+	}
+	// z ≤ 0 omits the band.
+	flat := ProportionMeasurements(results, 0,
+		func(pt GridPoint) float64 { return 0 },
+		func(pt GridPoint) string { return "c" })
+	if flat[0].Lo != flat[0].Y || flat[0].Hi != flat[0].Y {
+		t.Errorf("bandless measurement = %+v", flat[0])
+	}
+}
+
+func TestMeanVecMeasurements(t *testing.T) {
+	var sum stats.Summary
+	for _, v := range []float64{1, 2, 3} {
+		sum.Add(v)
+	}
+	results := []MeanVecResult{
+		{Point: GridPoint{K: 5}, Values: []*stats.Summary{nil, &sum}},
+	}
+	ms := MeanVecMeasurements(results, 1, 2,
+		func(pt GridPoint) float64 { return float64(pt.K) }, "mean")
+	if ms[0].Y != 2 || ms[0].Curve != "mean" || ms[0].X != 5 {
+		t.Errorf("measurement = %+v", ms[0])
+	}
+	if ms[0].Lo >= ms[0].Y || ms[0].Hi <= ms[0].Y {
+		t.Errorf("band = [%v,%v] around %v", ms[0].Lo, ms[0].Hi, ms[0].Y)
+	}
+}
+
+func TestSaveSeriesCSV(t *testing.T) {
+	path := t.TempDir() + "/series.csv"
+	ps := PivotSweep(PivotSpec{
+		RowHeaders: []string{"K"},
+		RowCells:   func(pt GridPoint) []string { return []string{itoa(pt.K)} },
+	}, pivotFixture())
+	if err := ps.SaveSeriesCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("%d csv lines, want header + 4", len(lines))
+	}
+	if lines[0] != "series,x,y,lo,hi" {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }

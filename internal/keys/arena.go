@@ -16,8 +16,53 @@ import (
 type RingArena struct {
 	ids     []ID
 	rings   []Ring
-	buf     []ID // per-ring scratch for sampling before sort/dedup
+	labels  []uint8 // per-sensor class labels of multi-class schemes
+	buf     []ID    // per-ring scratch for sampling before sort/dedup
 	sampler *rng.SubsetSampler
+}
+
+// ensureSampler returns a SubsetSampler over [0, pool), reusing the cached
+// one when the pool matches. A SubsetSampler rolls its permutation back
+// after every draw, so a cached one behaves exactly like a fresh one and
+// can be reused across assignments (it is the arena's largest single
+// buffer).
+func (a *RingArena) ensureSampler(pool int) (*rng.SubsetSampler, error) {
+	if a.sampler == nil || a.sampler.Universe() != pool {
+		var err error
+		a.sampler, err = rng.NewSubsetSampler(pool)
+		if err != nil {
+			return nil, fmt.Errorf("keys: assign: %w", err)
+		}
+	}
+	return a.sampler, nil
+}
+
+// reserve readies the arena for an assignment of n rings totalling totalIDs
+// key IDs. The flat ID slice is reserved in full up front: it must not grow
+// while rings are being appended, or earlier Ring views would alias a stale
+// backing array.
+func (a *RingArena) reserve(n, totalIDs int) {
+	if cap(a.ids) < totalIDs {
+		a.ids = make([]ID, 0, totalIDs)
+	}
+	a.ids = a.ids[:0]
+	if cap(a.rings) < n {
+		a.rings = make([]Ring, 0, n)
+	}
+	a.rings = a.rings[:0]
+}
+
+// appendRing samples one ring of the given size into the arena.
+func (a *RingArena) appendRing(r *rng.Rand, sampler *rng.SubsetSampler, size int) error {
+	buf, err := sampler.AppendSample(r, size, a.buf[:0])
+	a.buf = buf
+	if err != nil {
+		return err
+	}
+	start := len(a.ids)
+	a.ids = append(a.ids, sortDedup(a.buf)...)
+	a.rings = append(a.rings, Ring{ids: a.ids[start:len(a.ids):len(a.ids)]})
+	return nil
 }
 
 // ArenaAssigner is implemented by schemes that can assign key rings into a
@@ -25,10 +70,10 @@ type RingArena struct {
 // wsn.Deployer uses it when available.
 type ArenaAssigner interface {
 	Scheme
-	// AssignInto draws the key rings for n sensors into the arena. It must
-	// consume randomness exactly as Assign does, so that a deployment is
-	// byte-identical whichever entry point is used.
-	AssignInto(r *rng.Rand, n int, a *RingArena) ([]Ring, error)
+	// AssignInto draws the class labels and key rings for n sensors into
+	// the arena. It must consume randomness exactly as Assign does, so that
+	// a deployment is byte-identical whichever entry point is used.
+	AssignInto(r *rng.Rand, n int, a *RingArena) (Assignment, error)
 }
 
 var _ ArenaAssigner = (*QComposite)(nil)
@@ -36,41 +81,19 @@ var _ ArenaAssigner = (*QComposite)(nil)
 // AssignInto implements ArenaAssigner. It draws the same rings as Assign for
 // the same generator state (same per-sensor subset draws, in order), but
 // stores them in the arena.
-func (s *QComposite) AssignInto(r *rng.Rand, n int, a *RingArena) ([]Ring, error) {
+func (s *QComposite) AssignInto(r *rng.Rand, n int, a *RingArena) (Assignment, error) {
 	if n < 0 {
-		return nil, fmt.Errorf("keys: negative sensor count %d", n)
+		return Assignment{}, fmt.Errorf("keys: negative sensor count %d", n)
 	}
-	// A SubsetSampler rolls its permutation back after every draw, so a
-	// cached one behaves exactly like a fresh one and can be reused across
-	// assignments (it is the arena's largest single buffer).
-	if a.sampler == nil || a.sampler.Universe() != s.pool {
-		var err error
-		a.sampler, err = rng.NewSubsetSampler(s.pool)
-		if err != nil {
-			return nil, fmt.Errorf("keys: assign: %w", err)
-		}
+	sampler, err := a.ensureSampler(s.pool)
+	if err != nil {
+		return Assignment{}, err
 	}
-	sampler := a.sampler
-	// Reserve the full worst case up front: the flat slice must not grow
-	// while rings are being appended, or earlier Ring views would alias a
-	// stale backing array.
-	if cap(a.ids) < n*s.ring {
-		a.ids = make([]ID, 0, n*s.ring)
-	}
-	a.ids = a.ids[:0]
-	if cap(a.rings) < n {
-		a.rings = make([]Ring, 0, n)
-	}
-	a.rings = a.rings[:0]
+	a.reserve(n, n*s.ring)
 	for v := 0; v < n; v++ {
-		buf, err := sampler.AppendSample(r, s.ring, a.buf[:0])
-		a.buf = buf
-		if err != nil {
-			return nil, fmt.Errorf("keys: assign sensor %d: %w", v, err)
+		if err := a.appendRing(r, sampler, s.ring); err != nil {
+			return Assignment{}, fmt.Errorf("keys: assign sensor %d: %w", v, err)
 		}
-		start := len(a.ids)
-		a.ids = append(a.ids, sortDedup(a.buf)...)
-		a.rings = append(a.rings, Ring{ids: a.ids[start:len(a.ids):len(a.ids)]})
 	}
-	return a.rings, nil
+	return Assignment{Rings: a.rings}, nil
 }

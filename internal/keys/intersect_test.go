@@ -39,11 +39,11 @@ func randomRings(t *testing.T, r *rng.Rand, pool, ring, n int) []Ring {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rings, err := s.Assign(r, n)
+	asg, err := s.Assign(r, n)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return rings
+	return asg.Rings
 }
 
 // TestIntersectorMatchesMerge is the property test for the density-adaptive
@@ -116,16 +116,18 @@ func TestAssignIntoMatchesAssign(t *testing.T) {
 		t.Fatal(err)
 	}
 	const n = 60
-	want, err := s.Assign(rng.New(99), n)
+	wantAsg, err := s.Assign(rng.New(99), n)
 	if err != nil {
 		t.Fatal(err)
 	}
+	want := wantAsg.Rings
 	var arena RingArena
 	for pass := 0; pass < 3; pass++ {
-		got, err := s.AssignInto(rng.New(99), n, &arena)
+		gotAsg, err := s.AssignInto(rng.New(99), n, &arena)
 		if err != nil {
 			t.Fatal(err)
 		}
+		got := gotAsg.Rings
 		if len(got) != len(want) {
 			t.Fatalf("pass %d: %d rings, want %d", pass, len(got), len(want))
 		}

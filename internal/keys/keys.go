@@ -140,20 +140,91 @@ func (r Ring) SharedAtLeast(other Ring, q int) bool {
 	return false
 }
 
-// Scheme is a key predistribution scheme: it assigns rings to sensors before
-// deployment and fixes the overlap requirement for secure links.
+// Class is one sensor class of a (possibly heterogeneous) key
+// predistribution scheme: sensors belong to the class independently with
+// probability Mu and draw RingSize keys from the shared pool.
+type Class struct {
+	// Mu is the class's mixing probability; a scheme's Mu values sum to 1.
+	Mu float64
+	// RingSize is K_i, the number of pool keys a class-i sensor receives.
+	RingSize int
+}
+
+// MaxClasses bounds the number of sensor classes a scheme may declare;
+// class labels travel as uint8 through assignments and channel models.
+const MaxClasses = 256
+
+// Assignment is the outcome of key predistribution for one deployment:
+// per-sensor key rings plus the class labels that sized them.
+type Assignment struct {
+	// Rings holds one key ring per sensor.
+	Rings []Ring
+	// Labels holds the per-sensor class index into the scheme's Classes().
+	// Single-class schemes leave it nil, meaning every sensor is class 0.
+	Labels []uint8
+}
+
+// Label returns sensor v's class index.
+func (a Assignment) Label(v int) int {
+	if a.Labels == nil {
+		return 0
+	}
+	return int(a.Labels[v])
+}
+
+// Scheme is a key predistribution scheme: it assigns class labels and key
+// rings to sensors before deployment and fixes the overlap requirement for
+// secure links. Ring sizes are per sensor — uniform schemes are the
+// single-class special case.
 type Scheme interface {
 	// Name identifies the scheme in reports.
 	Name() string
 	// PoolSize returns P, the key pool size.
 	PoolSize() int
-	// RingSize returns K, the per-sensor ring size.
-	RingSize() int
 	// RequiredOverlap returns q, the minimum number of shared keys two
 	// sensors need to establish a secure link.
 	RequiredOverlap() int
-	// Assign draws the key rings for n sensors.
-	Assign(r *rng.Rand, n int) ([]Ring, error)
+	// Classes returns the scheme's sensor-class profile in class-index
+	// order. Homogeneous schemes return a single class with Mu = 1.
+	Classes() []Class
+	// Assign draws the class labels and key rings for n sensors.
+	Assign(r *rng.Rand, n int) (Assignment, error)
+}
+
+// MeanRingSize returns the expected per-sensor ring size Σ μ_i·K_i of the
+// scheme's class mixture.
+func MeanRingSize(s Scheme) float64 {
+	mean := 0.0
+	for _, c := range s.Classes() {
+		mean += c.Mu * float64(c.RingSize)
+	}
+	return mean
+}
+
+// MinRingSize returns the smallest class ring size — the class that drives
+// the connectivity threshold in the heterogeneous analysis.
+func MinRingSize(s Scheme) int {
+	classes := s.Classes()
+	min := classes[0].RingSize
+	for _, c := range classes[1:] {
+		if c.RingSize < min {
+			min = c.RingSize
+		}
+	}
+	return min
+}
+
+// MaxRingSize returns the largest class ring size — the bound sizing
+// per-sensor buffers (broadcast frames, merge scratch).
+func MaxRingSize(s Scheme) int {
+	classes := s.Classes()
+	max := classes[0].RingSize
+	for _, c := range classes[1:] {
+		if c.RingSize > max {
+			max = c.RingSize
+		}
+	}
+	return max
 }
 
 // QComposite is the q-composite key predistribution scheme: each sensor
@@ -201,31 +272,37 @@ func (s *QComposite) Name() string {
 // PoolSize implements Scheme.
 func (s *QComposite) PoolSize() int { return s.pool }
 
-// RingSize implements Scheme.
+// RingSize returns K, the uniform per-sensor ring size of the 1-class
+// scheme.
 func (s *QComposite) RingSize() int { return s.ring }
 
 // RequiredOverlap implements Scheme.
 func (s *QComposite) RequiredOverlap() int { return s.q }
 
+// Classes implements Scheme: one class holding every sensor.
+func (s *QComposite) Classes() []Class {
+	return []Class{{Mu: 1, RingSize: s.ring}}
+}
+
 // Assign implements Scheme: n independent uniform K-subsets of the pool.
-func (s *QComposite) Assign(r *rng.Rand, n int) ([]Ring, error) {
+func (s *QComposite) Assign(r *rng.Rand, n int) (Assignment, error) {
 	if n < 0 {
-		return nil, fmt.Errorf("keys: negative sensor count %d", n)
+		return Assignment{}, fmt.Errorf("keys: negative sensor count %d", n)
 	}
 	sampler, err := rng.NewSubsetSampler(s.pool)
 	if err != nil {
-		return nil, fmt.Errorf("keys: assign: %w", err)
+		return Assignment{}, fmt.Errorf("keys: assign: %w", err)
 	}
 	rings := make([]Ring, n)
 	var buf []ID
 	for v := 0; v < n; v++ {
 		buf, err = sampler.AppendSample(r, s.ring, buf[:0])
 		if err != nil {
-			return nil, fmt.Errorf("keys: assign sensor %d: %w", v, err)
+			return Assignment{}, fmt.Errorf("keys: assign sensor %d: %w", v, err)
 		}
 		rings[v] = NewRing(buf)
 	}
-	return rings, nil
+	return Assignment{Rings: rings}, nil
 }
 
 // LinkKeySize is the size in bytes of derived link keys.

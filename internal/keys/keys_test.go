@@ -111,10 +111,11 @@ func TestAssignProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := rng.New(1)
-	rings, err := s.Assign(r, 50)
+	asg, err := s.Assign(r, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
+	rings := asg.Rings
 	if len(rings) != 50 {
 		t.Fatalf("assigned %d rings", len(rings))
 	}
@@ -144,10 +145,11 @@ func TestAssignKeyMembershipUniform(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rings, err := s.Assign(rng.New(2), nRings)
+	asg, err := s.Assign(rng.New(2), nRings)
 	if err != nil {
 		t.Fatal(err)
 	}
+	rings := asg.Rings
 	counts := make([]int, pool)
 	for _, rg := range rings {
 		for _, k := range rg.IDs() {
@@ -223,10 +225,11 @@ func BenchmarkSharedCount(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	rings, err := s.Assign(r, 2)
+	asg, err := s.Assign(r, 2)
 	if err != nil {
 		b.Fatal(err)
 	}
+	rings := asg.Rings
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -4,19 +4,22 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/secure-wsn/qcomposite/internal/channel"
 	"github.com/secure-wsn/qcomposite/internal/graph"
 	"github.com/secure-wsn/qcomposite/internal/keys"
 	"github.com/secure-wsn/qcomposite/internal/rng"
 )
 
-// maxCounterNodes bounds the network size for which the Deployer keeps a
-// dense pair-count table (n·(n−1)/2 bytes, ≈ 2 MB at the cap). Larger
-// deployments fall back to per-channel-edge intersection.
-const maxCounterNodes = 2048
+// maxDenseCounterNodes bounds the network size for which inverted-index
+// discovery keeps a dense pair-count table (n·(n−1)/2 bytes, ≈ 2 MB at the
+// bound). Larger deployments count per row instead: the sparse path keeps
+// memory O(n) and the same total pair work, so index discovery scales to
+// n ≥ 10⁵.
+const maxDenseCounterNodes = 2048
 
-// maxCountedOverlap is the saturation point of the dense pair counters; the
-// index strategy is only exact for q below it, which every practical
-// q-composite deployment satisfies (q is single digits in the paper).
+// maxCountedOverlap is the saturation point of the pair counters; the index
+// strategy is only exact for q below it, which every practical q-composite
+// deployment satisfies (q is single digits in the paper).
 const maxCountedOverlap = 255
 
 // Deployer deploys networks repeatedly with amortized buffers: key-ring
@@ -31,14 +34,16 @@ const maxCountedOverlap = 255
 // the one network. A Deployer is not safe for concurrent use — use a
 // DeployerPool to share one configuration across Monte Carlo workers.
 //
-// Shared-key discovery is strategy-adaptive. When the channel graph is dense
-// relative to the key index (and n is small enough for a dense counter
-// table), discovery inverts the assignment into a key→holders index and
-// counts shared keys per co-holding pair — O(Σ_k h_k²) instead of one ring
-// intersection per channel edge. Otherwise it intersects rings per channel
-// edge through a density-adaptive keys.Intersector (bitset-backed for dense
-// rings, sorted merge for sparse ones). Both strategies compute the same
-// exact predicate, so the resulting topology is byte-identical either way.
+// Shared-key discovery is strategy-adaptive and class-aware. When the
+// channel graph is dense relative to the key index, discovery inverts the
+// assignment into a key→holders index and counts shared keys per co-holding
+// pair — O(Σ_k h_k²) instead of one ring intersection per channel edge —
+// with a dense triangular counter table at small n and a per-row counter at
+// large n. Otherwise it intersects rings per channel edge through a
+// density-adaptive keys.Intersector (bitset-backed for dense rings, sorted
+// merge for sparse ones). All strategies compute the same exact predicate
+// from the actual per-sensor rings (ring sizes may differ per class), so
+// the resulting topology is byte-identical whichever runs.
 type Deployer struct {
 	cfg   Config
 	arena keys.RingArena
@@ -47,17 +52,24 @@ type Deployer struct {
 	alive []bool
 
 	// Inverted-index discovery workspace (allocated on first use).
-	keyCnt   []int32 // per-key holder count, then fill cursor
-	keyOff   []int32 // prefix offsets into holders
-	holders  []int32 // sensors holding each key, grouped by key
+	keyCnt  []int32 // per-key holder count, then fill cursor
+	keyOff  []int32 // prefix offsets into holders
+	holders []int32 // sensors holding each key, grouped by key
+
+	// Dense counting (n ≤ maxDenseCounterNodes).
 	counts   []uint8 // shared-key count per node pair (triangular index)
 	touched  []int32 // packed (u<<16|v) pairs with a nonzero count
 	rowStart []int32 // triangular row offsets: idx(u,v) = rowStart[u] + v
+
+	// Sparse per-row counting (larger n).
+	rowCnt     []uint8 // shared-key count of the current row's pairs
+	rowTouched []int32 // peers of the current row with a nonzero count
 }
 
 // NewDeployer validates the configuration (including the channel model's
-// Validate) and returns a Deployer for it. The configuration's Seed field is
-// ignored; each Deploy call takes its own seed.
+// Validate and the scheme/channel class pairing) and returns a Deployer for
+// it. The configuration's Seed field is ignored; each Deploy call takes its
+// own seed.
 func NewDeployer(cfg Config) (*Deployer, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -92,21 +104,30 @@ func (d *Deployer) DeployRand(r *rng.Rand) (*Network, error) {
 func (d *Deployer) deploy(cfg Config, r *rng.Rand) (*Network, error) {
 	n := cfg.Sensors
 
-	// 1. Key predistribution. Schemes that support arena assignment write
-	// the rings into the Deployer's arena; others allocate per deployment.
-	var rings []keys.Ring
+	// 1. Key predistribution: per-sensor class labels and class-sized rings.
+	// Schemes that support arena assignment write the rings into the
+	// Deployer's arena; others allocate per deployment.
+	var asg keys.Assignment
 	var err error
 	if aa, ok := cfg.Scheme.(keys.ArenaAssigner); ok {
-		rings, err = aa.AssignInto(r, n, &d.arena)
+		asg, err = aa.AssignInto(r, n, &d.arena)
 	} else {
-		rings, err = cfg.Scheme.Assign(r, n)
+		asg, err = cfg.Scheme.Assign(r, n)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("wsn: deploy: %w", err)
 	}
+	rings := asg.Rings
 
-	// 2. Physical channel sampling.
-	channels, err := cfg.Channel.Sample(r, n)
+	// 2. Physical channel sampling. Class-aware models receive the
+	// deployment's class labels, so the scheme and channel observe one
+	// shared class assignment.
+	var channels *graph.Undirected
+	if cm, ok := cfg.Channel.(channel.ClassModel); ok {
+		channels, err = cm.SampleClasses(r, n, asg.Labels)
+	} else {
+		channels, err = cfg.Channel.Sample(r, n)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("wsn: deploy: %w", err)
 	}
@@ -114,7 +135,7 @@ func (d *Deployer) deploy(cfg Config, r *rng.Rand) (*Network, error) {
 	// 3. Shared-key discovery over usable channels.
 	q := cfg.Scheme.RequiredOverlap()
 	d.edges = d.edges[:0]
-	if d.useIndexDiscovery(channels, q) {
+	if d.useIndexDiscovery(rings, channels, q) {
 		err = d.discoverByIndex(rings, channels, q)
 	} else {
 		err = d.discoverByEdges(rings, channels, q)
@@ -139,27 +160,32 @@ func (d *Deployer) deploy(cfg Config, r *rng.Rand) (*Network, error) {
 	return &Network{
 		cfg:      cfg,
 		rings:    rings,
+		labels:   asg.Labels,
 		channels: channels,
 		secure:   secure,
 		alive:    d.alive,
 	}, nil
 }
 
-// useIndexDiscovery decides the discovery strategy. The inverted index costs
-// roughly n·K index building plus Σ_k h_k² ≈ n·K·(n·K/P) pair increments;
-// per-edge intersection costs one O(K) ring intersection per channel edge.
-// The index also needs the dense counter table (n ≤ maxCounterNodes) and
-// exact counters (q below saturation).
-func (d *Deployer) useIndexDiscovery(channels *graph.Undirected, q int) bool {
+// useIndexDiscovery decides the discovery strategy from the rings actually
+// assigned (per-sensor sizes; heterogeneous classes make them uneven). The
+// inverted index costs roughly ΣK index building plus Σ_k h_k² ≈ ΣK·(ΣK/P)
+// pair increments; per-edge intersection costs one O(mean K) ring
+// intersection per channel edge. The index also needs exact counters
+// (q below saturation).
+func (d *Deployer) useIndexDiscovery(rings []keys.Ring, channels *graph.Undirected, q int) bool {
 	n := d.cfg.Sensors
-	if n < 2 || n > maxCounterNodes || q > maxCountedOverlap {
+	if n < 2 || q > maxCountedOverlap {
 		return false
 	}
-	ring := float64(d.cfg.Scheme.RingSize())
+	totalKeys := 0
+	for _, ring := range rings {
+		totalKeys += ring.Len()
+	}
 	pool := float64(d.cfg.Scheme.PoolSize())
-	nk := float64(n) * ring
+	nk := float64(totalKeys)
 	indexWork := nk * (nk/pool + 1)
-	edgeWork := float64(channels.M()) * ring
+	edgeWork := float64(channels.M()) * nk / float64(n)
 	return edgeWork > indexWork
 }
 
@@ -184,30 +210,16 @@ func (d *Deployer) discoverByEdges(rings []keys.Ring, channels *graph.Undirected
 	return nil
 }
 
-// discoverByIndex inverts the assignment into a key→holders index, counts
-// shared keys for every co-holding pair, and keeps pairs that both meet the
-// overlap requirement and have an on channel. Counters saturate at
-// maxCountedOverlap, which useIndexDiscovery guarantees is ≥ q. Ring IDs
-// outside [0, PoolSize) are a validation error, matching the per-edge path.
-func (d *Deployer) discoverByIndex(rings []keys.Ring, channels *graph.Undirected, q int) error {
-	n := d.cfg.Sensors
-	pool := d.cfg.Scheme.PoolSize()
+// buildKeyIndex inverts the assignment into the key→holders index:
+// holders[keyOff[k]:keyOff[k+1]] lists the sensors holding key k, in
+// ascending sensor order. Ring IDs outside [0, PoolSize) are a validation
+// error, matching the per-edge path. On return d.keyCnt[:pool] is all zero
+// (ready for reuse as a per-key cursor).
+func (d *Deployer) buildKeyIndex(rings []keys.Ring, pool int) error {
 	if len(d.keyCnt) < pool {
 		d.keyCnt = make([]int32, pool)
 		d.keyOff = make([]int32, pool+1)
 	}
-	if len(d.rowStart) < n {
-		d.rowStart = make([]int32, n)
-		d.counts = make([]uint8, n*(n-1)/2)
-	}
-	// idx(u,v) for u < v flattens the strict upper triangle row by row.
-	acc := int32(0)
-	for u := 0; u < n; u++ {
-		d.rowStart[u] = acc - int32(u) - 1
-		acc += int32(n - u - 1)
-	}
-
-	// Invert: holders[keyOff[k]:keyOff[k+1]] lists the sensors holding k.
 	keyCnt := d.keyCnt[:pool]
 	for k := range keyCnt {
 		keyCnt[k] = 0
@@ -237,20 +249,63 @@ func (d *Deployer) discoverByIndex(rings []keys.Ring, channels *graph.Undirected
 	if cap(d.holders) < total {
 		d.holders = make([]int32, total)
 	}
-	holders := d.holders[:total]
+	d.holders = d.holders[:total]
 	for v, ring := range rings {
 		ring.ForEachID(func(k keys.ID) bool {
-			holders[d.keyOff[k]+keyCnt[k]] = int32(v)
+			d.holders[d.keyOff[k]+keyCnt[k]] = int32(v)
 			keyCnt[k]++
 			return true
 		})
+	}
+	for k := 0; k < pool; k++ {
+		keyCnt[k] = 0
+	}
+	return nil
+}
+
+// discoverByIndex inverts the assignment into a key→holders index, counts
+// shared keys for every co-holding pair, and keeps pairs that both meet the
+// overlap requirement and have an on channel. Counters saturate at
+// maxCountedOverlap, which useIndexDiscovery guarantees is ≥ q. Small
+// networks count into a dense triangular table; larger ones count row by
+// row in O(n) memory.
+func (d *Deployer) discoverByIndex(rings []keys.Ring, channels *graph.Undirected, q int) error {
+	pool := d.cfg.Scheme.PoolSize()
+	if err := d.buildKeyIndex(rings, pool); err != nil {
+		return err
+	}
+	if d.cfg.Sensors <= maxDenseCounterNodes {
+		d.countPairsDense(channels, q)
+	} else {
+		d.countPairsByRow(rings, channels, q)
+	}
+	return nil
+}
+
+// countPairsDense counts shared keys per co-holding pair in a dense
+// triangular table, then emits qualifying pairs with an on channel,
+// resetting counters as it goes so the table is all-zero for the next
+// deployment. Only valid for n ≤ maxDenseCounterNodes (the packed touched
+// entries also need n < 2¹⁶).
+func (d *Deployer) countPairsDense(channels *graph.Undirected, q int) {
+	n := d.cfg.Sensors
+	if len(d.rowStart) < n {
+		d.rowStart = make([]int32, n)
+		d.counts = make([]uint8, n*(n-1)/2)
+	}
+	// idx(u,v) for u < v flattens the strict upper triangle row by row.
+	acc := int32(0)
+	for u := 0; u < n; u++ {
+		d.rowStart[u] = acc - int32(u) - 1
+		acc += int32(n - u - 1)
 	}
 
 	// Count shared keys per co-holding pair. Holder lists are ascending (we
 	// filled them by ascending sensor), so hs[i] < hs[j] for i < j.
 	d.touched = d.touched[:0]
+	pool := d.cfg.Scheme.PoolSize()
 	for k := 0; k < pool; k++ {
-		hs := holders[d.keyOff[k]:d.keyOff[k+1]]
+		hs := d.holders[d.keyOff[k]:d.keyOff[k+1]]
 		for i := 0; i < len(hs); i++ {
 			base := d.rowStart[hs[i]]
 			packed := int32(hs[i]) << 16
@@ -266,8 +321,6 @@ func (d *Deployer) discoverByIndex(rings []keys.Ring, channels *graph.Undirected
 		}
 	}
 
-	// Emit qualifying pairs with an on channel, resetting counters as we go
-	// so the table is all-zero for the next deployment.
 	for _, p := range d.touched {
 		u, v := p>>16, p&0xffff
 		idx := d.rowStart[u] + v
@@ -276,7 +329,45 @@ func (d *Deployer) discoverByIndex(rings []keys.Ring, channels *graph.Undirected
 		}
 		d.counts[idx] = 0
 	}
-	return nil
+}
+
+// countPairsByRow is the sparse counting fallback for n beyond the dense
+// table: it walks sensors in ascending order, and for row u counts the
+// co-holders w > u of each of u's keys into an n-length counter that is
+// cleared per row via a touched list. The per-key cursor (reusing keyCnt)
+// advances past u in O(1) amortized because rows visit each holder list in
+// ascending order. Total pair work matches the dense path; memory is O(n)
+// instead of O(n²).
+func (d *Deployer) countPairsByRow(rings []keys.Ring, channels *graph.Undirected, q int) {
+	n := d.cfg.Sensors
+	if cap(d.rowCnt) < n {
+		d.rowCnt = make([]uint8, n)
+	}
+	rowCnt := d.rowCnt[:n]
+	for u := 0; u < n; u++ {
+		d.rowTouched = d.rowTouched[:0]
+		rings[u].ForEachID(func(k keys.ID) bool {
+			// keyCnt[k] holders of k precede u and are already consumed;
+			// the next one is u itself.
+			cur := d.keyOff[k] + d.keyCnt[k]
+			d.keyCnt[k]++
+			for _, w := range d.holders[cur+1 : d.keyOff[k+1]] {
+				if rowCnt[w] == 0 {
+					d.rowTouched = append(d.rowTouched, w)
+				}
+				if rowCnt[w] < maxCountedOverlap {
+					rowCnt[w]++
+				}
+			}
+			return true
+		})
+		for _, w := range d.rowTouched {
+			if int(rowCnt[w]) >= q && channels.HasEdge(int32(u), w) {
+				d.edges = append(d.edges, graph.Edge{U: int32(u), V: w})
+			}
+			rowCnt[w] = 0
+		}
+	}
 }
 
 // DeployerPool shares one deployment configuration across concurrent Monte

@@ -63,6 +63,12 @@ func deployerConfigs(t *testing.T) map[string]Config {
 	if err != nil {
 		t.Fatal(err)
 	}
+	heteroScheme, err := keys.NewHeterogeneous(500, 1, []keys.Class{
+		{Mu: 0.5, RingSize: 15}, {Mu: 0.3, RingSize: 30}, {Mu: 0.2, RingSize: 60},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	return map[string]Config{
 		"onoff-dense":   {Sensors: 120, Scheme: scheme, Channel: channel.OnOff{P: 0.8}},
 		"onoff-sparse":  {Sensors: 120, Scheme: sparseScheme, Channel: channel.OnOff{P: 0.01}},
@@ -70,6 +76,12 @@ func deployerConfigs(t *testing.T) map[string]Config {
 		"disk-torus":    {Sensors: 100, Scheme: scheme, Channel: channel.Disk{Radius: 0.3, Torus: true}},
 		"disk-zero":     {Sensors: 50, Scheme: scheme, Channel: channel.Disk{}},
 		"onoff-all-off": {Sensors: 50, Scheme: scheme, Channel: channel.OnOff{}},
+		"hetero-onoff":  {Sensors: 120, Scheme: heteroScheme, Channel: channel.OnOff{P: 0.6}},
+		"hetero-heterchannel": {Sensors: 120, Scheme: heteroScheme, Channel: channel.HeterOnOff{P: [][]float64{
+			{0.9, 0.5, 0.2},
+			{0.5, 0.6, 0.4},
+			{0.2, 0.4, 0.8},
+		}}},
 	}
 }
 
@@ -227,6 +239,114 @@ func TestDeployerPoolConcurrent(t *testing.T) {
 	}
 }
 
+// TestSparseIndexDiscoveryMatchesEdges pins the n > maxDenseCounterNodes
+// per-row counting fallback against the per-edge intersection strategy:
+// above the dense-table bound, inverted-index discovery must still produce
+// the exact secure topology, including across Deployer reuse (the per-key
+// cursors and row counters must come back clean).
+func TestSparseIndexDiscoveryMatchesEdges(t *testing.T) {
+	const n = maxDenseCounterNodes + 500
+	scheme, err := keys.NewQComposite(3000, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Sensors: n, Scheme: scheme, Channel: channel.OnOff{P: 0.3}}
+	r := rng.New(7)
+	asg, err := scheme.Assign(r, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	channels, err := cfg.Channel.Sample(r, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	edgeD, err := NewDeployer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := edgeD.discoverByEdges(asg.Rings, channels, 1); err != nil {
+		t.Fatal(err)
+	}
+	want, err := graph.NewFromEdges(n, edgeD.edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.M() == 0 {
+		t.Fatal("test topology has no secure links")
+	}
+
+	indexD, err := NewDeployer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		indexD.edges = indexD.edges[:0]
+		if err := indexD.discoverByIndex(asg.Rings, channels, 1); err != nil {
+			t.Fatal(err)
+		}
+		got, err := graph.NewFromEdges(n, indexD.edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graphsEqual(want, got) {
+			t.Fatalf("pass %d: sparse index topology differs from per-edge (%d vs %d links)",
+				pass, got.M(), want.M())
+		}
+	}
+}
+
+// TestOneClassHeterogeneousDeploymentMatchesQComposite is the deployment
+// half of the 1-class equivalence contract (the scheme half lives in
+// internal/keys): a single-class Heterogeneous scheme must yield deployments
+// byte-identical to the equivalent QComposite — same channel topology, same
+// secure topology, same shared keys and derived link keys — both under the
+// uniform OnOff channel and under the 1-class HeterOnOff written in class
+// form, which must consume the randomness stream exactly as OnOff does.
+func TestOneClassHeterogeneousDeploymentMatchesQComposite(t *testing.T) {
+	const (
+		n    = 150
+		pool = 400
+		ring = 30
+		q    = 2
+		p    = 0.6
+	)
+	qs, err := keys.NewQComposite(pool, ring, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := keys.NewHeterogeneous(pool, q, []keys.Class{{Mu: 1, RingSize: ring}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	channels := map[string]channel.Model{
+		"onoff":        channel.OnOff{P: p},
+		"heter-on-off": channel.UniformHeterOnOff(1, p),
+	}
+	for name, ch := range channels {
+		t.Run(name, func(t *testing.T) {
+			d, err := NewDeployer(Config{Sensors: n, Scheme: hs, Channel: ch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := uint64(0); seed < 4; seed++ {
+				want, err := Deploy(Config{Sensors: n, Scheme: qs, Channel: channel.OnOff{P: p}, Seed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := d.Deploy(seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameNetwork(t, want, got)
+				if c, err := got.ClassOf(0); err != nil || c != 0 {
+					t.Fatalf("ClassOf(0) = %d, %v; want class 0", c, err)
+				}
+			}
+		})
+	}
+}
+
 // TestNewDeployerValidatesEagerly covers construction-time validation,
 // including the channel model's Validate.
 func TestNewDeployerValidatesEagerly(t *testing.T) {
@@ -240,6 +360,8 @@ func TestNewDeployerValidatesEagerly(t *testing.T) {
 		{Sensors: 10, Scheme: scheme},
 		{Sensors: 10, Scheme: scheme, Channel: channel.OnOff{P: -0.5}},
 		{Sensors: 10, Scheme: scheme, Channel: channel.Disk{Radius: -2}},
+		// Class-aware channel whose class count disagrees with the scheme's.
+		{Sensors: 10, Scheme: scheme, Channel: channel.UniformHeterOnOff(2, 0.5)},
 	}
 	for i, cfg := range bad {
 		if _, err := NewDeployer(cfg); err == nil {
@@ -271,7 +393,11 @@ func TestDiscoveryStrategySelection(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := d.useIndexDiscovery(channels, cfg.Scheme.RequiredOverlap()); got != want {
+		asg, err := cfg.Scheme.Assign(rng.New(1), cfg.Sensors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := d.useIndexDiscovery(asg.Rings, channels, cfg.Scheme.RequiredOverlap()); got != want {
 			t.Errorf("%s: useIndexDiscovery = %v, want %v (channel edges %d)",
 				name, got, want, channels.M())
 		}

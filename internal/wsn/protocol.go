@@ -56,24 +56,26 @@ func (n *Network) SimulateDiscovery() (DiscoveryStats, error) {
 	if n.cfg.Sensors == 0 {
 		return DiscoveryStats{}, nil
 	}
-	ringSize := n.cfg.Scheme.RingSize()
-	broadcastFrame := int64(headerBytes + ringSize*keyIDBytes)
-
 	sent := make([]int64, n.cfg.Sensors)
 	st := DiscoveryStats{}
 
 	// Phase 1: one key-ID broadcast per sensor, heard by channel neighbors.
+	// Frames are sized by the sensor's actual ring (per-class sizes under a
+	// heterogeneous scheme); each neighbor merges the received ring against
+	// its own, one sorted merge of |ring_v| + |ring_w| steps.
 	totalNeighbors := 0
 	for v := int32(0); int(v) < n.cfg.Sensors; v++ {
+		broadcastFrame := int64(headerBytes + n.rings[v].Len()*keyIDBytes)
 		st.Broadcasts++
 		st.BroadcastBytes += broadcastFrame
 		sent[v] += broadcastFrame
-		deg := n.channels.Degree(v)
-		totalNeighbors += deg
-		// Each neighbor merges the received ring against its own: cost is
-		// one sorted merge of 2·ringSize steps.
-		st.KeyComparisons += int64(deg) * int64(2*ringSize)
+		totalNeighbors += n.channels.Degree(v)
 	}
+	n.channels.ForEachEdge(func(u, v int32) bool {
+		// Both endpoints hear each other's broadcast; each runs one merge.
+		st.KeyComparisons += 2 * int64(n.rings[u].Len()+n.rings[v].Len())
+		return true
+	})
 	st.ChannelNeighborsMean = float64(totalNeighbors) / float64(n.cfg.Sensors)
 
 	// Phase 2: challenge/response per qualifying channel edge. The

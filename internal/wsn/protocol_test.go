@@ -18,7 +18,7 @@ func TestSimulateDiscoveryBasics(t *testing.T) {
 	if st.Broadcasts != n {
 		t.Errorf("Broadcasts = %d, want %d", st.Broadcasts, n)
 	}
-	ringSize := net.Scheme().RingSize()
+	ringSize := keys.MaxRingSize(net.Scheme())
 	wantBroadcastBytes := int64(n) * int64(headerBytes+ringSize*keyIDBytes)
 	if st.BroadcastBytes != wantBroadcastBytes {
 		t.Errorf("BroadcastBytes = %d, want %d", st.BroadcastBytes, wantBroadcastBytes)

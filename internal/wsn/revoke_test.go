@@ -8,7 +8,7 @@ import (
 
 func TestRevokeNodeKeysBasics(t *testing.T) {
 	net := deployTest(t, 51)
-	ringSize := net.Scheme().RingSize()
+	ringSize := keys.MaxRingSize(net.Scheme())
 	before := net.FullSecureTopology().M()
 
 	torn, err := net.RevokeNodeKeys(0)
@@ -74,7 +74,7 @@ func TestRevokeCumulative(t *testing.T) {
 	if second < first {
 		t.Errorf("revoked count shrank: %d -> %d", first, second)
 	}
-	maxPossible := 3 * net.Scheme().RingSize()
+	maxPossible := 3 * keys.MaxRingSize(net.Scheme())
 	if second > maxPossible {
 		t.Errorf("revoked %d keys, cannot exceed %d", second, maxPossible)
 	}
@@ -93,7 +93,7 @@ func TestRevocationImpact(t *testing.T) {
 	if imp0.RevokedKeys != 0 {
 		t.Errorf("initial RevokedKeys = %d", imp0.RevokedKeys)
 	}
-	ringSize := float64(net.Scheme().RingSize())
+	ringSize := float64(keys.MaxRingSize(net.Scheme()))
 	if imp0.EffectiveRingMean != ringSize {
 		t.Errorf("initial EffectiveRingMean = %v, want %v", imp0.EffectiveRingMean, ringSize)
 	}

@@ -18,13 +18,19 @@ import (
 	"github.com/secure-wsn/qcomposite/internal/rng"
 )
 
-// Config describes a deployment.
+// Config describes a deployment. The scheme's sensor classes are a
+// deployment-level concept: the per-sensor class labels drawn during key
+// predistribution are shared with the channel model when it is class-aware
+// (channel.ClassModel, e.g. channel.HeterOnOff), so both layers see one
+// class assignment. validate checks that such a pairing is coherent.
 type Config struct {
 	// Sensors is the number of sensors n.
 	Sensors int
-	// Scheme is the key predistribution scheme (e.g. keys.NewQComposite).
+	// Scheme is the key predistribution scheme (e.g. keys.NewQComposite for
+	// the uniform model, keys.NewHeterogeneous for per-class ring sizes).
 	Scheme keys.Scheme
-	// Channel is the physical link model (e.g. channel.OnOff{P: 0.5}).
+	// Channel is the physical link model (e.g. channel.OnOff{P: 0.5}, or
+	// channel.HeterOnOff for per-class on/off probabilities).
 	Channel channel.Model
 	// Seed drives all randomness of the deployment deterministically.
 	Seed uint64
@@ -42,6 +48,20 @@ func (c Config) validate() error {
 	}
 	if err := c.Channel.Validate(); err != nil {
 		return fmt.Errorf("wsn: invalid channel model: %w", err)
+	}
+	schemeClasses := len(c.Scheme.Classes())
+	if schemeClasses == 0 {
+		return fmt.Errorf("wsn: scheme %q declares no sensor classes", c.Scheme.Name())
+	}
+	// A multi-class scheme under a class-blind channel is the
+	// heterogeneous-keys/uniform-channel model of arXiv:1604.00460 and needs
+	// no check; a class-aware channel must agree with the scheme on the
+	// number of classes, since they share one label assignment.
+	if cm, ok := c.Channel.(channel.ClassModel); ok {
+		if cm.ClassCount() != schemeClasses {
+			return fmt.Errorf("wsn: channel model %q expects %d sensor classes but scheme %q declares %d",
+				c.Channel.Name(), cm.ClassCount(), c.Scheme.Name(), schemeClasses)
+		}
 	}
 	return nil
 }
@@ -67,6 +87,7 @@ type Link struct {
 type Network struct {
 	cfg         Config
 	rings       []keys.Ring
+	labels      []uint8 // per-sensor class labels; nil = single class
 	channels    *graph.Undirected
 	secure      *graph.Undirected
 	alive       []bool
@@ -170,6 +191,17 @@ func (n *Network) Ring(v int32) (keys.Ring, error) {
 		return keys.Ring{}, fmt.Errorf("wsn: sensor %d out of range", v)
 	}
 	return n.rings[v], nil
+}
+
+// ClassOf returns sensor v's class index into Scheme().Classes().
+func (n *Network) ClassOf(v int32) (int, error) {
+	if int(v) < 0 || int(v) >= n.cfg.Sensors {
+		return 0, fmt.Errorf("wsn: sensor %d out of range", v)
+	}
+	if n.labels == nil {
+		return 0, nil
+	}
+	return int(n.labels[v]), nil
 }
 
 // ChannelTopology returns the sampled channel graph (ignores failures).
@@ -333,25 +365,48 @@ func (n *Network) RestoreAll() {
 	n.deadN = 0
 }
 
-// Report summarises the deployed network.
-type Report struct {
-	Sensors        int
-	Alive          int
-	SecureLinks    int     // usable secure links among alive sensors
-	ChannelEdges   int     // raw channel graph edges
-	MinDegree      int     // of the alive secure topology
-	MeanDegree     float64 // of the alive secure topology
-	Components     int
-	LargestComp    int
-	Connected      bool
-	SchemeName     string
-	ChannelName    string
-	RequiredShared int
+// ClassReport is the per-class slice of a Report: the deployment-level
+// class assignment plus per-class topology statistics, serialized alongside
+// the aggregate report.
+type ClassReport struct {
+	// Mu and RingSize echo the scheme's class profile.
+	Mu       float64 `json:"mu"`
+	RingSize int     `json:"ring_size"`
+	// Sensors and Alive count the sensors the deployment assigned to the
+	// class, and how many of those have not failed.
+	Sensors int `json:"sensors"`
+	Alive   int `json:"alive"`
+	// MeanDegree is the mean secure degree of the class's alive sensors in
+	// the alive secure topology (the heterogeneous analysis' per-class
+	// degree: the smallest class bounds connectivity).
+	MeanDegree float64 `json:"mean_degree"`
 }
 
-// Snapshot computes a Report for the current network state.
+// Report summarises the deployed network. It is the stable serialized form
+// of a Snapshot (JSON tags), so experiment tooling can persist deployment
+// summaries alongside graph serializations.
+type Report struct {
+	Sensors        int     `json:"sensors"`
+	Alive          int     `json:"alive"`
+	SecureLinks    int     `json:"secure_links"`  // usable secure links among alive sensors
+	ChannelEdges   int     `json:"channel_edges"` // raw channel graph edges
+	MinDegree      int     `json:"min_degree"`    // of the alive secure topology
+	MeanDegree     float64 `json:"mean_degree"`   // of the alive secure topology
+	Components     int     `json:"components"`
+	LargestComp    int     `json:"largest_component"`
+	Connected      bool    `json:"connected"`
+	SchemeName     string  `json:"scheme"`
+	ChannelName    string  `json:"channel"`
+	RequiredShared int     `json:"required_shared"`
+	// Classes holds one entry per scheme class, in class-index order.
+	// Single-class deployments report one entry covering every sensor.
+	Classes []ClassReport `json:"classes"`
+}
+
+// Snapshot computes a Report for the current network state, including the
+// per-class metadata of the deployment's class assignment.
 func (n *Network) Snapshot() (Report, error) {
-	sub, _, err := n.SecureTopology()
+	sub, orig, err := n.SecureTopology()
 	if err != nil {
 		return Report{}, err
 	}
@@ -371,6 +426,38 @@ func (n *Network) Snapshot() (Report, error) {
 	}
 	if sub.N() > 0 {
 		rep.MeanDegree = 2 * float64(sub.M()) / float64(sub.N())
+	}
+
+	classes := n.cfg.Scheme.Classes()
+	rep.Classes = make([]ClassReport, len(classes))
+	for i, c := range classes {
+		rep.Classes[i].Mu = c.Mu
+		rep.Classes[i].RingSize = c.RingSize
+	}
+	for v := 0; v < n.cfg.Sensors; v++ {
+		c := 0
+		if n.labels != nil {
+			c = int(n.labels[v])
+		}
+		rep.Classes[c].Sensors++
+		if n.alive[v] {
+			rep.Classes[c].Alive++
+		}
+	}
+	// Per-class mean secure degree over alive sensors (sub is the alive
+	// topology; orig maps its vertices back to sensor IDs).
+	degSum := make([]float64, len(classes))
+	for i := 0; i < sub.N(); i++ {
+		c := 0
+		if n.labels != nil {
+			c = int(n.labels[orig[i]])
+		}
+		degSum[c] += float64(sub.Degree(int32(i)))
+	}
+	for i := range rep.Classes {
+		if rep.Classes[i].Alive > 0 {
+			rep.Classes[i].MeanDegree = degSum[i] / float64(rep.Classes[i].Alive)
+		}
 	}
 	return rep, nil
 }
