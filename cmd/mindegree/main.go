@@ -3,6 +3,13 @@
 // limit exp(−e^{−α}/(k−1)!) as k-connectivity, and at finite n it upper
 // bounds the k-connectivity probability (minimum degree ≥ k is necessary
 // for k-connectivity — the upper-bound half of the paper's proof strategy).
+//
+// The sweep runs through experiment.SweepMeanVec over the ring-size grid
+// with per-point deterministic seeding; each trial deploys one network
+// through a reusable wsn.DeployerPool and measures BOTH properties on that
+// single topology, so the sample-by-sample ordering
+// (k-connected ⇒ min degree ≥ k) holds structurally, not just by seed
+// pairing.
 package main
 
 import (
@@ -12,8 +19,13 @@ import (
 	"os"
 	"time"
 
+	"github.com/secure-wsn/qcomposite/internal/channel"
 	"github.com/secure-wsn/qcomposite/internal/core"
 	"github.com/secure-wsn/qcomposite/internal/experiment"
+	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/montecarlo"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+	"github.com/secure-wsn/qcomposite/internal/wsn"
 )
 
 func main() {
@@ -40,59 +52,104 @@ func run() error {
 	)
 	flag.Parse()
 
+	var ks []int
+	for ring := *kMin; ring <= *kEnd; ring += *kStep {
+		ks = append(ks, ring)
+	}
+
 	fmt.Printf("Lemma 8 validation: P[min degree ≥ %d] vs P[%d-connected] vs limit\n", *k, *k)
-	fmt.Printf("n=%d, P=%d, q=%d, p=%g, %d trials/point (same seeds for both estimates)\n\n",
+	fmt.Printf("n=%d, P=%d, q=%d, p=%g, %d trials/point (both statistics from one deployment per trial)\n\n",
 		*n, *pool, *q, *pOn, *trials)
 
-	md := experiment.Series{Name: fmt.Sprintf("P[min degree >= %d]", *k)}
-	kc := experiment.Series{Name: fmt.Sprintf("P[%d-connected]", *k)}
-	th := experiment.Series{Name: "limit (7)=(76)"}
-	table := experiment.NewTable("K", "alpha", "min degree", "k-conn", "limit", "violations")
+	grid := experiment.Grid{Ks: ks, Qs: []int{*q}, Ps: []float64{*pOn}}
 	ctx := context.Background()
 	start := time.Now()
-	for ring := *kMin; ring <= *kEnd; ring += *kStep {
-		m := core.Model{N: *n, K: ring, P: *pool, Q: *q, ChannelOn: *pOn}
-		alpha, err := m.Alpha(*k)
-		if err != nil {
-			return err
-		}
+	results, err := experiment.SweepMeanVec(ctx, grid,
+		experiment.SweepConfig{Trials: *trials, Workers: *workers, Seed: *seed}, 2,
+		func(pt experiment.GridPoint) (montecarlo.SampleVec, error) {
+			scheme, err := keys.NewQComposite(*pool, pt.K, pt.Q)
+			if err != nil {
+				return nil, err
+			}
+			dp, err := wsn.NewDeployerPool(wsn.Config{
+				Sensors: *n,
+				Scheme:  scheme,
+				Channel: channel.OnOff{P: pt.P},
+			})
+			if err != nil {
+				return nil, err
+			}
+			return func(trial int, r *rng.Rand) ([]float64, error) {
+				d := dp.Get()
+				defer dp.Put(d)
+				net, err := d.DeployRand(r)
+				if err != nil {
+					return nil, err
+				}
+				out := []float64{0, 0}
+				if net.FullSecureTopology().MinDegree() >= *k {
+					out[0] = 1
+				}
+				kc, err := net.IsKConnected(*k)
+				if err != nil {
+					return nil, err
+				}
+				if kc {
+					out[1] = 1
+					if out[0] == 0 {
+						return nil, fmt.Errorf("K=%d trial %d: k-connected topology with min degree < k", pt.K, trial)
+					}
+				}
+				return out, nil
+			}, nil
+		})
+	if err != nil {
+		return err
+	}
+
+	// Pivot: one row per K, three curves — the two empirical proportions
+	// (± 1.96·stderr band) and the shared eq. (7)/(76) limit.
+	ms := experiment.MeanVecMeasurements(results, 0, 1.96,
+		func(pt experiment.GridPoint) float64 { return float64(pt.K) },
+		fmt.Sprintf("P[min degree >= %d]", *k))
+	ms = append(ms, experiment.MeanVecMeasurements(results, 1, 1.96,
+		func(pt experiment.GridPoint) float64 { return float64(pt.K) },
+		fmt.Sprintf("P[%d-connected]", *k))...)
+	for _, pt := range grid.Points() {
+		m := core.Model{N: *n, K: pt.K, P: *pool, Q: pt.Q, ChannelOn: pt.P}
 		want, err := m.TheoreticalMinDegProb(*k)
 		if err != nil {
 			return err
 		}
-		cfg := core.EstimateConfig{Trials: *trials, Workers: *workers, Seed: *seed + uint64(ring)}
-		mdEst, err := m.EstimateMinDegreeAtLeast(ctx, *k, cfg)
-		if err != nil {
-			return fmt.Errorf("K=%d min degree: %w", ring, err)
-		}
-		kcEst, err := m.EstimateKConnectivity(ctx, *k, cfg)
-		if err != nil {
-			return fmt.Errorf("K=%d k-conn: %w", ring, err)
-		}
-		// With identical seeds, every k-connected sample has min degree ≥ k,
-		// so the success counts must be ordered sample-by-sample.
-		violations := 0
-		if kcEst.Successes > mdEst.Successes {
-			violations = kcEst.Successes - mdEst.Successes
-		}
-		md.Add(float64(ring), mdEst.Estimate())
-		kc.Add(float64(ring), kcEst.Estimate())
-		th.Add(float64(ring), want)
-		table.AddRow(
-			fmt.Sprintf("%d", ring),
-			fmt.Sprintf("%+.3f", alpha),
-			fmt.Sprintf("%.3f", mdEst.Estimate()),
-			fmt.Sprintf("%.3f", kcEst.Estimate()),
-			fmt.Sprintf("%.3f", want),
-			fmt.Sprintf("%d", violations),
-		)
+		ms = append(ms, experiment.Measurement{
+			Point: pt,
+			Curve: "limit (7)=(76)",
+			X:     float64(pt.K),
+			Y:     want, Lo: want, Hi: want,
+		})
 	}
-	if err := table.Render(os.Stdout); err != nil {
+	alphaOf := func(ring int) (float64, error) {
+		m := core.Model{N: *n, K: ring, P: *pool, Q: *q, ChannelOn: *pOn}
+		return m.Alpha(*k)
+	}
+	presented := experiment.PivotSweep(experiment.PivotSpec{
+		RowHeaders: []string{"K", "alpha"},
+		RowCells: func(pt experiment.GridPoint) []string {
+			alpha, err := alphaOf(pt.K)
+			if err != nil {
+				return []string{fmt.Sprintf("%d", pt.K), "?"}
+			}
+			return []string{fmt.Sprintf("%d", pt.K), fmt.Sprintf("%+.3f", alpha)}
+		},
+	}, ms)
+	if err := presented.Table.Render(os.Stdout); err != nil {
 		return err
 	}
-	fmt.Printf("\nelapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("\nelapsed: %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("(every trial measures both properties on one deployed topology, so\n")
+	fmt.Printf(" P[k-connected] ≤ P[min degree ≥ k] holds sample by sample by construction)\n\n")
 
-	if err := experiment.RenderChart(os.Stdout, []experiment.Series{md, kc, th}, experiment.ChartOptions{
+	if err := experiment.RenderChart(os.Stdout, presented.Series, experiment.ChartOptions{
 		Title:  fmt.Sprintf("Lemma 8: min degree vs %d-connectivity (n=%d)", *k, *n),
 		XLabel: "key ring size K",
 		YLabel: "probability",
@@ -103,12 +160,7 @@ func run() error {
 	}
 
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			return fmt.Errorf("create csv: %w", err)
-		}
-		defer f.Close()
-		if err := experiment.WriteSeriesCSV(f, []experiment.Series{md, kc, th}); err != nil {
+		if err := presented.SaveSeriesCSV(*csvPath); err != nil {
 			return err
 		}
 		fmt.Printf("\nwrote %s\n", *csvPath)

@@ -1,8 +1,14 @@
 // Command theorem1 validates the asymptotically exact probability of
-// Theorem 1 (experiment E3): for k = 1, 2, 3 it sweeps the key ring size K
+// Theorem 1 (experiment E3): for k = 1 … kconn it sweeps the key ring size K
 // and compares the empirical probability that G_{n,q}(n, K, P, p) is
 // k-connected against the closed form exp(−e^{−α_n}/(k−1)!) of eq. (7),
 // with α_n computed from the exact edge probability via eq. (6).
+//
+// The sweep runs through experiment.SweepProportion over the (K × k) grid
+// with per-point deterministic seeding; each trial deploys a full network
+// through a reusable wsn.DeployerPool (zero steady-state allocation: channel
+// sampling, CSR construction and the k-connectivity test all run on
+// deployer-owned scratch).
 package main
 
 import (
@@ -12,8 +18,13 @@ import (
 	"os"
 	"time"
 
+	"github.com/secure-wsn/qcomposite/internal/channel"
 	"github.com/secure-wsn/qcomposite/internal/core"
 	"github.com/secure-wsn/qcomposite/internal/experiment"
+	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/montecarlo"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+	"github.com/secure-wsn/qcomposite/internal/wsn"
 )
 
 func main() {
@@ -40,56 +51,88 @@ func run() error {
 	)
 	flag.Parse()
 
+	var ks []int
+	for ring := *kMin; ring <= *kEnd; ring += *kStep {
+		ks = append(ks, ring)
+	}
+	var kLevels []float64
+	for k := 1; k <= *kMax; k++ {
+		kLevels = append(kLevels, float64(k))
+	}
+
 	fmt.Printf("Theorem 1 validation: empirical vs asymptotic P[k-connected]\n")
 	fmt.Printf("n=%d, P=%d, q=%d, p=%g, %d trials/point\n\n", *n, *pool, *q, *pOn, *trials)
 
 	ctx := context.Background()
-	var series []experiment.Series
-	table := experiment.NewTable("K", "k", "alpha", "empirical", "CI low", "CI high", "theory (7)", "|diff|")
 	start := time.Now()
-	for k := 1; k <= *kMax; k++ {
-		emp := experiment.Series{Name: fmt.Sprintf("empirical k=%d", k)}
-		thr := experiment.Series{Name: fmt.Sprintf("theory k=%d", k)}
-		for ring := *kMin; ring <= *kEnd; ring += *kStep {
-			m := core.Model{N: *n, K: ring, P: *pool, Q: *q, ChannelOn: *pOn}
-			alpha, err := m.Alpha(k)
+	results, err := experiment.SweepProportion(ctx,
+		experiment.Grid{Ks: ks, Qs: []int{*q}, Ps: []float64{*pOn}, Xs: kLevels},
+		experiment.SweepConfig{Trials: *trials, Workers: *workers, Seed: *seed},
+		func(pt experiment.GridPoint) (montecarlo.Trial, error) {
+			scheme, err := keys.NewQComposite(*pool, pt.K, pt.Q)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			want, err := m.TheoreticalKConnProb(k)
-			if err != nil {
-				return err
-			}
-			est, err := m.EstimateKConnectivity(ctx, k, core.EstimateConfig{
-				Trials:  *trials,
-				Workers: *workers,
-				Seed:    *seed + uint64(k*10000+ring),
+			dp, err := wsn.NewDeployerPool(wsn.Config{
+				Sensors: *n,
+				Scheme:  scheme,
+				Channel: channel.OnOff{P: pt.P},
 			})
 			if err != nil {
-				return fmt.Errorf("K=%d k=%d: %w", ring, k, err)
+				return nil, err
 			}
-			lo, hi := est.WilsonInterval(1.96)
-			emp.AddCI(float64(ring), est.Estimate(), lo, hi)
-			thr.Add(float64(ring), want)
-			table.AddRow(
-				fmt.Sprintf("%d", ring),
-				fmt.Sprintf("%d", k),
-				fmt.Sprintf("%+.3f", alpha),
-				fmt.Sprintf("%.3f", est.Estimate()),
-				fmt.Sprintf("%.3f", lo),
-				fmt.Sprintf("%.3f", hi),
-				fmt.Sprintf("%.3f", want),
-				fmt.Sprintf("%.3f", abs(est.Estimate()-want)),
-			)
-		}
-		series = append(series, emp, thr)
+			k := int(pt.X)
+			return func(trial int, r *rng.Rand) (bool, error) {
+				d := dp.Get()
+				defer dp.Put(d)
+				net, err := d.DeployRand(r)
+				if err != nil {
+					return false, err
+				}
+				return net.IsKConnected(k)
+			}, nil
+		})
+	if err != nil {
+		return err
 	}
-	if err := table.Render(os.Stdout); err != nil {
+
+	// Empirical curves (Wilson CI) plus the eq. (7) theory overlay as extra
+	// measurement curves, pivoted into one K-rowed table.
+	ms := experiment.ProportionMeasurements(results, 1.96,
+		func(pt experiment.GridPoint) float64 { return float64(pt.K) },
+		func(pt experiment.GridPoint) string { return fmt.Sprintf("empirical k=%d", int(pt.X)) },
+	)
+	for _, pt := range (experiment.Grid{Ks: ks, Qs: []int{*q}, Ps: []float64{*pOn}, Xs: kLevels}).Points() {
+		m := core.Model{N: *n, K: pt.K, P: *pool, Q: pt.Q, ChannelOn: pt.P}
+		want, err := m.TheoreticalKConnProb(int(pt.X))
+		if err != nil {
+			return err
+		}
+		ms = append(ms, experiment.Measurement{
+			Point: pt,
+			Curve: fmt.Sprintf("theory k=%d", int(pt.X)),
+			X:     float64(pt.K),
+			Y:     want, Lo: want, Hi: want,
+		})
+	}
+	presented := experiment.PivotSweep(experiment.PivotSpec{
+		RowHeaders: []string{"K"},
+		RowCells: func(pt experiment.GridPoint) []string {
+			return []string{fmt.Sprintf("%d", pt.K)}
+		},
+		FormatCell: func(m experiment.Measurement) string {
+			if m.Lo == m.Hi {
+				return fmt.Sprintf("%.3f", m.Y)
+			}
+			return fmt.Sprintf("%.3f [%.3f,%.3f]", m.Y, m.Lo, m.Hi)
+		},
+	}, ms)
+	if err := presented.Table.Render(os.Stdout); err != nil {
 		return err
 	}
 	fmt.Printf("\nelapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
 
-	if err := experiment.RenderChart(os.Stdout, series, experiment.ChartOptions{
+	if err := experiment.RenderChart(os.Stdout, presented.Series, experiment.ChartOptions{
 		Title:  "Theorem 1: empirical (markers per k) vs theory",
 		XLabel: "key ring size K",
 		YLabel: "P[k-connected]",
@@ -100,22 +143,10 @@ func run() error {
 	}
 
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			return fmt.Errorf("create csv: %w", err)
-		}
-		defer f.Close()
-		if err := experiment.WriteSeriesCSV(f, series); err != nil {
+		if err := presented.SaveSeriesCSV(*csvPath); err != nil {
 			return err
 		}
 		fmt.Printf("\nwrote %s\n", *csvPath)
 	}
 	return nil
-}
-
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
 }

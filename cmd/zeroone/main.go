@@ -4,6 +4,11 @@
 // chosen at each n so that the deviation α_n ≈ ±c·ln ln n → ±∞. The
 // empirical probability of k-connectivity must march to 1 on the plus
 // branch and to 0 on the minus branch.
+//
+// The sweep runs through experiment.SweepProportion over the (n × branch)
+// grid with per-point deterministic seeding; each trial deploys a full
+// network through a reusable wsn.DeployerPool (zero steady-state allocation
+// on the trial loop).
 package main
 
 import (
@@ -12,11 +17,18 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"github.com/secure-wsn/qcomposite/internal/channel"
 	"github.com/secure-wsn/qcomposite/internal/core"
 	"github.com/secure-wsn/qcomposite/internal/experiment"
+	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/montecarlo"
+	"github.com/secure-wsn/qcomposite/internal/rng"
 	"github.com/secure-wsn/qcomposite/internal/theory"
+	"github.com/secure-wsn/qcomposite/internal/wsn"
 )
 
 func main() {
@@ -42,9 +54,13 @@ func run() error {
 	flag.Parse()
 
 	var ns []int
-	for _, part := range splitCSV(*nList) {
-		var v int
-		if _, err := fmt.Sscanf(part, "%d", &v); err != nil {
+	for _, part := range strings.Split(*nList, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
 			return fmt.Errorf("parse -nlist %q: %w", part, err)
 		}
 		if v < 3 {
@@ -57,70 +73,103 @@ func run() error {
 		*k, *q, *pOn, *poolMult, *c)
 	fmt.Printf("%d trials/point\n\n", *trials)
 
-	one := experiment.Series{Name: "alpha_n -> +inf (law: P -> 1)"}
-	zero := experiment.Series{Name: "alpha_n -> -inf (law: P -> 0)"}
-	table := experiment.NewTable("n", "P", "branch", "target alpha", "K", "realized alpha", "empirical P", "limit")
+	// Per-point design: the ring size realizing the targeted ±alpha at this
+	// n. Derived from the point parameters only, so the sweep stays
+	// reproducible point by point.
+	type design struct {
+		pool, ring      int
+		alphaTarget     float64
+		realized, limit float64
+	}
+	designFor := func(n int, sign float64) (design, error) {
+		d := design{pool: *poolMult * n}
+		d.alphaTarget = sign * *c * math.Log(math.Log(float64(n)))
+		tTarget, err := theory.EdgeProbForAlpha(n, d.alphaTarget, *k)
+		if err != nil {
+			return d, err
+		}
+		d.ring, err = theory.RingSizeForEdgeProb(d.pool, *q, *pOn, tTarget)
+		if err != nil {
+			return d, fmt.Errorf("n=%d sign=%+g: %w", n, sign, err)
+		}
+		if d.ring < *q {
+			d.ring = *q
+		}
+		m := core.Model{N: n, K: d.ring, P: d.pool, Q: *q, ChannelOn: *pOn}
+		if d.realized, err = m.Alpha(*k); err != nil {
+			return d, err
+		}
+		if d.limit, err = m.TheoreticalKConnProb(*k); err != nil {
+			return d, err
+		}
+		return d, nil
+	}
+
+	// Grid: Ks carries the n schedule, Xs the branch sign.
+	grid := experiment.Grid{Ks: ns, Qs: []int{*q}, Ps: []float64{*pOn}, Xs: []float64{1, -1}}
 	ctx := context.Background()
 	start := time.Now()
-	for _, n := range ns {
-		pool := *poolMult * n
-		for _, sign := range []float64{1, -1} {
-			alphaTarget := sign * *c * math.Log(math.Log(float64(n)))
-			tTarget, err := theory.EdgeProbForAlpha(n, alphaTarget, *k)
+	results, err := experiment.SweepProportion(ctx, grid,
+		experiment.SweepConfig{Trials: *trials, Workers: *workers, Seed: *seed},
+		func(pt experiment.GridPoint) (montecarlo.Trial, error) {
+			d, err := designFor(pt.K, pt.X)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			ring, err := theory.RingSizeForEdgeProb(pool, *q, *pOn, tTarget)
+			scheme, err := keys.NewQComposite(d.pool, d.ring, pt.Q)
 			if err != nil {
-				return fmt.Errorf("n=%d sign=%+g: %w", n, sign, err)
+				return nil, err
 			}
-			if ring < *q {
-				ring = *q
-			}
-			m := core.Model{N: n, K: ring, P: pool, Q: *q, ChannelOn: *pOn}
-			realized, err := m.Alpha(*k)
-			if err != nil {
-				return err
-			}
-			limit, err := m.TheoreticalKConnProb(*k)
-			if err != nil {
-				return err
-			}
-			est, err := m.EstimateKConnectivity(ctx, *k, core.EstimateConfig{
-				Trials:  *trials,
-				Workers: *workers,
-				Seed:    *seed + uint64(n)*7 + uint64(sign+2),
+			dp, err := wsn.NewDeployerPool(wsn.Config{
+				Sensors: pt.K,
+				Scheme:  scheme,
+				Channel: channel.OnOff{P: pt.P},
 			})
 			if err != nil {
-				return fmt.Errorf("n=%d: %w", n, err)
+				return nil, err
 			}
-			branch := "+"
-			if sign < 0 {
-				branch = "-"
-			}
-			if sign > 0 {
-				one.Add(float64(n), est.Estimate())
-			} else {
-				zero.Add(float64(n), est.Estimate())
-			}
-			table.AddRow(
-				fmt.Sprintf("%d", n),
-				fmt.Sprintf("%d", pool),
-				branch,
-				fmt.Sprintf("%+.2f", alphaTarget),
-				fmt.Sprintf("%d", ring),
-				fmt.Sprintf("%+.2f", realized),
-				fmt.Sprintf("%.3f", est.Estimate()),
-				fmt.Sprintf("%.3f", limit),
-			)
-		}
+			return func(trial int, r *rng.Rand) (bool, error) {
+				dep := dp.Get()
+				defer dp.Put(dep)
+				net, err := dep.DeployRand(r)
+				if err != nil {
+					return false, err
+				}
+				return net.IsKConnected(*k)
+			}, nil
+		})
+	if err != nil {
+		return err
 	}
-	if err := table.Render(os.Stdout); err != nil {
+
+	curveOf := func(pt experiment.GridPoint) string {
+		if pt.X > 0 {
+			return "alpha_n -> +inf (law: P -> 1)"
+		}
+		return "alpha_n -> -inf (law: P -> 0)"
+	}
+	presented := experiment.PivotSweep(experiment.PivotSpec{
+		RowHeaders: []string{"n", "P"},
+		RowCells: func(pt experiment.GridPoint) []string {
+			return []string{fmt.Sprintf("%d", pt.K), fmt.Sprintf("%d", *poolMult*pt.K)}
+		},
+		FormatCell: func(m experiment.Measurement) string {
+			d, err := designFor(m.Point.K, m.Point.X)
+			if err != nil {
+				return fmt.Sprintf("%.3f", m.Y)
+			}
+			return fmt.Sprintf("%.3f (K=%d, alpha %+0.2f, limit %.3f)", m.Y, d.ring, d.realized, d.limit)
+		},
+	}, experiment.ProportionMeasurements(results, 0,
+		func(pt experiment.GridPoint) float64 { return float64(pt.K) },
+		curveOf,
+	))
+	if err := presented.Table.Render(os.Stdout); err != nil {
 		return err
 	}
 	fmt.Printf("\nelapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
 
-	if err := experiment.RenderChart(os.Stdout, []experiment.Series{one, zero}, experiment.ChartOptions{
+	if err := experiment.RenderChart(os.Stdout, presented.Series, experiment.ChartOptions{
 		Title:  fmt.Sprintf("Zero–one law for %d-connectivity (markers: empirical P)", *k),
 		XLabel: "number of sensors n",
 		YLabel: "P[k-connected]",
@@ -131,36 +180,10 @@ func run() error {
 	}
 
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			return fmt.Errorf("create csv: %w", err)
-		}
-		defer f.Close()
-		if err := experiment.WriteSeriesCSV(f, []experiment.Series{one, zero}); err != nil {
+		if err := presented.SaveSeriesCSV(*csvPath); err != nil {
 			return err
 		}
 		fmt.Printf("\nwrote %s\n", *csvPath)
 	}
 	return nil
-}
-
-func splitCSV(s string) []string {
-	var out []string
-	cur := ""
-	for _, r := range s {
-		if r == ',' {
-			if cur != "" {
-				out = append(out, cur)
-			}
-			cur = ""
-			continue
-		}
-		if r != ' ' {
-			cur += string(r)
-		}
-	}
-	if cur != "" {
-		out = append(out, cur)
-	}
-	return out
 }

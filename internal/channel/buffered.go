@@ -1,0 +1,102 @@
+package channel
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/secure-wsn/qcomposite/internal/graph"
+	"github.com/secure-wsn/qcomposite/internal/randgraph"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+// BufferedModel is an optional extension of Model for allocation-free
+// repeated sampling: SampleInto draws the channel graph through a
+// caller-owned graph.Builder, reusing the builder's edge scratch and CSR
+// arenas, and must consume randomness exactly as Sample does so the two
+// entry points are byte-identical for the same generator state. The
+// returned graph follows the builder's lifetime contract (valid until the
+// second-next build). wsn.Deployer uses SampleInto when the configured
+// model provides it.
+type BufferedModel interface {
+	Model
+	// SampleInto draws the channel graph on n nodes through b.
+	SampleInto(r *rng.Rand, n int, b *graph.Builder) (*graph.Undirected, error)
+}
+
+// BufferedClassModel is the class-aware analogue of BufferedModel:
+// SampleClassesInto must match SampleClasses draw for draw.
+type BufferedClassModel interface {
+	ClassModel
+	// SampleClassesInto draws the channel graph on n labelled nodes
+	// through b.
+	SampleClassesInto(r *rng.Rand, n int, labels []uint8, b *graph.Builder) (*graph.Undirected, error)
+}
+
+var (
+	_ BufferedModel      = OnOff{}
+	_ BufferedModel      = AlwaysOn{}
+	_ BufferedModel      = Disk{}
+	_ BufferedModel      = HeterOnOff{}
+	_ BufferedClassModel = HeterOnOff{}
+)
+
+// SampleInto implements BufferedModel: G(n, p) appended into the builder's
+// edge scratch.
+func (m OnOff) SampleInto(r *rng.Rand, n int, b *graph.Builder) (*graph.Undirected, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	edges := b.EdgeScratch()
+	// Presize to the expected edge count so the first draws don't pay
+	// append-doubling; steady state reuses the grown buffer either way.
+	if expected := int(m.P*float64(n)*float64(n-1)/2) + 16; cap(*edges) < expected {
+		*edges = make([]graph.Edge, 0, expected)
+	}
+	var err error
+	*edges, err = randgraph.AppendErdosRenyi(r, n, m.P, (*edges)[:0])
+	if err != nil {
+		return nil, fmt.Errorf("channel: on/off: %w", err)
+	}
+	g, err := b.FromEdges(n, *edges)
+	if err != nil {
+		return nil, fmt.Errorf("channel: on/off: %w", err)
+	}
+	return g, nil
+}
+
+// SampleInto implements BufferedModel: the complete graph is written
+// directly in CSR form — no intermediate O(n²) edge list.
+func (AlwaysOn) SampleInto(_ *rng.Rand, n int, b *graph.Builder) (*graph.Undirected, error) {
+	g, err := b.Complete(n)
+	if err != nil {
+		return nil, fmt.Errorf("channel: always-on: %w", err)
+	}
+	return g, nil
+}
+
+// geoScratchPool shares geometric-sampling buffers (positions, cell grid)
+// across Disk.SampleInto calls. Disk is a value-type model, so its scratch
+// cannot live on the model itself; a pool keeps steady-state sampling
+// allocation-free without coupling the model to one deployer.
+var geoScratchPool = sync.Pool{New: func() any { return new(randgraph.GeoScratch) }}
+
+// SampleInto implements BufferedModel: a random geometric graph drawn with
+// pooled position/grid buffers and the builder's edge scratch.
+func (m Disk) SampleInto(r *rng.Rand, n int, b *graph.Builder) (*graph.Undirected, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	sc := geoScratchPool.Get().(*randgraph.GeoScratch)
+	defer geoScratchPool.Put(sc)
+	edges := b.EdgeScratch()
+	var err error
+	*edges, err = sc.AppendGeometric(r, n, m.Radius, randgraph.GeometricOptions{Torus: m.Torus}, (*edges)[:0])
+	if err != nil {
+		return nil, fmt.Errorf("channel: disk: %w", err)
+	}
+	g, err := b.FromEdges(n, *edges)
+	if err != nil {
+		return nil, fmt.Errorf("channel: disk: %w", err)
+	}
+	return g, nil
+}

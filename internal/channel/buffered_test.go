@@ -1,0 +1,123 @@
+package channel
+
+import (
+	"testing"
+
+	"github.com/secure-wsn/qcomposite/internal/graph"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+// sameGraph reports byte-identical CSR contents.
+func sameGraph(a, b *graph.Undirected) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	for v := int32(0); int(v) < a.N(); v++ {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		if len(na) != len(nb) {
+			return false
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestSampleIntoMatchesSample pins the BufferedModel contract: for every
+// channel model, SampleInto through a reused builder draws byte-identical
+// graphs to Sample from the same generator state, across repeated draws.
+func TestSampleIntoMatchesSample(t *testing.T) {
+	models := []BufferedModel{
+		OnOff{P: 0},
+		OnOff{P: 0.15},
+		OnOff{P: 1},
+		AlwaysOn{},
+		Disk{Radius: 0.2},
+		Disk{Radius: 0.3, Torus: true},
+		Disk{Radius: 0},
+		HeterOnOff{P: [][]float64{{0.4}}},
+	}
+	for _, m := range models {
+		t.Run(m.Name(), func(t *testing.T) {
+			b := graph.NewBuilder()
+			for trial := 0; trial < 5; trial++ {
+				seed := uint64(100 + trial)
+				for _, n := range []int{0, 1, 37, 80} {
+					want, err := m.Sample(rng.New(seed), n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := m.SampleInto(rng.New(seed), n, b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !sameGraph(want, got) {
+						t.Fatalf("trial %d n=%d: SampleInto differs from Sample", trial, n)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSampleClassesIntoMatchesSampleClasses pins the BufferedClassModel
+// contract for the heterogeneous on/off channel, including reuse of the
+// builder's bucket scratch across draws with different label vectors.
+func TestSampleClassesIntoMatchesSampleClasses(t *testing.T) {
+	m := HeterOnOff{P: [][]float64{{0.5, 0.2, 0}, {0.2, 0.9, 0.35}, {0, 0.35, 1}}}
+	b := graph.NewBuilder()
+	lr := rng.New(7)
+	for trial := 0; trial < 8; trial++ {
+		n := 10 + trial*17
+		labels := make([]uint8, n)
+		for i := range labels {
+			labels[i] = uint8(lr.Intn(3))
+		}
+		seed := uint64(500 + trial)
+		want, err := m.SampleClasses(rng.New(seed), n, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.SampleClassesInto(rng.New(seed), n, labels, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameGraph(want, got) {
+			t.Fatalf("trial %d n=%d: SampleClassesInto differs from SampleClasses", trial, n)
+		}
+	}
+	// nil labels mean single-class; a multi-class model must reject nodes
+	// beyond its class count exactly like the unbuffered path.
+	if _, err := m.SampleClassesInto(rng.New(1), 5, []uint8{0, 1, 2, 3, 0}, b); err == nil {
+		t.Error("out-of-range class label: want error")
+	}
+	// More classes than uint8 labels can address must fail validation, not
+	// overrun the fixed-size bucketing scratch.
+	if err := UniformHeterOnOff(300, 0.1).Validate(); err == nil {
+		t.Error("300 classes: want validation error")
+	}
+}
+
+// TestSampleIntoLifetime checks the double-buffer contract end to end: a
+// channel graph must survive the next draw through the same builder.
+func TestSampleIntoLifetime(t *testing.T) {
+	m := OnOff{P: 0.3}
+	b := graph.NewBuilder()
+	g1, err := m.SampleInto(rng.New(1), 50, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Sample(rng.New(1), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SampleInto(rng.New(2), 50, b); err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(g1, want) {
+		t.Error("channel graph corrupted by the next draw through the same builder")
+	}
+}

@@ -76,12 +76,21 @@ func (m HeterOnOff) Name() string {
 // ClassCount implements ClassModel.
 func (m HeterOnOff) ClassCount() int { return len(m.P) }
 
+// maxClasses bounds the class count: labels travel as uint8 through
+// assignments and channel models (keys.MaxClasses), and the bucketing
+// scratch of sampleClasses is sized to it.
+const maxClasses = 256
+
 // Validate implements Model: the matrix must be non-empty, square,
-// symmetric, with entries in [0, 1].
+// symmetric, with entries in [0, 1], and at most 256 classes (class labels
+// are uint8).
 func (m HeterOnOff) Validate() error {
 	r := len(m.P)
 	if r == 0 {
 		return fmt.Errorf("channel: heterogeneous on/off needs at least one class")
+	}
+	if r > maxClasses {
+		return fmt.Errorf("channel: %d classes exceed the %d-class limit of uint8 labels", r, maxClasses)
 	}
 	// Check every row length before touching m.P[j][i]: the symmetry check
 	// reads across rows, so a ragged matrix must fail here, not panic there.
@@ -122,6 +131,31 @@ func (m HeterOnOff) Sample(r *rng.Rand, n int) (*graph.Undirected, error) {
 // with geometric skipping. Blocks are drawn in fixed (i ≤ j) order, so the
 // draw is deterministic in (r, labels).
 func (m HeterOnOff) SampleClasses(r *rng.Rand, n int, labels []uint8) (*graph.Undirected, error) {
+	return m.sampleClasses(r, n, labels, nil)
+}
+
+// SampleInto implements BufferedModel with the same single-class restriction
+// as Sample.
+func (m HeterOnOff) SampleInto(r *rng.Rand, n int, b *graph.Builder) (*graph.Undirected, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(m.P) > 1 {
+		return nil, fmt.Errorf("channel: heterogeneous on/off with %d classes needs per-sensor labels; deploy it with a class-aware scheme", len(m.P))
+	}
+	return OnOff{P: m.P[0][0]}.SampleInto(r, n, b)
+}
+
+// SampleClassesInto implements BufferedClassModel: byte-identical to
+// SampleClasses for the same generator state, but the class buckets, edge
+// list and CSR storage all come from the builder's reusable scratch.
+func (m HeterOnOff) SampleClassesInto(r *rng.Rand, n int, labels []uint8, b *graph.Builder) (*graph.Undirected, error) {
+	return m.sampleClasses(r, n, labels, b)
+}
+
+// sampleClasses is the shared block-sampling core; a nil builder falls back
+// to one-shot allocation.
+func (m HeterOnOff) sampleClasses(r *rng.Rand, n int, labels []uint8, b *graph.Builder) (*graph.Undirected, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -132,7 +166,23 @@ func (m HeterOnOff) SampleClasses(r *rng.Rand, n int, labels []uint8) (*graph.Un
 		return nil, fmt.Errorf("channel: %d class labels for %d nodes", len(labels), n)
 	}
 	classes := len(m.P)
-	buckets := make([][]int32, classes)
+	// Bucket nodes by class into one flat array with a counting sort
+	// (ascending node order within each class, matching append order), using
+	// the builder's node scratch when available. Class counts and offsets
+	// are small and live on the stack (Validate bounds classes by
+	// maxClasses = 256).
+	var flat []int32
+	if b != nil {
+		nodes := b.NodeScratch()
+		if cap(*nodes) < n {
+			*nodes = make([]int32, n)
+		}
+		*nodes = (*nodes)[:n]
+		flat = *nodes
+	} else {
+		flat = make([]int32, n)
+	}
+	var cnt [257]int32
 	for v := 0; v < n; v++ {
 		c := 0
 		if labels != nil {
@@ -141,21 +191,45 @@ func (m HeterOnOff) SampleClasses(r *rng.Rand, n int, labels []uint8) (*graph.Un
 		if c >= classes {
 			return nil, fmt.Errorf("channel: node %d has class %d, model has %d classes", v, c, classes)
 		}
-		buckets[c] = append(buckets[c], int32(v))
+		cnt[c+1]++
 	}
+	for c := 0; c < classes; c++ {
+		cnt[c+1] += cnt[c]
+	}
+	off := cnt // off[c]..off[c+1] delimit class c after the fill
+	cursor := [256]int32{}
+	for v := 0; v < n; v++ {
+		c := 0
+		if labels != nil {
+			c = int(labels[v])
+		}
+		flat[off[c]+cursor[c]] = int32(v)
+		cursor[c]++
+	}
+	bucket := func(c int) []int32 { return flat[off[c]:off[c+1]] }
+
 	var edges []graph.Edge
+	if b != nil {
+		edges = (*b.EdgeScratch())[:0]
+	}
 	var err error
 	for i := 0; i < classes; i++ {
-		if edges, err = randgraph.AppendErdosRenyiSubset(r, buckets[i], m.P[i][i], edges); err != nil {
+		if edges, err = randgraph.AppendErdosRenyiSubset(r, bucket(i), m.P[i][i], edges); err != nil {
 			return nil, fmt.Errorf("channel: heterogeneous on/off: %w", err)
 		}
 		for j := i + 1; j < classes; j++ {
-			if edges, err = randgraph.AppendErdosRenyiBipartite(r, buckets[i], buckets[j], m.P[i][j], edges); err != nil {
+			if edges, err = randgraph.AppendErdosRenyiBipartite(r, bucket(i), bucket(j), m.P[i][j], edges); err != nil {
 				return nil, fmt.Errorf("channel: heterogeneous on/off: %w", err)
 			}
 		}
 	}
-	g, err := graph.NewFromEdges(n, edges)
+	var g *graph.Undirected
+	if b != nil {
+		*b.EdgeScratch() = edges
+		g, err = b.FromEdges(n, edges)
+	} else {
+		g, err = graph.NewFromEdges(n, edges)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("channel: heterogeneous on/off: %w", err)
 	}

@@ -13,7 +13,6 @@ package graph
 
 import (
 	"fmt"
-	"slices"
 	"sort"
 	"strings"
 )
@@ -35,58 +34,12 @@ type Undirected struct {
 // NewFromEdges builds a graph on n nodes from the given edge list.
 // Endpoints must lie in [0, n); self-loops are rejected; duplicate edges
 // (in either orientation) are merged.
+//
+// NewFromEdges is the one-shot form of Builder.FromEdges: the fresh builder
+// is dropped after the build, so the returned graph owns its storage for
+// good. Repeated-sampling loops should hold a Builder instead.
 func NewFromEdges(n int, edges []Edge) (*Undirected, error) {
-	if n < 0 {
-		return nil, fmt.Errorf("graph: negative node count %d", n)
-	}
-	for _, e := range edges {
-		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
-			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
-		}
-		if e.U == e.V {
-			return nil, fmt.Errorf("graph: self-loop at node %d", e.U)
-		}
-	}
-	deg := make([]int32, n)
-	for _, e := range edges {
-		deg[e.U]++
-		deg[e.V]++
-	}
-	off := make([]int32, n+1)
-	for v := 0; v < n; v++ {
-		off[v+1] = off[v] + deg[v]
-	}
-	adj := make([]int32, off[n])
-	cursor := make([]int32, n)
-	copy(cursor, off[:n])
-	for _, e := range edges {
-		adj[cursor[e.U]] = e.V
-		cursor[e.U]++
-		adj[cursor[e.V]] = e.U
-		cursor[e.V]++
-	}
-	// Sort each adjacency list and drop duplicates in place.
-	m := 0
-	w := int32(0)
-	newOff := make([]int32, n+1)
-	for v := 0; v < n; v++ {
-		lo, hi := off[v], off[v+1]
-		seg := adj[lo:hi]
-		slices.Sort(seg)
-		newOff[v] = w
-		var prev int32 = -1
-		for _, u := range seg {
-			if u != prev {
-				adj[w] = u
-				w++
-				prev = u
-			}
-		}
-	}
-	newOff[n] = w
-	adj = adj[:w]
-	m = int(w) / 2
-	return &Undirected{n: n, m: m, off: newOff, adj: adj}, nil
+	return NewBuilder().FromEdges(n, edges)
 }
 
 // N returns the number of nodes.
@@ -269,15 +222,10 @@ func InducedSubgraph(g *Undirected, alive []bool) (*Undirected, []int32, error) 
 	return sub, origID, nil
 }
 
-// Complete returns the complete graph K_n.
+// Complete returns the complete graph K_n, constructed directly in CSR form
+// (K_n is fully determined by n; no intermediate O(n²) edge list is built).
 func Complete(n int) (*Undirected, error) {
-	edges := make([]Edge, 0, n*(n-1)/2)
-	for u := int32(0); int(u) < n; u++ {
-		for v := u + 1; int(v) < n; v++ {
-			edges = append(edges, Edge{U: u, V: v})
-		}
-	}
-	return NewFromEdges(n, edges)
+	return NewBuilder().Complete(n)
 }
 
 // DOT renders the graph in Graphviz DOT format, for debugging and

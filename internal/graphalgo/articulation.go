@@ -5,72 +5,16 @@ import (
 )
 
 // ArticulationPoints returns the cut vertices of g (vertices whose removal
-// increases the number of connected components), using an iterative Tarjan
-// low-link DFS so that large sparse graphs cannot overflow the call stack.
+// increases the number of connected components), in ascending order. The
+// scan is the iterative Tarjan low-link DFS shared with IsBiconnectedW
+// (Workspace.scanArticulation), so large sparse graphs cannot overflow the
+// call stack.
 func ArticulationPoints(g *graph.Undirected) []int32 {
 	n := g.N()
-	disc := make([]int32, n) // discovery time, 0 = unvisited
-	low := make([]int32, n)
-	parent := make([]int32, n)
 	isCut := make([]bool, n)
-	for i := range parent {
-		parent[i] = -1
+	if !NewWorkspace().scanArticulation(g, isCut) {
+		return nil
 	}
-
-	type frame struct {
-		v    int32
-		next int // index into Neighbors(v)
-	}
-	var stack []frame
-	timer := int32(0)
-
-	for root := int32(0); int(root) < n; root++ {
-		if disc[root] != 0 {
-			continue
-		}
-		rootChildren := 0
-		timer++
-		disc[root] = timer
-		low[root] = timer
-		stack = append(stack[:0], frame{v: root})
-		for len(stack) > 0 {
-			top := &stack[len(stack)-1]
-			v := top.v
-			ns := g.Neighbors(v)
-			if top.next < len(ns) {
-				w := ns[top.next]
-				top.next++
-				if disc[w] == 0 {
-					parent[w] = v
-					if v == root {
-						rootChildren++
-					}
-					timer++
-					disc[w] = timer
-					low[w] = timer
-					stack = append(stack, frame{v: w})
-				} else if w != parent[v] && disc[w] < low[v] {
-					low[v] = disc[w] // back edge
-				}
-				continue
-			}
-			// Post-order: propagate low-link to parent.
-			stack = stack[:len(stack)-1]
-			p := parent[v]
-			if p != -1 {
-				if low[v] < low[p] {
-					low[p] = low[v]
-				}
-				if p != root && low[v] >= disc[p] {
-					isCut[p] = true
-				}
-			}
-		}
-		if rootChildren >= 2 {
-			isCut[root] = true
-		}
-	}
-
 	var cuts []int32
 	for v := int32(0); int(v) < n; v++ {
 		if isCut[v] {
@@ -82,13 +26,8 @@ func ArticulationPoints(g *graph.Undirected) []int32 {
 
 // IsBiconnected reports whether g is 2-connected: at least 3 nodes,
 // connected, and free of articulation points. (K2 has vertex connectivity 1,
-// matching the convention κ(K_n) = n−1.)
+// matching the convention κ(K_n) = n−1.) See IsBiconnectedW for the
+// scratch-reusing form.
 func IsBiconnected(g *graph.Undirected) bool {
-	if g.N() < 3 {
-		return false
-	}
-	if g.MinDegree() < 2 || !IsConnected(g) {
-		return false
-	}
-	return len(ArticulationPoints(g)) == 0
+	return IsBiconnectedW(nil, g)
 }

@@ -23,65 +23,10 @@ import (
 // one side and any u in another side is separated from x by S (caught by
 // step 2). Each flow is capped at k, so a query costs at most
 // (C(k,2)+n)·k·O(m).
+//
+// See IsKConnectedW for the scratch-reusing form.
 func IsKConnected(g *graph.Undirected, k int) bool {
-	n := g.N()
-	switch {
-	case k <= 0:
-		return true
-	case n <= k:
-		return false
-	case k == 1:
-		return IsConnected(g)
-	case g.MinDegree() < k:
-		return false // a k-connected graph has minimum degree ≥ k
-	case k == 2:
-		return IsBiconnected(g)
-	}
-
-	// Vertex-split digraph: node v becomes v_in = 2v and v_out = 2v+1 with a
-	// capacity-1 arc in→out; each undirected edge {u,v} becomes arcs
-	// u_out→v_in and v_out→u_in of capacity 1 (effectively unbounded given
-	// the unit vertex caps). One extra auxiliary node x = 2n feeds W.
-	aux := int32(2 * n)
-	d := newDinic(2*n+1, 2*n+4*g.M()+k)
-	for v := int32(0); int(v) < n; v++ {
-		d.addArc(2*v, 2*v+1, 1)
-	}
-	g.ForEachEdge(func(u, v int32) bool {
-		d.addArc(2*u+1, 2*v, 1)
-		d.addArc(2*v+1, 2*u, 1)
-		return true
-	})
-	for i := int32(0); int(i) < k; i++ {
-		d.addArc(2*i+1, aux, 1) // w_out → x for w ∈ W (x is the fan sink)
-	}
-
-	limit := int32(k)
-	// Step 1: pairs inside W.
-	for i := int32(0); int(i) < k; i++ {
-		for j := i + 1; int(j) < k; j++ {
-			if g.HasEdge(i, j) {
-				// Adjacent pairs cannot be separated by a vertex cut, and in
-				// the κ<k certificate two W-nodes on opposite sides of a
-				// separator are never adjacent.
-				continue
-			}
-			d.reset()
-			// Source v_i_out, sink v_j_in: internal vertex caps of the
-			// endpoints must not constrain the flow.
-			if d.maxFlow(2*i+1, 2*j, limit) < limit {
-				return false
-			}
-		}
-	}
-	// Step 2: every u outside W against the auxiliary x.
-	for u := int32(k); int(u) < n; u++ {
-		d.reset()
-		if d.maxFlow(2*u+1, aux, limit) < limit {
-			return false
-		}
-	}
-	return true
+	return IsKConnectedW(nil, g, k)
 }
 
 // VertexConnectivity returns κ(g) exactly: the minimum number of node

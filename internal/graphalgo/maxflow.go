@@ -20,21 +20,38 @@ type dinic struct {
 
 // newDinic returns a solver over n flow nodes with room for edgeHint arcs.
 func newDinic(n, edgeHint int) *dinic {
-	head := make([]int32, n)
-	for i := range head {
-		head[i] = -1
+	d := &dinic{}
+	d.init(n, edgeHint)
+	return d
+}
+
+// init readies the solver for a fresh graph over n flow nodes, reusing
+// existing storage when large enough — the amortization hook of
+// Workspace-backed k-connectivity tests.
+func (d *dinic) init(n, edgeHint int) {
+	d.n = n
+	if cap(d.head) < n {
+		d.head = make([]int32, n)
+		d.level = make([]int32, n)
+		d.iter = make([]int32, n)
 	}
-	return &dinic{
-		n:     n,
-		head:  head,
-		next:  make([]int32, 0, edgeHint*2),
-		to:    make([]int32, 0, edgeHint*2),
-		cap0:  make([]int32, 0, edgeHint*2),
-		cap:   make([]int32, 0, edgeHint*2),
-		level: make([]int32, n),
-		iter:  make([]int32, n),
-		queue: make([]int32, 0, n),
+	d.head = d.head[:n]
+	d.level = d.level[:n]
+	d.iter = d.iter[:n]
+	for i := range d.head {
+		d.head[i] = -1
 	}
+	if cap(d.to) < edgeHint*2 {
+		d.next = make([]int32, 0, edgeHint*2)
+		d.to = make([]int32, 0, edgeHint*2)
+		d.cap0 = make([]int32, 0, edgeHint*2)
+		d.cap = make([]int32, 0, edgeHint*2)
+	}
+	d.next = d.next[:0]
+	d.to = d.to[:0]
+	d.cap0 = d.cap0[:0]
+	d.cap = d.cap[:0]
+	d.queue = d.queue[:0]
 }
 
 // addArc inserts a directed arc u→v with the given capacity and its reverse
@@ -64,9 +81,10 @@ func (d *dinic) bfsLevels(s, t int32) bool {
 	}
 	d.level[s] = 0
 	d.queue = append(d.queue[:0], s)
-	for len(d.queue) > 0 {
-		v := d.queue[0]
-		d.queue = d.queue[1:]
+	// Drain with a head index: reslicing the front away would permanently
+	// consume queue capacity and defeat the workspace reuse.
+	for qh := 0; qh < len(d.queue); qh++ {
+		v := d.queue[qh]
 		for e := d.head[v]; e != -1; e = d.next[e] {
 			w := d.to[e]
 			if d.cap[e] > 0 && d.level[w] == -1 {

@@ -5,19 +5,10 @@ import (
 )
 
 // IsConnected reports whether g is connected (1-connected). The empty graph
-// is vacuously connected; a single node is connected.
+// is vacuously connected; a single node is connected. See IsConnectedW for
+// the scratch-reusing form.
 func IsConnected(g *graph.Undirected) bool {
-	n := g.N()
-	if n <= 1 {
-		return true
-	}
-	uf := NewUnionFind(n)
-	g.ForEachEdge(func(u, v int32) bool {
-		uf.Union(u, v)
-		// Once everything has merged we can stop scanning edges.
-		return uf.Count() > 1
-	})
-	return uf.Count() == 1
+	return IsConnectedW(nil, g)
 }
 
 // Components returns, for each node, the dense id of its connected

@@ -23,15 +23,26 @@ type UnionFind struct {
 
 // NewUnionFind returns a union-find over n singleton sets.
 func NewUnionFind(n int) *UnionFind {
-	parent := make([]int32, n)
-	for i := range parent {
-		parent[i] = int32(i)
+	u := &UnionFind{}
+	u.Reset(n)
+	return u
+}
+
+// Reset reinitializes the structure to n singleton sets, reusing the
+// existing storage when it is large enough — the amortization hook of
+// Workspace-backed connectivity tests.
+func (u *UnionFind) Reset(n int) {
+	if cap(u.parent) < n {
+		u.parent = make([]int32, n)
+		u.rank = make([]int8, n)
 	}
-	return &UnionFind{
-		parent: parent,
-		rank:   make([]int8, n),
-		count:  n,
+	u.parent = u.parent[:n]
+	u.rank = u.rank[:n]
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+		u.rank[i] = 0
 	}
+	u.count = n
 }
 
 // Find returns the canonical representative of x's set.

@@ -14,6 +14,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"slices"
 	"sort"
 
 	"github.com/secure-wsn/qcomposite/internal/rng"
@@ -36,8 +37,11 @@ func NewRing(ids []ID) Ring {
 // sortDedup sorts ids in place and removes adjacent duplicates, returning the
 // compacted prefix. The comparison is index-based rather than against an
 // in-band sentinel, so every ID value — including negative ones — is kept.
+// slices.Sort (not sort.Slice) matters here: this runs once per sensor per
+// deployment, and the reflection-based sorter's two closures per call were
+// most of the Deployer trial loop's residual allocations.
 func sortDedup(ids []ID) []ID {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	out := ids[:0]
 	for i, k := range ids {
 		if i == 0 || k != out[len(out)-1] {

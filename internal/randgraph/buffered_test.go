@@ -1,0 +1,187 @@
+package randgraph
+
+import (
+	"math"
+	"testing"
+
+	"github.com/secure-wsn/qcomposite/internal/graph"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+// sameGraph reports byte-identical CSR contents.
+func sameGraph(a, b *graph.Undirected) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	for v := int32(0); int(v) < a.N(); v++ {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		if len(na) != len(nb) {
+			return false
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestQSamplerSampleIntoMatchesSample pins the builder path of the
+// q-intersection sampler against the one-shot path, on both counting
+// strategies and with composite thinning (which spends channel coins, so
+// pair emission order matters).
+func TestQSamplerSampleIntoMatchesSample(t *testing.T) {
+	for _, sparse := range []bool{false, true} {
+		name := "dense"
+		if sparse {
+			name = "sparse"
+		}
+		t.Run(name, func(t *testing.T) {
+			mk := func() *QSampler {
+				s, err := NewQSampler(90, 9, 260, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sparse {
+					forceSparse(s)
+				}
+				return s
+			}
+			one, reused := mk(), mk()
+			b := graph.NewBuilder()
+			for trial := 0; trial < 6; trial++ {
+				seed := uint64(40 + trial)
+				want, err := one.Sample(rng.New(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := reused.SampleInto(rng.New(seed), b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameGraph(want, got) {
+					t.Fatalf("trial %d: SampleInto differs from Sample", trial)
+				}
+				wantC, err := one.SampleComposite(rng.New(seed^0xbeef), 0.5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotC, err := reused.SampleCompositeInto(rng.New(seed^0xbeef), 0.5, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameGraph(wantC, gotC) {
+					t.Fatalf("trial %d: SampleCompositeInto differs from SampleComposite", trial)
+				}
+			}
+		})
+	}
+}
+
+// TestSparseCompositeMatchesDense pins that the dense and per-row counting
+// strategies spend channel coins in the same (ascending pair) order, so the
+// composite draw is strategy-independent, not just the key graph.
+func TestSparseCompositeMatchesDense(t *testing.T) {
+	mk := func(sparse bool) *QSampler {
+		s, err := NewQSampler(110, 10, 280, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sparse {
+			forceSparse(s)
+		}
+		return s
+	}
+	dense, sparse := mk(false), mk(true)
+	for trial := 0; trial < 10; trial++ {
+		seed := uint64(900 + trial)
+		gd, err := dense.SampleComposite(rng.New(seed), 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs, err := sparse.SampleComposite(rng.New(seed), 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameGraph(gd, gs) {
+			t.Fatalf("trial %d: composite draw differs between counting strategies", trial)
+		}
+	}
+}
+
+// TestAppendErdosRenyiMatchesErdosRenyi pins the append-style sampler
+// against the one-shot graph constructor, reusing one destination buffer.
+func TestAppendErdosRenyiMatchesErdosRenyi(t *testing.T) {
+	var buf []graph.Edge
+	for _, p := range []float64{0, 0.07, 0.5, 1} {
+		for trial := 0; trial < 4; trial++ {
+			seed := uint64(3000 + trial)
+			want, err := ErdosRenyi(rng.New(seed), 70, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf, err = AppendErdosRenyi(rng.New(seed), 70, p, buf[:0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := graph.NewFromEdges(70, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameGraph(want, got) {
+				t.Fatalf("p=%g trial %d: AppendErdosRenyi differs from ErdosRenyi", p, trial)
+			}
+		}
+	}
+	if _, err := AppendErdosRenyi(rng.New(1), -1, 0.5, nil); err == nil {
+		t.Error("negative n: want error")
+	}
+	if _, err := AppendErdosRenyi(rng.New(1), 10, 1.5, nil); err == nil {
+		t.Error("p out of range: want error")
+	}
+	// The one-shot form must reject bad probabilities before sizing its
+	// edge buffer from them (int(+Inf·…) would panic make).
+	for _, p := range []float64{math.Inf(1), math.NaN(), -0.5, 2} {
+		if _, err := ErdosRenyi(rng.New(1), 10, p); err == nil {
+			t.Errorf("p=%v: want error", p)
+		}
+	}
+}
+
+// TestAppendGeometricMatchesGeometric pins the scratch-reusing geometric
+// sampler against the one-shot form, positions included.
+func TestAppendGeometricMatchesGeometric(t *testing.T) {
+	var sc GeoScratch
+	var buf []graph.Edge
+	for _, torus := range []bool{false, true} {
+		for trial := 0; trial < 4; trial++ {
+			seed := uint64(7000 + trial)
+			opts := GeometricOptions{Torus: torus}
+			want, wantPts, err := Geometric(rng.New(seed), 60, 0.2, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf, err = sc.AppendGeometric(rng.New(seed), 60, 0.2, opts, buf[:0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := graph.NewFromEdges(60, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameGraph(want, got) {
+				t.Fatalf("torus=%v trial %d: AppendGeometric differs from Geometric", torus, trial)
+			}
+			gotPts := sc.Points()
+			if len(gotPts) != len(wantPts) {
+				t.Fatalf("position count %d, want %d", len(gotPts), len(wantPts))
+			}
+			for i := range wantPts {
+				if gotPts[i] != wantPts[i] {
+					t.Fatalf("position %d differs: %v vs %v", i, gotPts[i], wantPts[i])
+				}
+			}
+		}
+	}
+}

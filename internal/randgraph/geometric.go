@@ -23,22 +23,43 @@ type GeometricPoint struct {
 	X, Y float64
 }
 
-// Geometric samples a random geometric graph: n nodes uniform on the unit
-// square, an edge wherever the (optionally toroidal) Euclidean distance is
-// at most radius. It also returns the sampled positions. A cell grid makes
-// the expected cost O(n + m).
-func Geometric(r *rng.Rand, n int, radius float64, opts GeometricOptions) (*graph.Undirected, []GeometricPoint, error) {
+// GeoScratch holds the reusable buffers of geometric sampling: node
+// positions and the flat cell grid. A zero GeoScratch is ready to use;
+// buffers grow on first use and are reused afterwards, so repeated draws
+// through one scratch allocate nothing in steady state. Not safe for
+// concurrent use.
+type GeoScratch struct {
+	pts       []GeometricPoint
+	cellOf    []int32 // cell index per node
+	cellStart []int32 // CSR offsets into cellItems, one per cell (+1)
+	cellItems []int32 // node ids grouped by cell, ascending within a cell
+}
+
+// Points returns the node positions of the most recent draw, valid until the
+// next draw through this scratch.
+func (sc *GeoScratch) Points() []GeometricPoint { return sc.pts }
+
+// AppendGeometric appends the edges of one random geometric graph draw to
+// dst and returns the extended slice: n nodes uniform on the unit square, an
+// edge wherever the (optionally toroidal) Euclidean distance is at most
+// radius. It consumes randomness exactly as Geometric does; positions are
+// available from sc.Points afterwards. A cell grid makes the expected cost
+// O(n + m).
+func (sc *GeoScratch) AppendGeometric(r *rng.Rand, n int, radius float64, opts GeometricOptions, dst []graph.Edge) ([]graph.Edge, error) {
 	if n < 0 {
-		return nil, nil, fmt.Errorf("randgraph: negative node count %d", n)
+		return nil, fmt.Errorf("randgraph: negative node count %d", n)
 	}
 	if radius < 0 {
-		return nil, nil, fmt.Errorf("randgraph: negative radius %v", radius)
+		return nil, fmt.Errorf("randgraph: negative radius %v", radius)
 	}
-	pts := make([]GeometricPoint, n)
-	for i := range pts {
-		pts[i] = GeometricPoint{X: r.Float64(), Y: r.Float64()}
+	if cap(sc.pts) < n {
+		sc.pts = make([]GeometricPoint, n)
 	}
-	var edges []graph.Edge
+	sc.pts = sc.pts[:n]
+	for i := range sc.pts {
+		sc.pts[i] = GeometricPoint{X: r.Float64(), Y: r.Float64()}
+	}
+	pts := sc.pts
 	r2 := radius * radius
 
 	// Grid of cells with side ≥ radius: only neighbors in the 3×3 block can
@@ -53,7 +74,6 @@ func Geometric(r *rng.Rand, n int, radius float64, opts GeometricOptions) (*grap
 			cells = 1 + n
 		}
 	}
-	grid := make([][]int32, cells*cells)
 	cellOf := func(p GeometricPoint) (int, int) {
 		cx := int(p.X * float64(cells))
 		cy := int(p.Y * float64(cells))
@@ -65,10 +85,38 @@ func Geometric(r *rng.Rand, n int, radius float64, opts GeometricOptions) (*grap
 		}
 		return cx, cy
 	}
+	// Bucket nodes by cell with a counting sort over the flat grid: ascending
+	// node order within each cell, no per-cell slice headers. After the fill
+	// pass cellStart[c] has advanced to the end of cell c; the rewind shift
+	// restores start-of-cell semantics (cell c = items[cellStart[c]:
+	// cellStart[c+1]]).
+	nCells := cells * cells
+	sc.cellOf = growInt32(sc.cellOf, n)
+	sc.cellStart = growInt32(sc.cellStart, nCells+1)
+	sc.cellItems = growInt32(sc.cellItems, n)
+	for c := 0; c <= nCells; c++ {
+		sc.cellStart[c] = 0
+	}
 	for i, p := range pts {
 		cx, cy := cellOf(p)
-		grid[cy*cells+cx] = append(grid[cy*cells+cx], int32(i))
+		c := int32(cy*cells + cx)
+		sc.cellOf[i] = c
+		sc.cellStart[c]++
 	}
+	acc := int32(0)
+	for c := 0; c < nCells; c++ {
+		acc, sc.cellStart[c] = acc+sc.cellStart[c], acc
+	}
+	for i := 0; i < n; i++ {
+		c := sc.cellOf[i]
+		sc.cellItems[sc.cellStart[c]] = int32(i)
+		sc.cellStart[c]++
+	}
+	for c := nCells; c > 0; c-- {
+		sc.cellStart[c] = sc.cellStart[c-1]
+	}
+	sc.cellStart[0] = 0
+
 	dist2 := func(a, b GeometricPoint) float64 {
 		dx := math.Abs(a.X - b.X)
 		dy := math.Abs(a.Y - b.Y)
@@ -90,26 +138,49 @@ func Geometric(r *rng.Rand, n int, radius float64, opts GeometricOptions) (*grap
 				nx, ny := cx+dx, cy+dy
 				if opts.Torus {
 					// Tiny grids alias cells under wraparound, producing
-					// duplicate candidate pairs; NewFromEdges merges them.
+					// duplicate candidate pairs; FromEdges merges them.
 					nx = ((nx % cells) + cells) % cells
 					ny = ((ny % cells) + cells) % cells
 				} else if nx < 0 || ny < 0 || nx >= cells || ny >= cells {
 					continue
 				}
-				for _, j := range grid[ny*cells+nx] {
+				c := ny*cells + nx
+				for _, j := range sc.cellItems[sc.cellStart[c]:sc.cellStart[c+1]] {
 					if int(j) <= i {
 						continue
 					}
 					if dist2(p, pts[j]) <= r2 {
-						edges = append(edges, graph.Edge{U: int32(i), V: j})
+						dst = append(dst, graph.Edge{U: int32(i), V: j})
 					}
 				}
 			}
 		}
 	}
+	return dst, nil
+}
+
+// growInt32 resizes buf to n entries (contents unspecified) reusing its
+// capacity.
+func growInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// Geometric samples a random geometric graph as a one-shot: n nodes uniform
+// on the unit square, an edge wherever the (optionally toroidal) Euclidean
+// distance is at most radius. It also returns the sampled positions. See
+// GeoScratch.AppendGeometric for the buffer-reusing form.
+func Geometric(r *rng.Rand, n int, radius float64, opts GeometricOptions) (*graph.Undirected, []GeometricPoint, error) {
+	var sc GeoScratch
+	edges, err := sc.AppendGeometric(r, n, radius, opts, nil)
+	if err != nil {
+		return nil, nil, err
+	}
 	g, err := graph.NewFromEdges(n, edges)
 	if err != nil {
 		return nil, nil, fmt.Errorf("randgraph: geometric graph: %w", err)
 	}
-	return g, pts, nil
+	return g, sc.Points(), nil
 }

@@ -20,58 +20,81 @@ package randgraph
 
 import (
 	"fmt"
-	"sort"
+	"math"
+	"slices"
 
 	"github.com/secure-wsn/qcomposite/internal/graph"
 	"github.com/secure-wsn/qcomposite/internal/rng"
 )
 
 // maxCounterNodes bounds the node count for which the dense triangular
-// pair-counter (n(n−1)/2 bytes) is used; beyond it a sparse map keeps memory
-// proportional to the number of key-sharing pairs.
+// pair-counter (n(n−1)/2 bytes) is used; beyond it the per-row counter keeps
+// memory O(n).
 const maxCounterNodes = 8192
 
-// ErdosRenyi samples G(n, p): each of the C(n,2) possible edges is present
+// AppendErdosRenyi appends the edges of one G(n, p) draw to dst and returns
+// the extended slice: each of the C(n,2) possible edges is present
 // independently with probability p. Pairs are enumerated in lexicographic
 // order and skipped geometrically, so the cost is O(n + E[m]) rather than
-// O(n²).
+// O(n²). Pass a reused buffer (e.g. a graph.Builder's EdgeScratch) to keep
+// Monte Carlo loops allocation-free; the draw consumes randomness exactly as
+// ErdosRenyi does.
+func AppendErdosRenyi(r *rng.Rand, n int, p float64, dst []graph.Edge) ([]graph.Edge, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("randgraph: negative node count %d", n)
+	}
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return nil, fmt.Errorf("randgraph: edge probability %v outside [0,1]", p)
+	}
+	if p == 0 || n < 2 {
+		return dst, nil
+	}
+	if p == 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				dst = append(dst, graph.Edge{U: int32(u), V: int32(v)})
+			}
+		}
+		return dst, nil
+	}
+	// Geometric skipping across the flattened upper triangle.
+	u, v := 0, 0 // v is advanced before use; position (0,1) is slot 0
+	for {
+		skip := r.Geometric(p) + 1
+		v += skip
+		for v >= n {
+			overflow := v - n
+			u++
+			v = u + 1 + overflow
+			if u >= n-1 {
+				break
+			}
+		}
+		if u >= n-1 || v >= n {
+			break
+		}
+		dst = append(dst, graph.Edge{U: int32(u), V: int32(v)})
+	}
+	return dst, nil
+}
+
+// ErdosRenyi samples G(n, p) as a one-shot graph; see AppendErdosRenyi for
+// the buffer-reusing form.
 func ErdosRenyi(r *rng.Rand, n int, p float64) (*graph.Undirected, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("randgraph: negative node count %d", n)
 	}
-	if p < 0 || p > 1 {
+	if math.IsNaN(p) || p < 0 || p > 1 {
 		return nil, fmt.Errorf("randgraph: edge probability %v outside [0,1]", p)
 	}
 	var edges []graph.Edge
 	if p > 0 && n > 1 {
 		expected := p * float64(n) * float64(n-1) / 2
 		edges = make([]graph.Edge, 0, int(expected)+16)
-		if p == 1 {
-			for u := 0; u < n; u++ {
-				for v := u + 1; v < n; v++ {
-					edges = append(edges, graph.Edge{U: int32(u), V: int32(v)})
-				}
-			}
-		} else {
-			// Geometric skipping across the flattened upper triangle.
-			u, v := 0, 0 // v is advanced before use; position (0,1) is slot 0
-			for {
-				skip := r.Geometric(p) + 1
-				v += skip
-				for v >= n {
-					overflow := v - n
-					u++
-					v = u + 1 + overflow
-					if u >= n-1 {
-						break
-					}
-				}
-				if u >= n-1 || v >= n {
-					break
-				}
-				edges = append(edges, graph.Edge{U: int32(u), V: int32(v)})
-			}
-		}
+	}
+	edges, err := AppendErdosRenyi(r, n, p, edges)
+	if err != nil {
+		return nil, err
 	}
 	g, err := graph.NewFromEdges(n, edges)
 	if err != nil {
@@ -97,7 +120,11 @@ type QSampler struct {
 	rowStart []int64 // triangular row offsets
 	touched  []int64 // dirtied counter slots, for sparse clearing
 
-	sparse map[int64]uint8 // pair counter for large n
+	// Per-row counting for large n: O(n) memory instead of the dense
+	// triangle, no map churn. rowCnt[w] counts keys shared between the
+	// current row's node and w; rowTouched lists the dirtied entries.
+	rowCnt     []uint8
+	rowTouched []int32
 
 	edges []graph.Edge // scratch edge list
 }
@@ -139,14 +166,23 @@ func NewQSampler(n, ring, pool, q int) (*QSampler, error) {
 		}
 		s.counts = make([]uint8, acc)
 	} else {
-		s.sparse = make(map[int64]uint8)
+		s.rowCnt = make([]uint8, n)
 	}
 	return s, nil
 }
 
 // Sample draws a fresh G_q(n, K, P).
 func (s *QSampler) Sample(r *rng.Rand) (*graph.Undirected, error) {
-	return s.sample(r, 1.01) // pOn > 1 keeps every edge
+	return s.sample(r, 1.01, nil) // pOn > 1 keeps every edge
+}
+
+// SampleInto draws a fresh G_q(n, K, P) through the caller's graph.Builder:
+// byte-identical to Sample for the same generator state, but the CSR storage
+// comes from the builder's reusable arenas, so a Monte Carlo loop allocates
+// nothing in steady state. The returned graph follows the builder's lifetime
+// contract (valid until the second-next build).
+func (s *QSampler) SampleInto(r *rng.Rand, b *graph.Builder) (*graph.Undirected, error) {
+	return s.sample(r, 1.01, b)
 }
 
 // SampleComposite draws a fresh G_{n,q}(n, K, P, p) = G_q(n,K,P) ∩ G(n,p)
@@ -158,7 +194,16 @@ func (s *QSampler) SampleComposite(r *rng.Rand, pOn float64) (*graph.Undirected,
 	if pOn < 0 || pOn > 1 {
 		return nil, fmt.Errorf("randgraph: channel-on probability %v outside [0,1]", pOn)
 	}
-	return s.sample(r, pOn)
+	return s.sample(r, pOn, nil)
+}
+
+// SampleCompositeInto is SampleComposite through a caller-supplied builder;
+// see SampleInto for the lifetime contract.
+func (s *QSampler) SampleCompositeInto(r *rng.Rand, pOn float64, b *graph.Builder) (*graph.Undirected, error) {
+	if pOn < 0 || pOn > 1 {
+		return nil, fmt.Errorf("randgraph: channel-on probability %v outside [0,1]", pOn)
+	}
+	return s.sample(r, pOn, b)
 }
 
 // KeyRing returns the key ring of node v from the most recent draw, as a
@@ -167,7 +212,7 @@ func (s *QSampler) KeyRing(v int) []int32 {
 	return s.rings[v*s.ring : (v+1)*s.ring]
 }
 
-func (s *QSampler) sample(r *rng.Rand, pOn float64) (*graph.Undirected, error) {
+func (s *QSampler) sample(r *rng.Rand, pOn float64, b *graph.Builder) (*graph.Undirected, error) {
 	// 1. Assign key rings: n independent uniform K-subsets of the pool.
 	s.rings = s.rings[:0]
 	var err error
@@ -195,13 +240,14 @@ func (s *QSampler) sample(r *rng.Rand, pOn float64) (*graph.Undirected, error) {
 			s.keyCnt[k]++
 		}
 	}
-	// 3. Count shared keys per node pair via the inverted index.
-	if s.counts != nil {
-		s.countDense()
-	} else {
-		s.countSparse()
+	// 3+4. Count shared keys per node pair via the inverted index and
+	// extract edges with count ≥ q, thinning by the channel model. Both
+	// counting strategies emit qualifying pairs in ascending (u, v) order, so
+	// the channel coins are spent identically whichever runs.
+	q8 := uint8(s.q)
+	if s.q > 255 {
+		q8 = 255
 	}
-	// 4. Extract edges with count ≥ q, thinning by the channel model.
 	s.edges = s.edges[:0]
 	keep := func(u, v int32) {
 		if pOn >= 1 || r.Bernoulli(pOn) {
@@ -209,9 +255,13 @@ func (s *QSampler) sample(r *rng.Rand, pOn float64) (*graph.Undirected, error) {
 		}
 	}
 	if s.counts != nil {
-		q8 := uint8(s.q)
-		if s.q > 255 {
-			q8 = 255
+		s.countDense()
+		// Touched slots are appended out of order; sort so coin spending is
+		// position-deterministic and matches the per-row path. Without
+		// thinning no coins are spent and order is irrelevant (FromEdges
+		// sorts adjacency), so skip the O(E log E) pass.
+		if pOn < 1 {
+			slices.Sort(s.touched)
 		}
 		for _, idx := range s.touched {
 			if s.counts[idx] >= q8 {
@@ -222,24 +272,14 @@ func (s *QSampler) sample(r *rng.Rand, pOn float64) (*graph.Undirected, error) {
 		}
 		s.touched = s.touched[:0]
 	} else {
-		q8 := uint8(s.q)
-		if s.q > 255 {
-			q8 = 255
+		s.countByRow(q8, pOn < 1, keep)
+	}
+	if b != nil {
+		g, err := b.FromEdges(s.n, s.edges)
+		if err != nil {
+			return nil, fmt.Errorf("randgraph: q-intersection graph: %w", err)
 		}
-		// Map iteration order is randomized in Go; sort the qualifying pairs
-		// before spending channel coins so a given RNG seed always produces
-		// the same composite graph.
-		var qualifying []int64
-		for key, cnt := range s.sparse {
-			if cnt >= q8 {
-				qualifying = append(qualifying, key)
-			}
-			delete(s.sparse, key)
-		}
-		sort.Slice(qualifying, func(i, j int) bool { return qualifying[i] < qualifying[j] })
-		for _, key := range qualifying {
-			keep(int32(key/int64(s.n)), int32(key%int64(s.n)))
-		}
+		return g, nil
 	}
 	g, err := graph.NewFromEdges(s.n, s.edges)
 	if err != nil {
@@ -269,18 +309,44 @@ func (s *QSampler) countDense() {
 	}
 }
 
-// countSparse is the map-backed variant for large n.
-func (s *QSampler) countSparse() {
+// countByRow is the large-n strategy: it walks nodes in ascending order and,
+// for row u, counts the co-holders w > u of each of u's keys into an
+// n-length counter cleared per row via a touched list. The per-key cursor
+// (reusing keyCnt) advances past u in O(1) amortized because rows consume
+// each holder list in ascending order. Total pair work matches countDense
+// with O(n) memory and no per-draw map or qualifying-slice churn; when
+// thinning (sortRows), each row's touched list is sorted so qualifying
+// pairs spend channel coins in ascending (u, v) order and composite draws
+// stay deterministic.
+func (s *QSampler) countByRow(q8 uint8, sortRows bool, keep func(u, v int32)) {
 	for k := 0; k < s.pool; k++ {
-		hs := s.holders[s.keyOff[k]:s.keyOff[k+1]]
-		for i := 0; i < len(hs); i++ {
-			ui := int64(hs[i]) * int64(s.n)
-			for j := i + 1; j < len(hs); j++ {
-				key := ui + int64(hs[j])
-				if c := s.sparse[key]; c < 255 {
-					s.sparse[key] = c + 1
+		s.keyCnt[k] = 0 // step 2's fill pass left the full holder counts here
+	}
+	rowCnt := s.rowCnt[:s.n]
+	for u := 0; u < s.n; u++ {
+		s.rowTouched = s.rowTouched[:0]
+		for _, k := range s.rings[u*s.ring : (u+1)*s.ring] {
+			// keyCnt[k] holders of k precede u and are already consumed; the
+			// next one is u itself.
+			cur := s.keyOff[k] + s.keyCnt[k]
+			s.keyCnt[k]++
+			for _, w := range s.holders[cur+1 : s.keyOff[k+1]] {
+				if rowCnt[w] == 0 {
+					s.rowTouched = append(s.rowTouched, w)
+				}
+				if rowCnt[w] < 255 {
+					rowCnt[w]++
 				}
 			}
+		}
+		if sortRows {
+			slices.Sort(s.rowTouched)
+		}
+		for _, w := range s.rowTouched {
+			if rowCnt[w] >= q8 {
+				keep(int32(u), w)
+			}
+			rowCnt[w] = 0
 		}
 	}
 }

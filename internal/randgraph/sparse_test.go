@@ -6,14 +6,14 @@ import (
 	"github.com/secure-wsn/qcomposite/internal/rng"
 )
 
-// forceSparse converts a sampler to the map-backed pair counter that is
+// forceSparse converts a sampler to the per-row pair counter that is
 // normally selected only for n > maxCounterNodes, so the sparse path can be
 // exercised at test-friendly sizes.
 func forceSparse(s *QSampler) {
 	s.counts = nil
 	s.rowStart = nil
 	s.touched = nil
-	s.sparse = make(map[int64]uint8)
+	s.rowCnt = make([]uint8, s.n)
 }
 
 func TestSparseCounterMatchesDense(t *testing.T) {
@@ -49,8 +49,9 @@ func TestSparseCounterMatchesDense(t *testing.T) {
 }
 
 func TestSparseCompositeDeterministic(t *testing.T) {
-	// The sparse path sorts qualifying pairs before spending channel coins;
-	// two runs from the same seed must agree exactly.
+	// The per-row path emits qualifying pairs in ascending (u, v) order
+	// before spending channel coins; two runs from the same seed must agree
+	// exactly.
 	mk := func() *QSampler {
 		s, err := NewQSampler(100, 10, 250, 2)
 		if err != nil {
@@ -79,16 +80,20 @@ func TestSparseCounterReuseIsClean(t *testing.T) {
 	}
 	forceSparse(s)
 	r := rng.New(9)
+	checkClean := func(when string) {
+		t.Helper()
+		for w, c := range s.rowCnt {
+			if c != 0 {
+				t.Errorf("row counter retained count %d at node %d after %s", c, w, when)
+			}
+		}
+	}
 	if _, err := s.Sample(r); err != nil {
 		t.Fatal(err)
 	}
-	if len(s.sparse) != 0 {
-		t.Errorf("sparse counter retained %d entries after a draw", len(s.sparse))
-	}
+	checkClean("a draw")
 	if _, err := s.Sample(r); err != nil {
 		t.Fatal(err)
 	}
-	if len(s.sparse) != 0 {
-		t.Errorf("sparse counter retained %d entries after second draw", len(s.sparse))
-	}
+	checkClean("second draw")
 }

@@ -1,0 +1,109 @@
+package wsn
+
+import (
+	"testing"
+
+	"github.com/secure-wsn/qcomposite/internal/channel"
+	"github.com/secure-wsn/qcomposite/internal/graph"
+	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+// unbufferedChannel hides a model's BufferedModel/BufferedClassModel
+// methods behind a plain Model interface, forcing the Deployer onto the
+// allocating Sample path.
+type unbufferedChannel struct{ m channel.Model }
+
+func (u unbufferedChannel) Name() string    { return u.m.Name() }
+func (u unbufferedChannel) Validate() error { return u.m.Validate() }
+func (u unbufferedChannel) Sample(r *rng.Rand, n int) (*graph.Undirected, error) {
+	return u.m.Sample(r, n)
+}
+
+// unbufferedClassChannel is the ClassModel analogue.
+type unbufferedClassChannel struct{ m channel.ClassModel }
+
+func (u unbufferedClassChannel) Name() string    { return u.m.Name() }
+func (u unbufferedClassChannel) Validate() error { return u.m.Validate() }
+func (u unbufferedClassChannel) ClassCount() int { return u.m.ClassCount() }
+func (u unbufferedClassChannel) Sample(r *rng.Rand, n int) (*graph.Undirected, error) {
+	return u.m.Sample(r, n)
+}
+func (u unbufferedClassChannel) SampleClasses(r *rng.Rand, n int, labels []uint8) (*graph.Undirected, error) {
+	return u.m.SampleClasses(r, n, labels)
+}
+
+// TestBufferedDeploymentMatchesUnbuffered pins the tentpole equivalence: a
+// Deployer running the buffered channel/builder/workspace path must produce
+// byte-identical networks — secure topology, channel topology, shared keys
+// and derived link keys — to one whose channel model only offers the
+// allocating Sample path, for every configuration and across reuse.
+func TestBufferedDeploymentMatchesUnbuffered(t *testing.T) {
+	for name, cfg := range deployerConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			unbufCfg := cfg
+			if cm, ok := cfg.Channel.(channel.ClassModel); ok {
+				unbufCfg.Channel = unbufferedClassChannel{m: cm}
+			} else {
+				unbufCfg.Channel = unbufferedChannel{m: cfg.Channel}
+			}
+			buffered, err := NewDeployer(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			unbuffered, err := NewDeployer(unbufCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := uint64(1); seed <= 3; seed++ {
+				want, err := unbuffered.Deploy(seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := buffered.Deploy(seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameNetwork(t, want, got)
+			}
+		})
+	}
+}
+
+// TestConnectivityTrialAllocBudget is the alloc-budget regression gate on
+// the connectivity-only trial loop (the BenchmarkDeployPipeline hot path):
+// after warm-up, a reused Deployer must run deploy + IsConnected in at most
+// a handful of allocations per trial (the per-trial RNG plus slack for rare
+// buffer growth). The seed state ran this loop at ≈ 2,020 allocs per trial.
+func TestConnectivityTrialAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc gate needs the full n=1000 deployment")
+	}
+	scheme, err := keys.NewQComposite(10000, 41, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDeployer(Config{Sensors: 1000, Scheme: scheme, Channel: channel.OnOff{P: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := uint64(0)
+	trial := func() {
+		seed++
+		net, err := d.Deploy(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.IsConnected(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm up so every amortized buffer has grown to its working size.
+	for i := 0; i < 8; i++ {
+		trial()
+	}
+	const budget = 16 // steady state measures ~1 (the per-Deploy rng.New)
+	if avg := testing.AllocsPerRun(20, trial); avg > budget {
+		t.Errorf("connectivity-only trial allocates %.1f allocs/run, budget %d", avg, budget)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/secure-wsn/qcomposite/internal/channel"
 	"github.com/secure-wsn/qcomposite/internal/graph"
+	"github.com/secure-wsn/qcomposite/internal/graphalgo"
 	"github.com/secure-wsn/qcomposite/internal/keys"
 	"github.com/secure-wsn/qcomposite/internal/rng"
 )
@@ -29,10 +30,13 @@ const maxCountedOverlap = 255
 // final CSR topology).
 //
 // The returned *Network aliases the Deployer's buffers and remains valid
-// only until the next Deploy/DeployRand call; callers that need a long-lived
-// network should use the package-level Deploy, which dedicates a Deployer to
-// the one network. A Deployer is not safe for concurrent use — use a
-// DeployerPool to share one configuration across Monte Carlo workers.
+// only until the next Deploy/DeployRand call (the storage is double-buffered,
+// so the previous network is not corrupted *while* the next deployment is
+// being built, but callers must not rely on more than one network at a
+// time). Callers that need a long-lived network should use the package-level
+// Deploy, which dedicates a Deployer to the one network. A Deployer is not
+// safe for concurrent use — use a DeployerPool to share one configuration
+// across Monte Carlo workers.
 //
 // Shared-key discovery is strategy-adaptive and class-aware. When the
 // channel graph is dense relative to the key index, discovery inverts the
@@ -49,7 +53,22 @@ type Deployer struct {
 	arena keys.RingArena
 	ix    *keys.Intersector
 	edges []graph.Edge
-	alive []bool
+
+	// Reusable CSR builders: one per graph the deployment produces, so the
+	// channel graph never invalidates the secure topology. Each builder is
+	// double-buffered, so a Network's graphs stay valid while the *next*
+	// deployment is being built and are reclaimed by the one after — the
+	// lifetime the Deployer documents.
+	chanBld *graph.Builder
+	secBld  *graph.Builder
+
+	// Shared connectivity scratch, threaded into every deployed Network.
+	algo *graphalgo.Workspace
+
+	// Double-buffered Network storage (headers, liveness flags, link-table
+	// buffers), matching the builders' lifetime.
+	nets   [2]Network
+	netIdx int
 
 	// Inverted-index discovery workspace (allocated on first use).
 	keyCnt  []int32 // per-key holder count, then fill cursor
@@ -79,7 +98,12 @@ func NewDeployer(cfg Config) (*Deployer, error) {
 
 // newDeployer constructs a Deployer for an already-validated configuration.
 func newDeployer(cfg Config) *Deployer {
-	return &Deployer{cfg: cfg}
+	return &Deployer{
+		cfg:     cfg,
+		chanBld: graph.NewBuilder(),
+		secBld:  graph.NewBuilder(),
+		algo:    graphalgo.NewWorkspace(),
+	}
 }
 
 // Config returns the deployment configuration (Seed field as passed to
@@ -119,12 +143,20 @@ func (d *Deployer) deploy(cfg Config, r *rng.Rand) (*Network, error) {
 	}
 	rings := asg.Rings
 
-	// 2. Physical channel sampling. Class-aware models receive the
-	// deployment's class labels, so the scheme and channel observe one
-	// shared class assignment.
+	// 2. Physical channel sampling through the deployer-owned builder when
+	// the model supports it (all built-in models do; the unbuffered branches
+	// keep third-party Model implementations working). Class-aware models
+	// receive the deployment's class labels, so the scheme and channel
+	// observe one shared class assignment.
 	var channels *graph.Undirected
 	if cm, ok := cfg.Channel.(channel.ClassModel); ok {
-		channels, err = cm.SampleClasses(r, n, asg.Labels)
+		if bcm, ok := cfg.Channel.(channel.BufferedClassModel); ok {
+			channels, err = bcm.SampleClassesInto(r, n, asg.Labels, d.chanBld)
+		} else {
+			channels, err = cm.SampleClasses(r, n, asg.Labels)
+		}
+	} else if bm, ok := cfg.Channel.(channel.BufferedModel); ok {
+		channels, err = bm.SampleInto(r, n, d.chanBld)
 	} else {
 		channels, err = cfg.Channel.Sample(r, n)
 	}
@@ -132,7 +164,8 @@ func (d *Deployer) deploy(cfg Config, r *rng.Rand) (*Network, error) {
 		return nil, fmt.Errorf("wsn: deploy: %w", err)
 	}
 
-	// 3. Shared-key discovery over usable channels.
+	// 3. Shared-key discovery over usable channels; the secure topology is
+	// built through the deployer's second builder.
 	q := cfg.Scheme.RequiredOverlap()
 	d.edges = d.edges[:0]
 	if d.useIndexDiscovery(rings, channels, q) {
@@ -143,28 +176,17 @@ func (d *Deployer) deploy(cfg Config, r *rng.Rand) (*Network, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wsn: deploy: %w", err)
 	}
-	secure, err := graph.NewFromEdges(n, d.edges)
+	secure, err := d.secBld.FromEdges(n, d.edges)
 	if err != nil {
 		return nil, fmt.Errorf("wsn: deploy: %w", err)
 	}
 
-	// 4. Liveness flags (reused).
-	if cap(d.alive) < n {
-		d.alive = make([]bool, n)
-	}
-	d.alive = d.alive[:n]
-	for i := range d.alive {
-		d.alive[i] = true
-	}
-
-	return &Network{
-		cfg:      cfg,
-		rings:    rings,
-		labels:   asg.Labels,
-		channels: channels,
-		secure:   secure,
-		alive:    d.alive,
-	}, nil
+	// 4. Assemble the Network in the double-buffered slot, keeping its
+	// grown buffers (liveness flags, link table) across reuse.
+	net := &d.nets[d.netIdx]
+	d.netIdx ^= 1
+	net.reset(cfg, rings, asg.Labels, channels, secure, d.algo)
+	return net, nil
 }
 
 // useIndexDiscovery decides the discovery strategy from the rings actually

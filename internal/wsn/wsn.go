@@ -95,11 +95,45 @@ type Network struct {
 	failedLinks map[[2]int32]bool
 	revoked     *bitset.Set
 
+	// Connectivity scratch shared with the owning Deployer (nil for
+	// networks assembled outside a Deployer); used transiently by
+	// IsConnected/IsKConnected queries.
+	algo *graphalgo.Workspace
+
 	// Lazily materialized link table over the current secure topology;
-	// linkIdx == nil means not yet materialized. Invalidated by revocation.
-	linkIdx   map[[2]int32]int32
-	linkStore []Link
-	sharedBuf []keys.ID // scratch for shared-set queries
+	// linksReady reports whether it reflects the current state (revocation
+	// and redeployment invalidate it, keeping the grown buffers).
+	linksReady bool
+	linkIdx    map[[2]int32]int32
+	linkStore  []Link
+	linkFlat   []keys.ID // flat arena behind linkStore[i].SharedKeys
+	linkOffs   []int     // per-link offsets into linkFlat
+	sharedBuf  []keys.ID // scratch for shared-set queries
+}
+
+// reset re-points the network at a fresh deployment's state, reusing the
+// grown buffers (liveness flags, link-table storage) it already owns. Called
+// by Deployer on its double-buffered Network slots.
+func (n *Network) reset(cfg Config, rings []keys.Ring, labels []uint8,
+	channels, secure *graph.Undirected, algo *graphalgo.Workspace) {
+	n.cfg = cfg
+	n.rings = rings
+	n.labels = labels
+	n.channels = channels
+	n.secure = secure
+	n.algo = algo
+	sensors := cfg.Sensors
+	if cap(n.alive) < sensors {
+		n.alive = make([]bool, sensors)
+	}
+	n.alive = n.alive[:sensors]
+	for i := range n.alive {
+		n.alive[i] = true
+	}
+	n.deadN = 0
+	n.failedLinks = nil
+	n.revoked = nil
+	n.invalidateLinks()
 }
 
 // Deploy assigns key rings, samples the channel model, and performs
@@ -119,19 +153,25 @@ func Deploy(cfg Config) (*Network, error) {
 
 // materializeLinks builds the link table for the current secure topology:
 // one pass collects every link's surviving shared keys into a flat arena,
-// a second derives the link keys. Called lazily from Link/Links.
+// a second derives the link keys. Called lazily from Link/Links. The index
+// map and both arenas are reused across invalidations, so re-materializing
+// (after revocation or Deployer reuse) allocates only on growth.
 func (n *Network) materializeLinks() {
-	if n.linkIdx != nil {
+	if n.linksReady {
 		return
 	}
 	m := n.secure.M()
-	n.linkIdx = make(map[[2]int32]int32, m)
+	if n.linkIdx == nil {
+		n.linkIdx = make(map[[2]int32]int32, m)
+	} else {
+		clear(n.linkIdx)
+	}
 	if cap(n.linkStore) < m {
 		n.linkStore = make([]Link, 0, m)
 	}
 	n.linkStore = n.linkStore[:0]
-	flat := make([]keys.ID, 0, 2*m)
-	offs := make([]int, 1, m+1)
+	flat := n.linkFlat[:0]
+	offs := append(n.linkOffs[:0], 0)
 	n.secure.ForEachEdge(func(u, v int32) bool {
 		flat = n.appendSurvivingShared(u, v, flat)
 		offs = append(offs, len(flat))
@@ -139,16 +179,19 @@ func (n *Network) materializeLinks() {
 		n.linkStore = append(n.linkStore, Link{A: u, B: v})
 		return true
 	})
+	n.linkFlat, n.linkOffs = flat, offs
 	for i := range n.linkStore {
 		shared := flat[offs[i]:offs[i+1]:offs[i+1]]
 		n.linkStore[i].SharedKeys = shared
 		n.linkStore[i].Key = keys.DeriveLinkKey(shared)
 	}
+	n.linksReady = true
 }
 
-// invalidateLinks drops the materialized link table (after revocation).
+// invalidateLinks drops the materialized link table (after revocation or
+// redeployment), keeping its storage for the next materialization.
 func (n *Network) invalidateLinks() {
-	n.linkIdx = nil
+	n.linksReady = false
 	n.linkStore = n.linkStore[:0]
 }
 
@@ -263,29 +306,31 @@ func (n *Network) Links() []Link {
 
 // IsConnected reports whether the alive part of the network is connected.
 // With no failed sensors it runs directly on the full secure topology,
-// skipping the induced-subgraph copy — the hot path of connectivity trials.
+// skipping the induced-subgraph copy — the hot path of connectivity trials,
+// which runs through the Deployer's reusable graphalgo.Workspace (one-shot
+// scratch for networks deployed outside a Deployer).
 func (n *Network) IsConnected() (bool, error) {
 	if n.deadN == 0 {
-		return graphalgo.IsConnected(n.secure), nil
+		return graphalgo.IsConnectedW(n.algo, n.secure), nil
 	}
 	sub, _, err := n.SecureTopology()
 	if err != nil {
 		return false, err
 	}
-	return graphalgo.IsConnected(sub), nil
+	return graphalgo.IsConnectedW(n.algo, sub), nil
 }
 
 // IsKConnected reports whether the alive part of the network is k-connected
 // (the paper's resilience property: it survives any k−1 further failures).
 func (n *Network) IsKConnected(k int) (bool, error) {
 	if n.deadN == 0 {
-		return graphalgo.IsKConnected(n.secure, k), nil
+		return graphalgo.IsKConnectedW(n.algo, n.secure, k), nil
 	}
 	sub, _, err := n.SecureTopology()
 	if err != nil {
 		return false, err
 	}
-	return graphalgo.IsKConnected(sub, k), nil
+	return graphalgo.IsKConnectedW(n.algo, sub, k), nil
 }
 
 // SecurePath returns a shortest multi-hop path of secure links between alive
