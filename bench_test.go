@@ -14,14 +14,18 @@
 package qcomposite_test
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/secure-wsn/qcomposite"
 	"github.com/secure-wsn/qcomposite/internal/adversary"
 	"github.com/secure-wsn/qcomposite/internal/channel"
+	"github.com/secure-wsn/qcomposite/internal/experiment"
 	"github.com/secure-wsn/qcomposite/internal/graphalgo"
 	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/montecarlo"
 	"github.com/secure-wsn/qcomposite/internal/randgraph"
 	"github.com/secure-wsn/qcomposite/internal/rng"
 	"github.com/secure-wsn/qcomposite/internal/stats"
@@ -206,9 +210,11 @@ func BenchmarkE6ZeroOneTrial(b *testing.B) {
 // Deployer refactor ran this exact connectivity-only trial at ≈ 61200
 // allocs/op and 6.5 MB/op; the first Deployer brought it to ≈ 2020 allocs/op
 // and 5.25 MB/op; the zero-allocation trial loop (reusable CSR builders,
-// buffered channel sampling, scratch-backed connectivity) runs it at ≈ 1
-// alloc/op steady state — the per-Deploy rng.New — with residual B/op being
-// amortized buffer growth.
+// buffered channel sampling, scratch-backed connectivity) brought it to ≈ 1
+// alloc/op — the per-Deploy rng.New — and the reseedable RNG (rng.Reseed
+// reused by Deploy) removed that last one: steady state is 0 allocs/op,
+// with residual B/op and allocs/op in short runs being amortized buffer
+// growth.
 func BenchmarkDeployPipeline(b *testing.B) {
 	scheme, err := keys.NewQComposite(10000, 41, 2)
 	if err != nil {
@@ -265,6 +271,76 @@ func BenchmarkDeployPipeline(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkShardedSweep measures a full grid sweep at n = 4000 — eight ring
+// sizes around the connectivity threshold, two connectivity trials each,
+// every trial a complete deployment through the zero-allocation loop — with
+// grid-point sharding off (PointWorkers = 1, one shard: the sequential
+// upper bound) versus one shard per CPU. Per-point trial parallelism is
+// pinned to 1 in both modes so the ratio isolates POINT-level scaling: with
+// points ≫ shards it should approach the CPU count, and the estimates are
+// bit-identical in both modes (pinned by the experiment package's
+// equivalence tests). This is the perf-trajectory artifact for the sharded
+// sweep runner.
+func BenchmarkShardedSweep(b *testing.B) {
+	const (
+		n      = 4000
+		pool   = 40000
+		q      = 2
+		pOn    = 0.5
+		trials = 2
+	)
+	var ks []int
+	for k := 40; k < 48; k++ {
+		ks = append(ks, k)
+	}
+	grid := experiment.Grid{Ks: ks, Qs: []int{q}, Ps: []float64{pOn}}
+	build := func(pt experiment.GridPoint) (montecarlo.Trial, error) {
+		scheme, err := keys.NewQComposite(pool, pt.K, pt.Q)
+		if err != nil {
+			return nil, err
+		}
+		dp, err := wsn.NewDeployerPool(wsn.Config{
+			Sensors: n,
+			Scheme:  scheme,
+			Channel: channel.OnOff{P: pt.P},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return func(trial int, r *rng.Rand) (bool, error) {
+			d := dp.Get()
+			defer dp.Put(d)
+			net, err := d.DeployRand(r)
+			if err != nil {
+				return false, err
+			}
+			return net.IsConnected()
+		}, nil
+	}
+	shardCounts := []int{1}
+	if ncpu := runtime.NumCPU(); ncpu > 1 {
+		shardCounts = append(shardCounts, ncpu)
+	}
+	for _, pw := range shardCounts {
+		b.Run(fmt.Sprintf("n4000/pointworkers=%d", pw), func(b *testing.B) {
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.SweepProportion(ctx, grid,
+					experiment.SweepConfig{Trials: trials, Workers: 1, PointWorkers: pw, Seed: 1},
+					build)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != grid.Len() {
+					b.Fatalf("got %d results, want %d", len(res), grid.Len())
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkE7ResilienceTrial measures one resilience trial: deploy a

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives the migrated tool end to end on a small grid: the
+// Lemma 5 coupling loop, the paired Deployer-backed sandwich sweep (sharded),
+// and the pivoted table/CSV must all work from the flag surface down.
+func TestRunSmoke(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "couplings.csv")
+	os.Args = []string{"couplings",
+		"-n", "60", "-pool", "300", "-q", "1", "-k", "1",
+		"-kmin", "8", "-kmax", "12", "-kstep", "4",
+		"-trials", "20", "-couples", "5", "-workers", "2", "-pointworkers", "2",
+		"-csv", csv,
+	}
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	stdout := os.Stdout
+	os.Stdout = null
+	defer func() { os.Stdout = stdout }()
+
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := strings.SplitN(string(data), "\n", 2)[0]
+	for _, col := range []string{"K", "x_n (66)", "z_n (58)", "P[ER(z) k-conn]", "P[G_nq k-conn]", "P[minDeg>=k]", "sandwich ok"} {
+		if !strings.Contains(head, col) {
+			t.Errorf("csv header %q missing column %q", head, col)
+		}
+	}
+	if lines := strings.Count(strings.TrimSpace(string(data)), "\n"); lines != 2 {
+		t.Errorf("csv has %d data rows, want 2 (K = 8, 12)", lines)
+	}
+}

@@ -4,18 +4,30 @@
 // The tool samples the per-trial count of degree-h nodes, compares its mean
 // to λ_{n,h}, and reports the total-variation distance between the
 // empirical count distribution and Poisson(λ_{n,h}).
+//
+// The fixed degrees h form the Xs axis of an experiment.Grid with per-point
+// parameter-derived seeding; each trial deploys a full network through a
+// reusable wsn.DeployerPool (the zero-allocation trial loop) and counts the
+// degree-h nodes of the secure topology, and the results pivot into the
+// comparison table through experiment.PivotSweep.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"time"
 
+	"github.com/secure-wsn/qcomposite/internal/channel"
 	"github.com/secure-wsn/qcomposite/internal/core"
 	"github.com/secure-wsn/qcomposite/internal/experiment"
+	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/montecarlo"
+	"github.com/secure-wsn/qcomposite/internal/rng"
 	"github.com/secure-wsn/qcomposite/internal/stats"
+	"github.com/secure-wsn/qcomposite/internal/wsn"
 )
 
 func main() {
@@ -45,22 +57,56 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	scheme, err := keys.NewQComposite(*pool, *ring, *q)
+	if err != nil {
+		return err
+	}
+	dp, err := wsn.NewDeployerPool(wsn.Config{
+		Sensors: *n,
+		Scheme:  scheme,
+		Channel: channel.OnOff{P: *pOn},
+	})
+	if err != nil {
+		return err
+	}
 	fmt.Printf("Lemma 9 validation on %s\n", m)
 	fmt.Printf("edge probability t = %.6f, n·t = %.3f, %d trials\n\n", tProb, float64(*n)*tProb, *trials)
 
-	table := experiment.NewTable(
-		"h", "lambda (Lemma 9)", "empirical mean", "empirical var", "TV distance", "max count")
+	// The fixed degrees h are the grid's Xs axis, so each h gets the sweep
+	// seeding discipline (a seed derived from the parameters, reproducible in
+	// isolation). The TV distance needs the full per-trial count distribution,
+	// so each point runs montecarlo.Collect rather than a mean estimate.
+	var hs []float64
+	for h := 0; h <= *hMax; h++ {
+		hs = append(hs, float64(h))
+	}
+	grid := experiment.Grid{Ks: []int{*ring}, Qs: []int{*q}, Ps: []float64{*pOn}, Xs: hs}
+	cfg := experiment.SweepConfig{Trials: *trials, Workers: *workers, Seed: *seed}
 	ctx := context.Background()
 	start := time.Now()
-	for h := 0; h <= *hMax; h++ {
+	var ms []experiment.Measurement
+	for _, pt := range grid.Points() {
+		h := int(pt.X)
 		lambda, err := m.PoissonDegreeCountMean(h)
 		if err != nil {
 			return err
 		}
-		counts, err := m.DegreeCountDistribution(ctx, h, core.EstimateConfig{
-			Trials:  *trials,
-			Workers: *workers,
-			Seed:    *seed + uint64(h*1000),
+		counts, err := montecarlo.Collect(ctx, montecarlo.Config{
+			Trials:  cfg.Trials,
+			Workers: cfg.Workers,
+			Seed:    cfg.PointSeed(pt),
+		}, func(trial int, r *rng.Rand) (float64, error) {
+			d := dp.Get()
+			defer dp.Put(d)
+			net, err := d.DeployRand(r)
+			if err != nil {
+				return 0, err
+			}
+			hist := net.FullSecureTopology().DegreeHistogram()
+			if h >= len(hist) {
+				return 0, nil
+			}
+			return float64(hist[h]), nil
 		})
 		if err != nil {
 			return fmt.Errorf("h=%d: %w", h, err)
@@ -68,8 +114,8 @@ func run() error {
 		var hist stats.Histogram
 		var sum stats.Summary
 		for _, c := range counts {
-			hist.Add(c)
-			sum.Add(float64(c))
+			hist.Add(int(c))
+			sum.Add(c)
 		}
 		empirical := hist.Normalized()
 		poisson := make([]float64, len(empirical)+10)
@@ -77,16 +123,34 @@ func run() error {
 			poisson[i] = stats.PoissonPMF(lambda, i)
 		}
 		tv := stats.TotalVariation(empirical, poisson)
-		table.AddRow(
-			fmt.Sprintf("%d", h),
-			fmt.Sprintf("%.4f", lambda),
-			fmt.Sprintf("%.4f", sum.Mean()),
-			fmt.Sprintf("%.4f", sum.Variance()),
-			fmt.Sprintf("%.4f", tv),
-			fmt.Sprintf("%d", int(sum.Max())),
-		)
+		for _, c := range []struct {
+			curve string
+			y     float64
+		}{
+			{"lambda (Lemma 9)", lambda},
+			{"empirical mean", sum.Mean()},
+			{"empirical var", sum.Variance()},
+			{"TV distance", tv},
+			{"max count", sum.Max()},
+		} {
+			ms = append(ms, experiment.Measurement{
+				Point: pt, Curve: c.curve, X: pt.X, Y: c.y, Lo: c.y, Hi: c.y,
+			})
+		}
 	}
-	if err := table.Render(os.Stdout); err != nil {
+	presented := experiment.PivotSweep(experiment.PivotSpec{
+		RowHeaders: []string{"h"},
+		RowCells: func(pt experiment.GridPoint) []string {
+			return []string{fmt.Sprintf("%d", int(pt.X))}
+		},
+		FormatCell: func(m experiment.Measurement) string {
+			if m.Curve == "max count" {
+				return fmt.Sprintf("%d", int(math.Round(m.Y)))
+			}
+			return fmt.Sprintf("%.4f", m.Y)
+		},
+	}, ms)
+	if err := presented.Table.Render(os.Stdout); err != nil {
 		return err
 	}
 	fmt.Printf("\nelapsed: %v\n", time.Since(start).Round(time.Millisecond))
@@ -98,7 +162,7 @@ func run() error {
 			return fmt.Errorf("create csv: %w", err)
 		}
 		defer f.Close()
-		if err := table.RenderCSV(f); err != nil {
+		if err := presented.Table.RenderCSV(f); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *csvPath)

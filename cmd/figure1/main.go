@@ -41,15 +41,16 @@ func main() {
 
 func run() error {
 	var (
-		n       = flag.Int("n", 1000, "number of sensors")
-		pool    = flag.Int("pool", 10000, "key pool size P")
-		kMin    = flag.Int("kmin", 28, "smallest key ring size K")
-		kMax    = flag.Int("kmax", 88, "largest key ring size K")
-		kStep   = flag.Int("kstep", 4, "key ring size step")
-		trials  = flag.Int("trials", 500, "samples per point (paper: 500)")
-		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
-		seed    = flag.Uint64("seed", 1, "base RNG seed")
-		csvPath = flag.String("csv", "", "write series CSV to this path")
+		n        = flag.Int("n", 1000, "number of sensors")
+		pool     = flag.Int("pool", 10000, "key pool size P")
+		kMin     = flag.Int("kmin", 28, "smallest key ring size K")
+		kMax     = flag.Int("kmax", 88, "largest key ring size K")
+		kStep    = flag.Int("kstep", 4, "key ring size step")
+		trials   = flag.Int("trials", 500, "samples per point (paper: 500)")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		pWorkers = flag.Int("pointworkers", 0, "grid-point shards (0 = sequential points; results identical either way)")
+		seed     = flag.Uint64("seed", 1, "base RNG seed")
+		csvPath  = flag.String("csv", "", "write series CSV to this path")
 	)
 	flag.Parse()
 
@@ -77,7 +78,7 @@ func run() error {
 	start := time.Now()
 	results, err := experiment.SweepProportion(ctx,
 		experiment.Grid{Ks: ks, Qs: qs, Ps: ps},
-		experiment.SweepConfig{Trials: *trials, Workers: *workers, Seed: *seed},
+		experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed},
 		func(pt experiment.GridPoint) (montecarlo.Trial, error) {
 			scheme, err := keys.NewQComposite(*pool, pt.K, pt.Q)
 			if err != nil {

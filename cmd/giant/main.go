@@ -37,14 +37,15 @@ func main() {
 
 func run() error {
 	var (
-		n       = flag.Int("n", 2000, "number of sensors")
-		pool    = flag.Int("pool", 20000, "key pool size P")
-		q       = flag.Int("q", 2, "required key overlap")
-		pOn     = flag.Float64("p", 0.5, "channel-on probability")
-		trials  = flag.Int("trials", 100, "samples per point")
-		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
-		seed    = flag.Uint64("seed", 1, "base RNG seed")
-		csvPath = flag.String("csv", "", "write series CSV to this path")
+		n        = flag.Int("n", 2000, "number of sensors")
+		pool     = flag.Int("pool", 20000, "key pool size P")
+		q        = flag.Int("q", 2, "required key overlap")
+		pOn      = flag.Float64("p", 0.5, "channel-on probability")
+		trials   = flag.Int("trials", 100, "samples per point")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		pWorkers = flag.Int("pointworkers", 0, "grid-point shards (0 = sequential points; results identical either way)")
+		seed     = flag.Uint64("seed", 1, "base RNG seed")
+		csvPath  = flag.String("csv", "", "write series CSV to this path")
 	)
 	flag.Parse()
 
@@ -72,7 +73,7 @@ func run() error {
 	// twice. Each grid point gets a DeployerPool that amortizes deployment
 	// buffers across its trials.
 	grid := experiment.Grid{Ks: rings, Qs: []int{*q}, Ps: []float64{*pOn}}
-	cfg := experiment.SweepConfig{Trials: *trials, Workers: *workers, Seed: *seed}
+	cfg := experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed}
 	results, err := experiment.SweepMeanVec(ctx, grid, cfg, 2,
 		func(pt experiment.GridPoint) (montecarlo.SampleVec, error) {
 			scheme, err := keys.NewQComposite(*pool, pt.K, pt.Q)

@@ -42,21 +42,22 @@ func main() {
 
 func run() error {
 	var (
-		n       = flag.Int("n", 500, "number of sensors")
-		pool    = flag.Int("pool", 10000, "key pool size P")
-		q       = flag.Int("q", 1, "required key overlap (1 = heterogeneous Eschenauer–Gligor)")
-		k1Min   = flag.Int("k1min", 1, "smallest class-1 ring size K1")
-		k1Max   = flag.Int("k1max", 25, "largest class-1 ring size K1")
-		k1Step  = flag.Int("k1step", 2, "class-1 ring size step")
-		k2      = flag.Int("k2", 120, "class-2 (large) ring size K2")
-		muList  = flag.String("mus", "0.2,0.5,0.8", "comma-separated class-1 mixing probabilities μ")
-		p11     = flag.Float64("p", 0.5, "channel-on probability for class-1↔class-1 pairs (and default for the rest)")
-		p12     = flag.Float64("p12", -1, "channel-on probability for class-1↔class-2 pairs (-1 = same as -p)")
-		p22     = flag.Float64("p22", -1, "channel-on probability for class-2↔class-2 pairs (-1 = same as -p)")
-		trials  = flag.Int("trials", 200, "samples per point")
-		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
-		seed    = flag.Uint64("seed", 1, "base RNG seed")
-		csvPath = flag.String("csv", "", "write series CSV to this path")
+		n        = flag.Int("n", 500, "number of sensors")
+		pool     = flag.Int("pool", 10000, "key pool size P")
+		q        = flag.Int("q", 1, "required key overlap (1 = heterogeneous Eschenauer–Gligor)")
+		k1Min    = flag.Int("k1min", 1, "smallest class-1 ring size K1")
+		k1Max    = flag.Int("k1max", 25, "largest class-1 ring size K1")
+		k1Step   = flag.Int("k1step", 2, "class-1 ring size step")
+		k2       = flag.Int("k2", 120, "class-2 (large) ring size K2")
+		muList   = flag.String("mus", "0.2,0.5,0.8", "comma-separated class-1 mixing probabilities μ")
+		p11      = flag.Float64("p", 0.5, "channel-on probability for class-1↔class-1 pairs (and default for the rest)")
+		p12      = flag.Float64("p12", -1, "channel-on probability for class-1↔class-2 pairs (-1 = same as -p)")
+		p22      = flag.Float64("p22", -1, "channel-on probability for class-2↔class-2 pairs (-1 = same as -p)")
+		trials   = flag.Int("trials", 200, "samples per point")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		pWorkers = flag.Int("pointworkers", 0, "grid-point shards (0 = sequential points; results identical either way)")
+		seed     = flag.Uint64("seed", 1, "base RNG seed")
+		csvPath  = flag.String("csv", "", "write series CSV to this path")
 	)
 	flag.Parse()
 
@@ -104,7 +105,7 @@ func run() error {
 		*n, *pool, *q, *k2, *p11, *p12, *p12, *p22, *trials, *seed)
 
 	grid := experiment.Grid{Ks: k1s, Qs: []int{*q}, Ps: []float64{*p11}, Xs: mus}
-	cfg := experiment.SweepConfig{Trials: *trials, Workers: *workers, Seed: *seed}
+	cfg := experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed}
 	ctx := context.Background()
 	start := time.Now()
 	results, err := experiment.SweepProportion(ctx, grid, cfg,

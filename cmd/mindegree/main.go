@@ -37,18 +37,19 @@ func main() {
 
 func run() error {
 	var (
-		n       = flag.Int("n", 1000, "number of sensors")
-		pool    = flag.Int("pool", 10000, "key pool size P")
-		q       = flag.Int("q", 2, "required key overlap")
-		pOn     = flag.Float64("p", 0.5, "channel-on probability")
-		k       = flag.Int("k", 2, "connectivity / degree level k")
-		kMin    = flag.Int("kmin", 38, "smallest ring size K")
-		kEnd    = flag.Int("kmax", 58, "largest ring size K")
-		kStep   = flag.Int("kstep", 2, "ring size step")
-		trials  = flag.Int("trials", 300, "samples per point")
-		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
-		seed    = flag.Uint64("seed", 1, "base RNG seed")
-		csvPath = flag.String("csv", "", "write series CSV to this path")
+		n        = flag.Int("n", 1000, "number of sensors")
+		pool     = flag.Int("pool", 10000, "key pool size P")
+		q        = flag.Int("q", 2, "required key overlap")
+		pOn      = flag.Float64("p", 0.5, "channel-on probability")
+		k        = flag.Int("k", 2, "connectivity / degree level k")
+		kMin     = flag.Int("kmin", 38, "smallest ring size K")
+		kEnd     = flag.Int("kmax", 58, "largest ring size K")
+		kStep    = flag.Int("kstep", 2, "ring size step")
+		trials   = flag.Int("trials", 300, "samples per point")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		pWorkers = flag.Int("pointworkers", 0, "grid-point shards (0 = sequential points; results identical either way)")
+		seed     = flag.Uint64("seed", 1, "base RNG seed")
+		csvPath  = flag.String("csv", "", "write series CSV to this path")
 	)
 	flag.Parse()
 
@@ -65,7 +66,7 @@ func run() error {
 	ctx := context.Background()
 	start := time.Now()
 	results, err := experiment.SweepMeanVec(ctx, grid,
-		experiment.SweepConfig{Trials: *trials, Workers: *workers, Seed: *seed}, 2,
+		experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed}, 2,
 		func(pt experiment.GridPoint) (montecarlo.SampleVec, error) {
 			scheme, err := keys.NewQComposite(*pool, pt.K, pt.Q)
 			if err != nil {

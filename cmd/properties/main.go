@@ -6,6 +6,13 @@
 // clustering coefficient (strictly positive, unlike an Erdős–Rényi graph of
 // the same density) and the diameter of connected samples.
 //
+// The four boolean properties run as one experiment.SweepMeanVec over the
+// ring-size grid: every trial deploys a full network through a reusable
+// wsn.DeployerPool and evaluates all four on that single topology. The
+// real-valued diagnostics replay a smaller deterministic schedule on a
+// dedicated wsn.Deployer, and everything pivots into one table through
+// experiment.PivotSweep.
+//
 // The related-work observation it illustrates (Nikoletseas et al., cited in
 // Section IX): Hamiltonicity emerges essentially together with
 // 2-connectivity, just after connectivity.
@@ -15,16 +22,19 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"time"
 
-	"github.com/secure-wsn/qcomposite/internal/core"
+	"github.com/secure-wsn/qcomposite/internal/channel"
 	"github.com/secure-wsn/qcomposite/internal/experiment"
 	"github.com/secure-wsn/qcomposite/internal/graphalgo"
+	"github.com/secure-wsn/qcomposite/internal/keys"
 	"github.com/secure-wsn/qcomposite/internal/montecarlo"
 	"github.com/secure-wsn/qcomposite/internal/randgraph"
 	"github.com/secure-wsn/qcomposite/internal/rng"
 	"github.com/secure-wsn/qcomposite/internal/stats"
+	"github.com/secure-wsn/qcomposite/internal/wsn"
 )
 
 func main() {
@@ -36,134 +46,206 @@ func main() {
 
 func run() error {
 	var (
-		n       = flag.Int("n", 500, "number of sensors")
-		pool    = flag.Int("pool", 5000, "key pool size P")
-		q       = flag.Int("q", 2, "required key overlap")
-		pOn     = flag.Float64("p", 0.5, "channel-on probability")
-		kMin    = flag.Int("kmin", 30, "smallest ring size K")
-		kEnd    = flag.Int("kmax", 50, "largest ring size K")
-		kStep   = flag.Int("kstep", 2, "ring size step")
-		trials  = flag.Int("trials", 150, "samples per point")
-		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
-		seed    = flag.Uint64("seed", 1, "base RNG seed")
-		csvPath = flag.String("csv", "", "write series CSV to this path")
+		n        = flag.Int("n", 500, "number of sensors")
+		pool     = flag.Int("pool", 5000, "key pool size P")
+		q        = flag.Int("q", 2, "required key overlap")
+		pOn      = flag.Float64("p", 0.5, "channel-on probability")
+		kMin     = flag.Int("kmin", 30, "smallest ring size K")
+		kEnd     = flag.Int("kmax", 50, "largest ring size K")
+		kStep    = flag.Int("kstep", 2, "ring size step")
+		trials   = flag.Int("trials", 150, "samples per point")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		pWorkers = flag.Int("pointworkers", 0, "grid-point shards (0 = sequential points; results identical either way)")
+		seed     = flag.Uint64("seed", 1, "base RNG seed")
+		csvPath  = flag.String("csv", "", "write series CSV to this path")
 	)
 	flag.Parse()
 
 	fmt.Printf("Property phase diagram of G_{n,%d}(n=%d, K, P=%d, p=%g), %d trials/point\n\n",
 		*q, *n, *pool, *pOn, *trials)
 
-	names := []string{"connected", "2-connected", "min degree >= 2", "Hamiltonian (heuristic)"}
-	series := make([]experiment.Series, len(names))
-	for i, name := range names {
-		series[i].Name = name
+	deployConfig := func(ring int) (wsn.Config, error) {
+		scheme, err := keys.NewQComposite(*pool, ring, *q)
+		if err != nil {
+			return wsn.Config{}, err
+		}
+		return wsn.Config{
+			Sensors: *n,
+			Scheme:  scheme,
+			Channel: channel.OnOff{P: *pOn},
+		}, nil
 	}
-	table := experiment.NewTable("K", "conn", "2-conn", "minDeg>=2", "Hamilton",
-		"clustering", "ER clustering", "diam (conn. samples)", "lambda2")
+
+	var ks []int
+	for ring := *kMin; ring <= *kEnd; ring += *kStep {
+		ks = append(ks, ring)
+	}
+	names := []string{"connected", "2-connected", "min degree >= 2", "Hamiltonian (heuristic)"}
+	grid := experiment.Grid{Ks: ks, Qs: []int{*q}, Ps: []float64{*pOn}}
+	cfg := experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed}
 	ctx := context.Background()
 	start := time.Now()
-	for ring := *kMin; ring <= *kEnd; ring += *kStep {
-		m := core.Model{N: *n, K: ring, P: *pool, Q: *q, ChannelOn: *pOn}
-		var (
-			hits      [4]int
-			clustSum  stats.Summary
-			diamSum   stats.Summary
-			erClust   stats.Summary
-			fiedler   stats.Summary
-			completed int
-		)
-		// One parallel pass per trial evaluating the boolean properties on
-		// the same sample (correlated estimates, fine for a phase diagram);
-		// the trial result is a bitmask.
-		res, err := montecarlo.Collect(ctx, montecarlo.Config{
-			Trials: *trials, Workers: *workers, Seed: *seed + uint64(ring),
-		}, func(trial int, r *rng.Rand) (float64, error) {
-			s, err := randgraph.NewQSampler(*n, ring, *pool, *q)
+
+	// All four boolean properties from one deployment per trial (correlated
+	// estimates, fine for a phase diagram).
+	results, err := experiment.SweepMeanVec(ctx, grid, cfg, len(names),
+		func(pt experiment.GridPoint) (montecarlo.SampleVec, error) {
+			deployCfg, err := deployConfig(pt.K)
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
-			g, err := s.SampleComposite(r, *pOn)
+			dp, err := wsn.NewDeployerPool(deployCfg)
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
-			bits := 0
-			if graphalgo.IsConnected(g) {
-				bits |= 1
-			}
-			if graphalgo.IsBiconnected(g) {
-				bits |= 2
-			}
-			if g.MinDegree() >= 2 {
-				bits |= 4
-			}
-			if _, ok := graphalgo.HamiltonianCycle(g, r, 12); ok {
-				bits |= 8
-			}
-			return float64(bits), nil
-		})
-		if err != nil {
-			return fmt.Errorf("K=%d: %w", ring, err)
-		}
-		for _, enc := range res {
-			completed++
-			bits := int(enc)
-			for b := 0; b < 4; b++ {
-				if bits&(1<<b) != 0 {
-					hits[b]++
+			return func(trial int, r *rng.Rand) ([]float64, error) {
+				d := dp.Get()
+				defer dp.Put(d)
+				net, err := d.DeployRand(r)
+				if err != nil {
+					return nil, err
 				}
-			}
-		}
-		// Real-valued diagnostics on a smaller deterministic replay.
-		replayTrials := *trials / 5
-		if replayTrials < 10 {
-			replayTrials = 10
-		}
-		for trial := 0; trial < replayTrials; trial++ {
-			r := rng.NewStream(*seed+uint64(ring), uint64(trial))
-			s, err := randgraph.NewQSampler(*n, ring, *pool, *q)
-			if err != nil {
-				return err
-			}
-			g, err := s.SampleComposite(r, *pOn)
-			if err != nil {
-				return err
-			}
-			clustSum.Add(graphalgo.GlobalClusteringCoefficient(g))
-			er, err := randgraph.ErdosRenyi(r, *n, g.Density())
-			if err != nil {
-				return err
-			}
-			erClust.Add(graphalgo.GlobalClusteringCoefficient(er))
-			if graphalgo.IsConnected(g) {
-				d, _ := graphalgo.Diameter(g)
-				diamSum.Add(float64(d))
-			}
-			fiedler.Add(graphalgo.AlgebraicConnectivity(g, 300))
-		}
-		row := []string{fmt.Sprintf("%d", ring)}
-		for i := range names {
-			p := float64(hits[i]) / float64(completed)
-			series[i].Add(float64(ring), p)
-			row = append(row, fmt.Sprintf("%.3f", p))
-		}
-		diamStr := "-"
-		if diamSum.N() > 0 {
-			diamStr = fmt.Sprintf("%.1f", diamSum.Mean())
-		}
-		row = append(row,
-			fmt.Sprintf("%.4f", clustSum.Mean()),
-			fmt.Sprintf("%.4f", erClust.Mean()),
-			diamStr,
-			fmt.Sprintf("%.3f", fiedler.Mean()))
-		table.AddRow(row...)
-		_ = m
+				g := net.FullSecureTopology()
+				out := []float64{0, 0, 0, 0}
+				// Connectivity queries go through the Network so they run on
+				// the borrowed Deployer's reusable workspace (IsKConnected(2)
+				// is the biconnectivity test behind the old one-shot calls).
+				conn, err := net.IsConnected()
+				if err != nil {
+					return nil, err
+				}
+				if conn {
+					out[0] = 1
+				}
+				biconn, err := net.IsKConnected(2)
+				if err != nil {
+					return nil, err
+				}
+				if biconn {
+					out[1] = 1
+				}
+				if g.MinDegree() >= 2 {
+					out[2] = 1
+				}
+				if _, ok := graphalgo.HamiltonianCycle(g, r, 12); ok {
+					out[3] = 1
+				}
+				return out, nil
+			}, nil
+		})
+	if err != nil {
+		return err
 	}
-	if err := table.Render(os.Stdout); err != nil {
+
+	// Real-valued diagnostics on a smaller deterministic replay through a
+	// dedicated Deployer: replay trial t of point pt draws stream
+	// (PointSeed(pt), t), so the schedule is reproducible per point exactly
+	// like the sweeps.
+	replayTrials := *trials / 5
+	if replayTrials < 10 {
+		replayTrials = 10
+	}
+	type diagRow struct {
+		clust, erClust, diam, fiedler stats.Summary
+	}
+	diagOf := make(map[int]*diagRow, len(ks))
+	for _, pt := range grid.Points() {
+		deployCfg, err := deployConfig(pt.K)
+		if err != nil {
+			return err
+		}
+		d, err := wsn.NewDeployer(deployCfg)
+		if err != nil {
+			return err
+		}
+		row := &diagRow{}
+		var r rng.Rand
+		for trial := 0; trial < replayTrials; trial++ {
+			r.ReseedStream(cfg.PointSeed(pt), uint64(trial))
+			net, err := d.DeployRand(&r)
+			if err != nil {
+				return err
+			}
+			g := net.FullSecureTopology()
+			row.clust.Add(graphalgo.GlobalClusteringCoefficient(g))
+			er, err := randgraph.ErdosRenyi(&r, *n, g.Density())
+			if err != nil {
+				return err
+			}
+			row.erClust.Add(graphalgo.GlobalClusteringCoefficient(er))
+			if graphalgo.IsConnected(g) {
+				diam, _ := graphalgo.Diameter(g)
+				row.diam.Add(float64(diam))
+			}
+			row.fiedler.Add(graphalgo.AlgebraicConnectivity(g, 300))
+		}
+		diagOf[pt.K] = row
+	}
+
+	// Pivot: the four property curves (these alone feed the chart) followed
+	// by the diagnostics columns.
+	var ms []experiment.Measurement
+	xRing := func(pt experiment.GridPoint) float64 { return float64(pt.K) }
+	for i, name := range names {
+		ms = append(ms, experiment.MeanVecMeasurements(results, i, 0, xRing, name)...)
+	}
+	for _, pt := range grid.Points() {
+		row := diagOf[pt.K]
+		diam := math.NaN()
+		if row.diam.N() > 0 {
+			diam = row.diam.Mean()
+		}
+		for _, c := range []struct {
+			curve string
+			y     float64
+		}{
+			{"clustering", row.clust.Mean()},
+			{"ER clustering", row.erClust.Mean()},
+			{"diam (conn. samples)", diam},
+			{"lambda2", row.fiedler.Mean()},
+		} {
+			ms = append(ms, experiment.Measurement{
+				Point: pt, Curve: c.curve, X: float64(pt.K), Y: c.y, Lo: c.y, Hi: c.y,
+			})
+		}
+	}
+	presented := experiment.PivotSweep(experiment.PivotSpec{
+		RowHeaders: []string{"K"},
+		RowCells: func(pt experiment.GridPoint) []string {
+			return []string{fmt.Sprintf("%d", pt.K)}
+		},
+		FormatCell: func(m experiment.Measurement) string {
+			switch m.Curve {
+			case "diam (conn. samples)":
+				if math.IsNaN(m.Y) {
+					return "-"
+				}
+				return fmt.Sprintf("%.1f", m.Y)
+			case "clustering", "ER clustering":
+				return fmt.Sprintf("%.4f", m.Y)
+			default:
+				return fmt.Sprintf("%.3f", m.Y)
+			}
+		},
+	}, ms)
+	if err := presented.Table.Render(os.Stdout); err != nil {
 		return err
 	}
 	fmt.Printf("\nelapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
 
-	if err := experiment.RenderChart(os.Stdout, series, experiment.ChartOptions{
+	// The chart and CSV carry only the four property curves, picked by name
+	// so reordering the measurement assembly above cannot silently swap in a
+	// diagnostics column.
+	propSeries := make([]experiment.Series, 0, len(names))
+	for _, name := range names {
+		for _, s := range presented.Series {
+			if s.Name == name {
+				propSeries = append(propSeries, s)
+				break
+			}
+		}
+	}
+	if err := experiment.RenderChart(os.Stdout, propSeries, experiment.ChartOptions{
 		Title:  "Monotone properties near the connectivity threshold",
 		XLabel: "key ring size K",
 		YLabel: "probability",
@@ -177,12 +259,7 @@ func run() error {
 	fmt.Println("the Erdős–Rényi value at matched density (the dependence the proofs fight).")
 
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			return fmt.Errorf("create csv: %w", err)
-		}
-		defer f.Close()
-		if err := experiment.WriteSeriesCSV(f, series); err != nil {
+		if err := experiment.SaveSeriesCSV(*csvPath, propSeries); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *csvPath)

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives the migrated tool end to end on a small grid: the
+// Deployer-backed property sweep (sharded), the diagnostics replay, and the
+// series CSV must all work from the flag surface down.
+func TestRunSmoke(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "properties.csv")
+	os.Args = []string{"properties",
+		"-n", "60", "-pool", "300", "-q", "1",
+		"-kmin", "8", "-kmax", "12", "-kstep", "4",
+		"-trials", "15", "-workers", "2", "-pointworkers", "2",
+		"-csv", csv,
+	}
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	stdout := os.Stdout
+	os.Stdout = null
+	defer func() { os.Stdout = stdout }()
+
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, series := range []string{"connected", "2-connected", "min degree >= 2", "Hamiltonian (heuristic)"} {
+		if !strings.Contains(text, series) {
+			t.Errorf("series csv missing curve %q", series)
+		}
+	}
+	// 4 property curves × 2 ring sizes + header.
+	if lines := strings.Count(strings.TrimSpace(text), "\n"); lines != 8 {
+		t.Errorf("csv has %d data rows, want 8", lines)
+	}
+}

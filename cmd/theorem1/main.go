@@ -4,11 +4,13 @@
 // k-connected against the closed form exp(−e^{−α_n}/(k−1)!) of eq. (7),
 // with α_n computed from the exact edge probability via eq. (6).
 //
-// The sweep runs through experiment.SweepProportion over the (K × k) grid
-// with per-point deterministic seeding; each trial deploys a full network
-// through a reusable wsn.DeployerPool (zero steady-state allocation: channel
-// sampling, CSR construction and the k-connectivity test all run on
-// deployer-owned scratch).
+// The sweep runs through experiment.SweepKConnectivity over the (K × k)
+// grid — the Xs axis carries the connectivity levels — with per-point
+// deterministic seeding; each trial deploys a full network through a
+// reusable wsn.DeployerPool (zero steady-state allocation: channel sampling,
+// CSR construction and the k-connectivity test all run on deployer-owned
+// scratch). With -pointworkers > 0 the grid points themselves shard across
+// workers, bit-identically to the sequential run.
 package main
 
 import (
@@ -22,8 +24,6 @@ import (
 	"github.com/secure-wsn/qcomposite/internal/core"
 	"github.com/secure-wsn/qcomposite/internal/experiment"
 	"github.com/secure-wsn/qcomposite/internal/keys"
-	"github.com/secure-wsn/qcomposite/internal/montecarlo"
-	"github.com/secure-wsn/qcomposite/internal/rng"
 	"github.com/secure-wsn/qcomposite/internal/wsn"
 )
 
@@ -36,18 +36,19 @@ func main() {
 
 func run() error {
 	var (
-		n       = flag.Int("n", 1000, "number of sensors")
-		pool    = flag.Int("pool", 10000, "key pool size P")
-		q       = flag.Int("q", 2, "required key overlap")
-		pOn     = flag.Float64("p", 0.5, "channel-on probability")
-		kMax    = flag.Int("kconn", 3, "largest connectivity level k to test")
-		kMin    = flag.Int("kmin", 36, "smallest ring size K")
-		kEnd    = flag.Int("kmax", 60, "largest ring size K")
-		kStep   = flag.Int("kstep", 2, "ring size step")
-		trials  = flag.Int("trials", 300, "samples per point")
-		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
-		seed    = flag.Uint64("seed", 1, "base RNG seed")
-		csvPath = flag.String("csv", "", "write series CSV to this path")
+		n        = flag.Int("n", 1000, "number of sensors")
+		pool     = flag.Int("pool", 10000, "key pool size P")
+		q        = flag.Int("q", 2, "required key overlap")
+		pOn      = flag.Float64("p", 0.5, "channel-on probability")
+		kMax     = flag.Int("kconn", 3, "largest connectivity level k to test")
+		kMin     = flag.Int("kmin", 36, "smallest ring size K")
+		kEnd     = flag.Int("kmax", 60, "largest ring size K")
+		kStep    = flag.Int("kstep", 2, "ring size step")
+		trials   = flag.Int("trials", 300, "samples per point")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		pWorkers = flag.Int("pointworkers", 0, "grid-point shards (0 = sequential points; results identical either way)")
+		seed     = flag.Uint64("seed", 1, "base RNG seed")
+		csvPath  = flag.String("csv", "", "write series CSV to this path")
 	)
 	flag.Parse()
 
@@ -55,41 +56,24 @@ func run() error {
 	for ring := *kMin; ring <= *kEnd; ring += *kStep {
 		ks = append(ks, ring)
 	}
-	var kLevels []float64
-	for k := 1; k <= *kMax; k++ {
-		kLevels = append(kLevels, float64(k))
-	}
 
 	fmt.Printf("Theorem 1 validation: empirical vs asymptotic P[k-connected]\n")
 	fmt.Printf("n=%d, P=%d, q=%d, p=%g, %d trials/point\n\n", *n, *pool, *q, *pOn, *trials)
 
+	grid := experiment.Grid{Ks: ks, Qs: []int{*q}, Ps: []float64{*pOn}, Xs: experiment.KLevels(*kMax)}
 	ctx := context.Background()
 	start := time.Now()
-	results, err := experiment.SweepProportion(ctx,
-		experiment.Grid{Ks: ks, Qs: []int{*q}, Ps: []float64{*pOn}, Xs: kLevels},
-		experiment.SweepConfig{Trials: *trials, Workers: *workers, Seed: *seed},
-		func(pt experiment.GridPoint) (montecarlo.Trial, error) {
+	results, err := experiment.SweepKConnectivity(ctx, grid,
+		experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed},
+		func(pt experiment.GridPoint) (wsn.Config, error) {
 			scheme, err := keys.NewQComposite(*pool, pt.K, pt.Q)
 			if err != nil {
-				return nil, err
+				return wsn.Config{}, err
 			}
-			dp, err := wsn.NewDeployerPool(wsn.Config{
+			return wsn.Config{
 				Sensors: *n,
 				Scheme:  scheme,
 				Channel: channel.OnOff{P: pt.P},
-			})
-			if err != nil {
-				return nil, err
-			}
-			k := int(pt.X)
-			return func(trial int, r *rng.Rand) (bool, error) {
-				d := dp.Get()
-				defer dp.Put(d)
-				net, err := d.DeployRand(r)
-				if err != nil {
-					return false, err
-				}
-				return net.IsKConnected(k)
 			}, nil
 		})
 	if err != nil {
@@ -98,11 +82,8 @@ func run() error {
 
 	// Empirical curves (Wilson CI) plus the eq. (7) theory overlay as extra
 	// measurement curves, pivoted into one K-rowed table.
-	ms := experiment.ProportionMeasurements(results, 1.96,
-		func(pt experiment.GridPoint) float64 { return float64(pt.K) },
-		func(pt experiment.GridPoint) string { return fmt.Sprintf("empirical k=%d", int(pt.X)) },
-	)
-	for _, pt := range (experiment.Grid{Ks: ks, Qs: []int{*q}, Ps: []float64{*pOn}, Xs: kLevels}).Points() {
+	ms := experiment.KConnMeasurements(results, 1.96)
+	for _, pt := range grid.Points() {
 		m := core.Model{N: *n, K: pt.K, P: *pool, Q: pt.Q, ChannelOn: pt.P}
 		want, err := m.TheoreticalKConnProb(int(pt.X))
 		if err != nil {

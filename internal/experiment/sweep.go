@@ -6,11 +6,20 @@ package experiment
 // the point's parameters, not its grid position — so any point of any sweep
 // can be reproduced in isolation and adding points to one axis never
 // perturbs the other points' results for the same base seed.
+//
+// Grid points themselves can be sharded across a worker pool
+// (SweepConfig.PointWorkers): shards own the per-point state their build
+// calls create and results land in Points() order, and because seeds never
+// depend on scheduling, the sharded estimates are bit-identical to the
+// sequential ones field for field.
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"github.com/secure-wsn/qcomposite/internal/montecarlo"
 	"github.com/secure-wsn/qcomposite/internal/rng"
@@ -82,12 +91,141 @@ func (g Grid) Points() []GridPoint {
 type SweepConfig struct {
 	// Trials is the number of Monte Carlo trials per grid point.
 	Trials int
-	// Workers bounds per-point parallelism; 0 means all CPUs.
+	// Workers bounds per-point parallelism; 0 means all CPUs. Under point
+	// sharding (PointWorkers > 0) the per-point budget is divided across the
+	// shards, so the total goroutine count stays ≈ Workers.
 	Workers int
+	// PointWorkers shards GRID POINTS across a worker pool: each shard is a
+	// long-lived goroutine that pulls points off a queue, runs build there
+	// (so any state build creates — typically a wsn.DeployerPool plus its
+	// graphalgo.Workspace scratch — is owned by that shard for the point's
+	// whole trial run), and writes the result into the point's Points() slot.
+	//
+	// 0 preserves the historical behavior: points run sequentially on the
+	// caller's goroutine, only trials within a point parallelize. Because
+	// per-point seeds derive from point parameters (PointSeed) and per-trial
+	// streams from trial indices, estimates are bit-identical for every
+	// PointWorkers value — scheduling never touches randomness.
+	PointWorkers int
 	// Seed is the sweep's base seed. Every grid point runs with an
 	// independent base seed mixed from (Seed, K, q, p, x); trials within a
 	// point derive per-trial streams from that, as montecarlo always does.
 	Seed uint64
+}
+
+// clampShards caps PointWorkers at the number of grid points, so the
+// per-point worker split (pointConfig) is computed from the shard count that
+// will actually run — a 2-point grid with PointWorkers = 16 runs 2 shards
+// with the full per-point budget each, not 2 starved ones. Seeding never
+// depends on worker counts, so this cannot perturb results.
+func (c SweepConfig) clampShards(grid Grid) SweepConfig {
+	if n := grid.Len(); c.PointWorkers > n {
+		c.PointWorkers = n
+	}
+	return c
+}
+
+// pointConfig returns the montecarlo configuration of grid point pt: the
+// point's parameter-derived seed, and the per-point trial parallelism — the
+// full Workers budget when points run sequentially, or the budget split
+// across shards (at least 1 each) under point sharding.
+func (c SweepConfig) pointConfig(pt GridPoint) montecarlo.Config {
+	workers := c.Workers
+	if c.PointWorkers > 1 {
+		if workers == 0 {
+			workers = runtime.NumCPU()
+		}
+		workers /= c.PointWorkers
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	return montecarlo.Config{Trials: c.Trials, Workers: workers, Seed: c.PointSeed(pt)}
+}
+
+// runPoints executes fn for every grid point and returns the results in
+// Points() order regardless of scheduling. PointWorkers = 0 runs points
+// sequentially on the calling goroutine (the historical sweep behavior);
+// otherwise min(PointWorkers, points) shard goroutines pull points off a
+// queue. fn observes a context that is cancelled as soon as any point fails,
+// so in-flight points stop promptly; all shards are always fully drained
+// before return.
+//
+// On failure the error reported is the first FAILING point in Points()
+// order, preferring genuine point errors over the cancellation fallout they
+// caused in concurrently running points.
+func runPoints[R any](ctx context.Context, grid Grid, cfg SweepConfig,
+	fn func(ctx context.Context, pt GridPoint) (R, error)) ([]R, error) {
+	pts := grid.Points()
+	out := make([]R, len(pts))
+	if cfg.PointWorkers <= 0 {
+		for _, pt := range pts {
+			r, err := fn(ctx, pt)
+			if err != nil {
+				return nil, err
+			}
+			out[pt.Index] = r
+		}
+		return out, nil
+	}
+
+	// cfg arrives clampShards-ed from the Sweep* entry points, so the shard
+	// count here and the per-point worker split in pointConfig agree.
+	shards := cfg.PointWorkers
+	errs := make([]error, len(pts))
+	cancelCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	pointCh := make(chan GridPoint)
+	var wg sync.WaitGroup
+	wg.Add(shards)
+	for s := 0; s < shards; s++ {
+		go func() {
+			defer wg.Done()
+			for pt := range pointCh {
+				r, err := fn(cancelCtx, pt)
+				if err != nil {
+					errs[pt.Index] = err
+					cancel()
+					continue
+				}
+				out[pt.Index] = r
+			}
+		}()
+	}
+feed:
+	for _, pt := range pts {
+		select {
+		case pointCh <- pt:
+		case <-cancelCtx.Done():
+			break feed
+		}
+	}
+	close(pointCh)
+	wg.Wait()
+
+	// First error in Points() order. A genuine point failure cancels the
+	// shared context, making concurrently running EARLIER points fail with a
+	// cancellation error; unless the caller's own context was cancelled,
+	// skip that fallout and surface the originating error instead.
+	var fallback error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if fallback == nil {
+			fallback = err
+		}
+		if ctx.Err() != nil || !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+	if fallback != nil {
+		return nil, fallback
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("experiment: sweep cancelled: %w", err)
+	}
+	return out, nil
 }
 
 // PointSeed returns the deterministic Monte Carlo base seed of grid point pt
@@ -114,28 +252,28 @@ type MeanResult struct {
 }
 
 // SweepProportion estimates a success proportion at every grid point. build
-// is called once per point and returns the trial to run there (typically
-// closing over a sampler or wsn.DeployerPool for that point's parameters).
-// Points run sequentially; trials within a point run across the worker pool.
+// is called once per point, on the goroutine that will run the point's
+// trials, and returns the trial to run there (typically closing over a
+// sampler or wsn.DeployerPool for that point's parameters). With
+// cfg.PointWorkers = 0 points run sequentially and trials within a point run
+// across the worker pool; with PointWorkers > 0 grid points are sharded
+// across a pool of long-lived workers (see SweepConfig.PointWorkers) and the
+// estimates are bit-identical to the sequential run.
 func SweepProportion(ctx context.Context, grid Grid, cfg SweepConfig,
 	build func(pt GridPoint) (montecarlo.Trial, error)) ([]ProportionResult, error) {
-	out := make([]ProportionResult, 0, grid.Len())
-	for _, pt := range grid.Points() {
-		trial, err := build(pt)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: sweep point %v: %w", pt, err)
-		}
-		est, err := montecarlo.EstimateProportion(ctx, montecarlo.Config{
-			Trials:  cfg.Trials,
-			Workers: cfg.Workers,
-			Seed:    cfg.PointSeed(pt),
-		}, trial)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: sweep point %v: %w", pt, err)
-		}
-		out = append(out, ProportionResult{Point: pt, Value: est})
-	}
-	return out, nil
+	cfg = cfg.clampShards(grid)
+	return runPoints(ctx, grid, cfg,
+		func(ctx context.Context, pt GridPoint) (ProportionResult, error) {
+			trial, err := build(pt)
+			if err != nil {
+				return ProportionResult{}, fmt.Errorf("experiment: sweep point %v: %w", pt, err)
+			}
+			est, err := montecarlo.EstimateProportion(ctx, cfg.pointConfig(pt), trial)
+			if err != nil {
+				return ProportionResult{}, fmt.Errorf("experiment: sweep point %v: %w", pt, err)
+			}
+			return ProportionResult{Point: pt, Value: est}, nil
+		})
 }
 
 // MeanVecResult is one multi-statistic sweep measurement: Values[i] is the
@@ -151,23 +289,19 @@ type MeanVecResult struct {
 // topology) never pay the sampling cost twice.
 func SweepMeanVec(ctx context.Context, grid Grid, cfg SweepConfig, dims int,
 	build func(pt GridPoint) (montecarlo.SampleVec, error)) ([]MeanVecResult, error) {
-	out := make([]MeanVecResult, 0, grid.Len())
-	for _, pt := range grid.Points() {
-		sample, err := build(pt)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: sweep point %v: %w", pt, err)
-		}
-		sums, err := montecarlo.EstimateMeanVec(ctx, montecarlo.Config{
-			Trials:  cfg.Trials,
-			Workers: cfg.Workers,
-			Seed:    cfg.PointSeed(pt),
-		}, dims, sample)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: sweep point %v: %w", pt, err)
-		}
-		out = append(out, MeanVecResult{Point: pt, Values: sums})
-	}
-	return out, nil
+	cfg = cfg.clampShards(grid)
+	return runPoints(ctx, grid, cfg,
+		func(ctx context.Context, pt GridPoint) (MeanVecResult, error) {
+			sample, err := build(pt)
+			if err != nil {
+				return MeanVecResult{}, fmt.Errorf("experiment: sweep point %v: %w", pt, err)
+			}
+			sums, err := montecarlo.EstimateMeanVec(ctx, cfg.pointConfig(pt), dims, sample)
+			if err != nil {
+				return MeanVecResult{}, fmt.Errorf("experiment: sweep point %v: %w", pt, err)
+			}
+			return MeanVecResult{Point: pt, Values: sums}, nil
+		})
 }
 
 // SweepMean estimates a mean-valued statistic at every grid point, with the
@@ -176,21 +310,17 @@ func SweepMeanVec(ctx context.Context, grid Grid, cfg SweepConfig, dims int,
 // statistics are measured on identical samples.
 func SweepMean(ctx context.Context, grid Grid, cfg SweepConfig,
 	build func(pt GridPoint) (montecarlo.Sample, error)) ([]MeanResult, error) {
-	out := make([]MeanResult, 0, grid.Len())
-	for _, pt := range grid.Points() {
-		sample, err := build(pt)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: sweep point %v: %w", pt, err)
-		}
-		sum, err := montecarlo.EstimateMean(ctx, montecarlo.Config{
-			Trials:  cfg.Trials,
-			Workers: cfg.Workers,
-			Seed:    cfg.PointSeed(pt),
-		}, sample)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: sweep point %v: %w", pt, err)
-		}
-		out = append(out, MeanResult{Point: pt, Value: sum})
-	}
-	return out, nil
+	cfg = cfg.clampShards(grid)
+	return runPoints(ctx, grid, cfg,
+		func(ctx context.Context, pt GridPoint) (MeanResult, error) {
+			sample, err := build(pt)
+			if err != nil {
+				return MeanResult{}, fmt.Errorf("experiment: sweep point %v: %w", pt, err)
+			}
+			sum, err := montecarlo.EstimateMean(ctx, cfg.pointConfig(pt), sample)
+			if err != nil {
+				return MeanResult{}, fmt.Errorf("experiment: sweep point %v: %w", pt, err)
+			}
+			return MeanResult{Point: pt, Value: sum}, nil
+		})
 }

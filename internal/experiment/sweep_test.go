@@ -3,7 +3,11 @@ package experiment
 import (
 	"context"
 	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/secure-wsn/qcomposite/internal/montecarlo"
 	"github.com/secure-wsn/qcomposite/internal/rng"
@@ -219,5 +223,260 @@ func TestSweepMeanVecMatchesSweepMean(t *testing.T) {
 	})
 	if err == nil {
 		t.Error("dims mismatch: want error")
+	}
+}
+
+// shardCounts are the PointWorkers values every sharding test sweeps:
+// sequential, one shard, a shard count that does not divide typical grids,
+// and full parallelism (often exceeding the point count, covering the
+// shard clamp).
+func shardCounts() []int {
+	return []int{0, 1, 3, runtime.NumCPU()}
+}
+
+// TestShardedSweepProportionBitIdentical pins the tentpole invariant: a
+// sharded sweep must produce results bit-identical to the sequential sweep —
+// every ProportionResult field — because per-point seeds derive from point
+// parameters, never from scheduling.
+func TestShardedSweepProportionBitIdentical(t *testing.T) {
+	grid := Grid{Ks: []int{10, 20, 30}, Qs: []int{1, 2}, Ps: []float64{0.25, 0.75}, Xs: []float64{0, 1}}
+	run := func(pointWorkers int) []ProportionResult {
+		t.Helper()
+		res, err := SweepProportion(context.Background(), grid,
+			SweepConfig{Trials: 60, Workers: 4, PointWorkers: pointWorkers, Seed: 13},
+			func(pt GridPoint) (montecarlo.Trial, error) {
+				return func(trial int, r *rng.Rand) (bool, error) {
+					return r.Float64() < pt.P || r.Intn(pt.K) == 0, nil
+				}, nil
+			})
+		if err != nil {
+			t.Fatalf("PointWorkers=%d: %v", pointWorkers, err)
+		}
+		return res
+	}
+	want := run(0)
+	if len(want) != grid.Len() {
+		t.Fatalf("got %d results, want %d", len(want), grid.Len())
+	}
+	for _, pw := range shardCounts()[1:] {
+		got := run(pw)
+		if len(got) != len(want) {
+			t.Fatalf("PointWorkers=%d: %d results, want %d", pw, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("PointWorkers=%d point %d: %+v, want %+v (sequential)", pw, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestShardedSweepMeanBitIdentical is the SweepMean variant of the
+// equivalence pin: Point plus every Summary field (count, mean, variance
+// accumulator, extremes) must match the sequential run exactly.
+func TestShardedSweepMeanBitIdentical(t *testing.T) {
+	grid := Grid{Ks: []int{2, 4, 8, 16}, Ps: []float64{0.1, 0.9}}
+	run := func(pointWorkers int) []MeanResult {
+		t.Helper()
+		res, err := SweepMean(context.Background(), grid,
+			SweepConfig{Trials: 40, Workers: 3, PointWorkers: pointWorkers, Seed: 29},
+			func(pt GridPoint) (montecarlo.Sample, error) {
+				return func(trial int, r *rng.Rand) (float64, error) {
+					return r.Float64() * float64(pt.K), nil
+				}, nil
+			})
+		if err != nil {
+			t.Fatalf("PointWorkers=%d: %v", pointWorkers, err)
+		}
+		return res
+	}
+	want := run(0)
+	for _, pw := range shardCounts()[1:] {
+		got := run(pw)
+		for i := range want {
+			if got[i].Point != want[i].Point {
+				t.Errorf("PointWorkers=%d point %d metadata differs", pw, i)
+			}
+			if *got[i].Value != *want[i].Value {
+				t.Errorf("PointWorkers=%d point %d: summary %+v, want %+v", pw, i, *got[i].Value, *want[i].Value)
+			}
+		}
+	}
+}
+
+// TestShardedSweepMeanVecBitIdentical is the SweepMeanVec variant: every
+// component Summary of every point must match the sequential run exactly.
+func TestShardedSweepMeanVecBitIdentical(t *testing.T) {
+	grid := Grid{Ks: []int{3, 5, 7}, Xs: []float64{1, 2, 3}}
+	const dims = 3
+	run := func(pointWorkers int) []MeanVecResult {
+		t.Helper()
+		res, err := SweepMeanVec(context.Background(), grid,
+			SweepConfig{Trials: 35, Workers: 2, PointWorkers: pointWorkers, Seed: 71}, dims,
+			func(pt GridPoint) (montecarlo.SampleVec, error) {
+				return func(trial int, r *rng.Rand) ([]float64, error) {
+					v := r.Float64() + pt.X
+					return []float64{v, -v, v * float64(pt.K)}, nil
+				}, nil
+			})
+		if err != nil {
+			t.Fatalf("PointWorkers=%d: %v", pointWorkers, err)
+		}
+		return res
+	}
+	want := run(0)
+	for _, pw := range shardCounts()[1:] {
+		got := run(pw)
+		for i := range want {
+			if got[i].Point != want[i].Point {
+				t.Errorf("PointWorkers=%d point %d metadata differs", pw, i)
+			}
+			for d := 0; d < dims; d++ {
+				if *got[i].Values[d] != *want[i].Values[d] {
+					t.Errorf("PointWorkers=%d point %d dim %d: %+v, want %+v",
+						pw, i, d, *got[i].Values[d], *want[i].Values[d])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedSweepStress floods a small shard pool with far more points than
+// shards, each point carrying shard-local mutable state created by build.
+// Run under -race in CI, it is the data-race gate on the shard runner; the
+// result check doubles as an order/equivalence pin at scale.
+func TestShardedSweepStress(t *testing.T) {
+	var ks []int
+	for k := 1; k <= 60; k++ {
+		ks = append(ks, k)
+	}
+	grid := Grid{Ks: ks, Ps: []float64{0.3, 0.6}} // 120 points
+	cfg := SweepConfig{Trials: 16, Workers: 2, PointWorkers: 4, Seed: 97}
+	res, err := SweepProportion(context.Background(), grid, cfg,
+		func(pt GridPoint) (montecarlo.Trial, error) {
+			counter := 0 // shard-owned per-point state, mutated by every trial
+			return func(trial int, r *rng.Rand) (bool, error) {
+				counter++
+				return r.Float64() < pt.P && counter > 0, nil
+			}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != grid.Len() {
+		t.Fatalf("got %d results, want %d", len(res), grid.Len())
+	}
+	seqCfg := cfg
+	seqCfg.PointWorkers = 0
+	want, err := SweepProportion(context.Background(), grid, seqCfg,
+		func(pt GridPoint) (montecarlo.Trial, error) {
+			return func(trial int, r *rng.Rand) (bool, error) {
+				return r.Float64() < pt.P, nil
+			}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if res[i] != want[i] {
+			t.Errorf("point %d: sharded %+v, sequential %+v", i, res[i], want[i])
+		}
+	}
+}
+
+// TestShardedSweepBuildErrorFirstInPointsOrder pins the error contract: when
+// several points fail, the sweep drains all shards and returns the failing
+// point that comes first in Points() order — point 0 here, since every point
+// fails and point 0 is always dispatched before any failure can cancel the
+// feed.
+func TestShardedSweepBuildErrorFirstInPointsOrder(t *testing.T) {
+	grid := Grid{Ks: []int{11, 22, 33, 44, 55, 66}}
+	pointErrs := make([]error, grid.Len())
+	for i := range pointErrs {
+		pointErrs[i] = fmt.Errorf("point %d exploded", i)
+	}
+	for _, pw := range shardCounts() {
+		var live atomic.Int32
+		_, err := SweepProportion(context.Background(), grid,
+			SweepConfig{Trials: 5, PointWorkers: pw, Seed: 1},
+			func(pt GridPoint) (montecarlo.Trial, error) {
+				live.Add(1)
+				defer live.Add(-1)
+				return nil, pointErrs[pt.Index]
+			})
+		if !errors.Is(err, pointErrs[0]) {
+			t.Errorf("PointWorkers=%d: err = %v, want point 0's error", pw, err)
+		}
+		if n := live.Load(); n != 0 {
+			t.Errorf("PointWorkers=%d: %d builds still live after return (shards not drained)", pw, n)
+		}
+	}
+}
+
+// TestShardedSweepTrialErrorSurvivesCancellationFallout pins the harder half
+// of the error contract: a genuine trial failure at a later point must be
+// the reported error even though cancelling the sweep makes concurrently
+// running earlier points fail with context.Canceled first.
+func TestShardedSweepTrialErrorSurvivesCancellationFallout(t *testing.T) {
+	grid := Grid{Ks: []int{1, 2, 3, 4, 5, 6, 7, 8}}
+	wantErr := errors.New("genuine trial failure")
+	for _, pw := range shardCounts() {
+		_, err := SweepMean(context.Background(), grid,
+			SweepConfig{Trials: 400, Workers: 2, PointWorkers: pw, Seed: 3},
+			func(pt GridPoint) (montecarlo.Sample, error) {
+				return func(trial int, r *rng.Rand) (float64, error) {
+					if pt.K == 6 && trial == 37 {
+						return 0, wantErr
+					}
+					// Slow the healthy points so they are mid-run when the
+					// failure cancels them.
+					time.Sleep(50 * time.Microsecond)
+					return 1, nil
+				}, nil
+			})
+		if !errors.Is(err, wantErr) {
+			t.Errorf("PointWorkers=%d: err = %v, want the genuine trial failure", pw, err)
+		}
+		if errors.Is(err, context.Canceled) {
+			t.Errorf("PointWorkers=%d: cancellation fallout masked the real error: %v", pw, err)
+		}
+	}
+}
+
+// TestShardedSweepContextCancellation pins prompt, deadlock-free shutdown:
+// cancelling the caller's context mid-sweep must stop a sweep with many
+// slow points quickly, returning an error that wraps context.Canceled.
+func TestShardedSweepContextCancellation(t *testing.T) {
+	var ks []int
+	for k := 1; k <= 200; k++ {
+		ks = append(ks, k)
+	}
+	for _, pw := range shardCounts() {
+		ctx, cancel := context.WithCancel(context.Background())
+		var started atomic.Int32
+		done := make(chan error, 1)
+		go func() {
+			_, err := SweepProportion(ctx, Grid{Ks: ks},
+				SweepConfig{Trials: 1 << 20, Workers: 2, PointWorkers: pw, Seed: 5},
+				func(pt GridPoint) (montecarlo.Trial, error) {
+					return func(trial int, r *rng.Rand) (bool, error) {
+						if started.Add(1) == 10 {
+							cancel()
+						}
+						time.Sleep(10 * time.Microsecond)
+						return true, nil
+					}, nil
+				})
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("PointWorkers=%d: err = %v, want context.Canceled", pw, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("PointWorkers=%d: cancellation did not stop the sweep (deadlock?)", pw)
+		}
+		cancel()
 	}
 }

@@ -18,9 +18,11 @@ import (
 	"github.com/secure-wsn/qcomposite/internal/stats"
 )
 
-// Trial evaluates one randomized trial. The generator is derived
-// deterministically from (seed, trial index); implementations must use only
-// it for randomness. Returning an error aborts the whole run.
+// Trial evaluates one randomized trial. The generator is deterministically
+// reseeded to stream (seed, trial index) before the call; implementations
+// must use only it for randomness and must not retain it past the call (the
+// worker reuses one generator across its trials). Returning an error aborts
+// the whole run.
 type Trial func(trial int, r *rng.Rand) (bool, error)
 
 // Config controls a Monte Carlo run.
@@ -72,8 +74,12 @@ func EstimateProportion(ctx context.Context, cfg Config, fn Trial) (stats.Propor
 	for w := 0; w < cfg.Workers; w++ {
 		go func() {
 			defer wg.Done()
+			// One reseeded generator per worker: trial i always observes the
+			// exact NewStream(Seed, i) state, with no per-trial allocation.
+			var r rng.Rand
 			for trial := range trialCh {
-				ok, err := fn(trial, rng.NewStream(cfg.Seed, uint64(trial)))
+				r.ReseedStream(cfg.Seed, uint64(trial))
+				ok, err := fn(trial, &r)
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
@@ -171,8 +177,10 @@ func EstimateMeanVec(ctx context.Context, cfg Config, dims int, fn SampleVec) ([
 	for w := 0; w < cfg.Workers; w++ {
 		go func() {
 			defer wg.Done()
+			var r rng.Rand
 			for trial := range trialCh {
-				v, err := fn(trial, rng.NewStream(cfg.Seed, uint64(trial)))
+				r.ReseedStream(cfg.Seed, uint64(trial))
+				v, err := fn(trial, &r)
 				if err == nil && len(v) != dims {
 					err = fmt.Errorf("montecarlo: trial returned %d values, want %d", len(v), dims)
 				}
@@ -251,8 +259,10 @@ func Collect(ctx context.Context, cfg Config, fn Sample) ([]float64, error) {
 	for w := 0; w < cfg.Workers; w++ {
 		go func() {
 			defer wg.Done()
+			var r rng.Rand
 			for trial := range trialCh {
-				v, err := fn(trial, rng.NewStream(cfg.Seed, uint64(trial)))
+				r.ReseedStream(cfg.Seed, uint64(trial))
+				v, err := fn(trial, &r)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {

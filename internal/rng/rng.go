@@ -37,12 +37,26 @@ func splitMix64(state *uint64) uint64 {
 // yields a well-mixed non-degenerate state.
 func New(seed uint64) *Rand {
 	r := &Rand{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets r to exactly the state New(seed) would construct, without
+// allocating. It lets long-lived trial loops (a reused wsn.Deployer, the
+// montecarlo worker loop) replace the per-trial New/NewStream — the last
+// steady-state allocation of a Monte Carlo trial.
+func (r *Rand) Reseed(seed uint64) {
 	st := seed
 	r.s0 = splitMix64(&st)
 	r.s1 = splitMix64(&st)
 	r.s2 = splitMix64(&st)
 	r.s3 = splitMix64(&st)
-	return r
+}
+
+// ReseedStream resets r to exactly the state NewStream(seed, id) would
+// construct, without allocating.
+func (r *Rand) ReseedStream(seed, id uint64) {
+	r.Reseed(StreamSeed(seed, id))
 }
 
 // StreamSeed returns the derived seed of the sub-stream identified by

@@ -61,6 +61,52 @@ func TestNewStreamIndependence(t *testing.T) {
 	}
 }
 
+// TestReseedMatchesNew pins the zero-allocation reseeding contract: a
+// reseeded generator is byte-identical to a freshly constructed one — state
+// and output stream — for Reseed vs New and ReseedStream vs NewStream, even
+// when the reseeded generator arrives in an arbitrary mid-stream state.
+func TestReseedMatchesNew(t *testing.T) {
+	reused := New(999)
+	for _, seed := range []uint64{0, 1, 42, 1<<63 + 7} {
+		reused.Uint64() // desync: Reseed must not depend on prior state
+		reused.Reseed(seed)
+		fresh := New(seed)
+		if *reused != *fresh {
+			t.Fatalf("Reseed(%d) state %+v differs from New state %+v", seed, *reused, *fresh)
+		}
+		for i := 0; i < 100; i++ {
+			if got, want := reused.Uint64(), fresh.Uint64(); got != want {
+				t.Fatalf("Reseed(%d) output %d: %d, want %d", seed, i, got, want)
+			}
+		}
+		for _, id := range []uint64{0, 3, 1 << 40} {
+			reused.ReseedStream(seed, id)
+			stream := NewStream(seed, id)
+			if *reused != *stream {
+				t.Fatalf("ReseedStream(%d,%d) state differs from NewStream", seed, id)
+			}
+			for i := 0; i < 100; i++ {
+				if got, want := reused.Uint64(), stream.Uint64(); got != want {
+					t.Fatalf("ReseedStream(%d,%d) output %d: %d, want %d", seed, id, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestReseedAllocFree gates the point of Reseed: no allocation per reseed.
+func TestReseedAllocFree(t *testing.T) {
+	var r Rand
+	seed := uint64(0)
+	if avg := testing.AllocsPerRun(100, func() {
+		seed++
+		r.ReseedStream(seed, seed*3)
+		r.Uint64()
+	}); avg != 0 {
+		t.Errorf("ReseedStream allocates %.1f allocs/run, want 0", avg)
+	}
+}
+
 func TestFloat64Range(t *testing.T) {
 	r := New(3)
 	for i := 0; i < 10000; i++ {

@@ -72,9 +72,9 @@ func TestBufferedDeploymentMatchesUnbuffered(t *testing.T) {
 
 // TestConnectivityTrialAllocBudget is the alloc-budget regression gate on
 // the connectivity-only trial loop (the BenchmarkDeployPipeline hot path):
-// after warm-up, a reused Deployer must run deploy + IsConnected in at most
-// a handful of allocations per trial (the per-trial RNG plus slack for rare
-// buffer growth). The seed state ran this loop at ≈ 2,020 allocs per trial.
+// after warm-up, a reused Deployer must run deploy + IsConnected with ZERO
+// allocations per trial — rng.Reseed removed the last one, the per-Deploy
+// generator. The seed state ran this loop at ≈ 2,020 allocs per trial.
 func TestConnectivityTrialAllocBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("alloc gate needs the full n=1000 deployment")
@@ -102,8 +102,7 @@ func TestConnectivityTrialAllocBudget(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		trial()
 	}
-	const budget = 16 // steady state measures ~1 (the per-Deploy rng.New)
-	if avg := testing.AllocsPerRun(20, trial); avg > budget {
-		t.Errorf("connectivity-only trial allocates %.1f allocs/run, budget %d", avg, budget)
+	if avg := testing.AllocsPerRun(20, trial); avg != 0 {
+		t.Errorf("connectivity-only trial allocates %.1f allocs/run, want 0", avg)
 	}
 }

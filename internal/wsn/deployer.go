@@ -54,6 +54,10 @@ type Deployer struct {
 	ix    *keys.Intersector
 	edges []graph.Edge
 
+	// Reseeded per Deploy call, so seed-taking deployments allocate no
+	// per-trial generator.
+	rand rng.Rand
+
 	// Reusable CSR builders: one per graph the deployment produces, so the
 	// channel graph never invalidates the secure topology. Each builder is
 	// double-buffered, so a Network's graphs stay valid while the *next*
@@ -116,7 +120,8 @@ func (d *Deployer) Config() Config { return d.cfg }
 func (d *Deployer) Deploy(seed uint64) (*Network, error) {
 	cfg := d.cfg
 	cfg.Seed = seed
-	return d.deploy(cfg, rng.New(seed))
+	d.rand.Reseed(seed)
+	return d.deploy(cfg, &d.rand)
 }
 
 // DeployRand deploys a network drawing all randomness from r — the entry
