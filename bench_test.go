@@ -343,6 +343,57 @@ func BenchmarkShardedSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkCrossSweep measures a radius-bound cross sweep at n = 2000 — six
+// disk radii around the equivalent connectivity threshold, two trials each,
+// every trial a full geometric-channel deployment — with one shard versus
+// one shard per CPU (per-point trial workers pinned to 1, as in
+// BenchmarkShardedSweep, so the ratio isolates point-level scaling). This is
+// the perf-trajectory artifact for the cross-sweep layer: it tracks both the
+// binding/deployment plumbing and the geometric sampler under the sweep.
+func BenchmarkCrossSweep(b *testing.B) {
+	const (
+		n      = 2000
+		pool   = 20000
+		ring   = 45
+		q      = 1
+		trials = 2
+	)
+	radii := []float64{0.08, 0.09, 0.1, 0.11, 0.12, 0.13}
+	grid := experiment.Grid{Ks: []int{ring}, Qs: []int{q}, Xs: radii}
+	spec := experiment.CrossSpec{
+		Bindings: []experiment.XBinding{experiment.BindDiskRadius},
+		Torus:    true,
+		Build: func(pt experiment.GridPoint) (wsn.Config, error) {
+			scheme, err := keys.NewQComposite(pool, pt.K, pt.Q)
+			if err != nil {
+				return wsn.Config{}, err
+			}
+			return wsn.Config{Sensors: n, Scheme: scheme}, nil
+		},
+	}
+	shardCounts := []int{1}
+	if ncpu := runtime.NumCPU(); ncpu > 1 {
+		shardCounts = append(shardCounts, ncpu)
+	}
+	for _, pw := range shardCounts {
+		b.Run(fmt.Sprintf("n2000/pointworkers=%d", pw), func(b *testing.B) {
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.CrossSweep(ctx, grid,
+					experiment.SweepConfig{Trials: trials, Workers: 1, PointWorkers: pw, Seed: 1}, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != grid.Len() {
+					b.Fatalf("got %d results, want %d", len(res), grid.Len())
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkE7ResilienceTrial measures one resilience trial: deploy a
 // 400-sensor network and run a 30-node capture attack.
 func BenchmarkE7ResilienceTrial(b *testing.B) {

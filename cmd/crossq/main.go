@@ -1,0 +1,214 @@
+// Command crossq runs the on/off-vs-disk cross sweep (the source paper's
+// Section IX comparison): the empirical probability that the q-composite
+// secure WSN is k-connected as a function of the disk-channel radius r, for
+// each overlap requirement q, measured three ways at every (q, r) point —
+//
+//   - under the disk model itself (sensors uniform on the unit torus,
+//     channels within distance r);
+//   - under the on/off model matched to the disk marginal p = π·r² (the
+//     paper's comparison device: same pair probability, independent edges);
+//   - the Theorem 1 prediction at that matched edge probability.
+//
+// The gap between the first two curves is the geometric dependence the
+// on/off abstraction ignores; the phase surface shows where it matters.
+//
+// The radius axis runs through experiment.CrossSweep with the Grid's Xs
+// axis bound to the disk radius (BindDiskRadius), the matched on/off sweep
+// through a free-axis CrossSpec whose build derives p = π·r² from the same
+// axis — both on per-point wsn.DeployerPools with parameter-derived seeds,
+// so results are bit-identical for every -pointworkers value.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/secure-wsn/qcomposite/internal/channel"
+	"github.com/secure-wsn/qcomposite/internal/experiment"
+	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/theory"
+	"github.com/secure-wsn/qcomposite/internal/wsn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "crossq:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n        = flag.Int("n", 500, "number of sensors")
+		pool     = flag.Int("pool", 10000, "key pool size P")
+		ring     = flag.Int("ring", 80, "key ring size K (shared by all q curves)")
+		qList    = flag.String("q", "1,2", "comma-separated overlap requirements")
+		rMin     = flag.Float64("rmin", 0.02, "smallest disk radius")
+		rMax     = flag.Float64("rmax", 0.3, "largest disk radius")
+		rStep    = flag.Float64("rstep", 0.04, "disk radius step")
+		kConn    = flag.Int("k", 1, "connectivity level tested at every point")
+		trials   = flag.Int("trials", 200, "samples per point")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		pWorkers = flag.Int("pointworkers", 0, "grid-point shards (0 = sequential points; results identical either way)")
+		seed     = flag.Uint64("seed", 1, "base RNG seed")
+		csvPath  = flag.String("csv", "", "write series CSV to this path")
+	)
+	flag.Parse()
+
+	qs, err := parseInts(*qList)
+	if err != nil {
+		return fmt.Errorf("parse -q: %w", err)
+	}
+	if *rStep <= 0 {
+		return fmt.Errorf("-rstep %v must be positive", *rStep)
+	}
+	var radii []float64
+	for r := *rMin; r <= *rMax+1e-12; r += *rStep {
+		radii = append(radii, r)
+	}
+	if len(radii) == 0 {
+		return fmt.Errorf("empty radius range [%v, %v]", *rMin, *rMax)
+	}
+
+	fmt.Printf("On/off vs disk cross sweep: P[%d-connected] vs disk radius r\n", *kConn)
+	fmt.Printf("n=%d, P=%d, K=%d, q ∈ %v, torus distances, %d trials/point, seed %d\n\n",
+		*n, *pool, *ring, qs, *trials, *seed)
+
+	grid := experiment.Grid{Ks: []int{*ring}, Qs: qs, Xs: radii}
+	cfg := experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed}
+	ctx := context.Background()
+	start := time.Now()
+
+	// Sweep 1: the disk model itself, radius driven by the Xs axis binding.
+	disk, err := experiment.CrossSweep(ctx, grid, cfg, experiment.CrossSpec{
+		Bindings: []experiment.XBinding{experiment.BindDiskRadius},
+		Torus:    true,
+		K:        *kConn,
+		Build: func(pt experiment.GridPoint) (wsn.Config, error) {
+			scheme, err := keys.NewQComposite(*pool, pt.K, pt.Q)
+			if err != nil {
+				return wsn.Config{}, err
+			}
+			return wsn.Config{Sensors: *n, Scheme: scheme}, nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Sweep 2: the matched on/off model — same grid and seeds, the channel
+	// derived from the radius axis as p = π·r² inside the build (a free-axis
+	// cross spec: nothing else reads Xs).
+	onoff, err := experiment.CrossSweep(ctx, grid, cfg, experiment.CrossSpec{
+		K: *kConn,
+		Build: func(pt experiment.GridPoint) (wsn.Config, error) {
+			scheme, err := keys.NewQComposite(*pool, pt.K, pt.Q)
+			if err != nil {
+				return wsn.Config{}, err
+			}
+			p, err := theory.DiskOnProb(pt.X)
+			if err != nil {
+				return wsn.Config{}, err
+			}
+			return wsn.Config{Sensors: *n, Scheme: scheme, Channel: channel.OnOff{P: p}}, nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	radiusOf := func(pt experiment.GridPoint) float64 { return pt.X }
+	ms := experiment.ProportionMeasurements(disk, 1.96, radiusOf,
+		func(pt experiment.GridPoint) string { return fmt.Sprintf("disk q=%d", pt.Q) })
+	ms = append(ms, experiment.ProportionMeasurements(onoff, 1.96, radiusOf,
+		func(pt experiment.GridPoint) string { return fmt.Sprintf("on/off q=%d", pt.Q) })...)
+	for _, pt := range grid.Points() {
+		want, err := theory.DiskKConnProbability(*n, *pool, pt.K, pt.Q, pt.X, *kConn)
+		if err != nil {
+			return err
+		}
+		ms = append(ms, experiment.Measurement{
+			Point: pt, Curve: fmt.Sprintf("theory q=%d", pt.Q),
+			X: pt.X, Y: want, Lo: want, Hi: want,
+		})
+	}
+
+	presented := experiment.PivotSweep(experiment.PivotSpec{
+		RowHeaders: []string{"radius"},
+		RowCells: func(pt experiment.GridPoint) []string {
+			return []string{fmt.Sprintf("%.3f", pt.X)}
+		},
+	}, ms)
+	if err := presented.Table.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nelapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	if err := experiment.RenderChart(os.Stdout, presented.Series, experiment.ChartOptions{
+		Title: fmt.Sprintf("Disk vs matched on/off channels (n=%d, P=%d, K=%d, k=%d, %d trials)",
+			*n, *pool, *ring, *kConn, *trials),
+		XLabel: "disk radius r",
+		YLabel: fmt.Sprintf("P[%d-connected]", *kConn),
+		YMin:   0, YMax: 1,
+		Width: 76, Height: 22,
+	}); err != nil {
+		return err
+	}
+
+	fmt.Println("\nthreshold radius r* per q (smallest r whose torus marginal p satisfies p·s(K,P,q) > ln n / n):")
+	target := math.Log(float64(*n)) / float64(*n)
+	for _, q := range qs {
+		s, err := theory.KeyShareProb(*pool, *ring, q)
+		if err != nil {
+			return err
+		}
+		// The matched on/off probability p* = target/s must be a probability;
+		// past p* = 1 even the full torus cannot reach the threshold.
+		if s <= 0 || target/s > 1 {
+			fmt.Printf("  q=%d: no radius reaches the threshold at K=%d (needs p > %.3f)\n",
+				q, *ring, target/s)
+			continue
+		}
+		rStar, err := theory.DiskRadiusForOnProb(target / s)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  q=%d: r* = %.4f (matched on/off p* = %.4f)\n", q, rStar, target/s)
+	}
+	fmt.Println("\nReading: both curves transition near r*, but the disk curve is flatter —")
+	fmt.Println("geometric edge dependence (nearby sensors share neighbourhoods) spreads the")
+	fmt.Println("phase transition that independent on/off channels sharpen.")
+
+	if *csvPath != "" {
+		if err := presented.SaveSeriesCSV(*csvPath); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

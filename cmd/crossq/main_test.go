@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives the cross sweep end to end on a small grid with point
+// sharding enabled: the radius-bound disk sweep, the matched on/off sweep,
+// the theory overlay, and the series CSV must work from the flag surface
+// down.
+func TestRunSmoke(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "crossq.csv")
+	os.Args = []string{"crossq",
+		"-n", "40", "-pool", "200", "-ring", "30", "-q", "1,2", "-k", "1",
+		"-rmin", "0.1", "-rmax", "0.5", "-rstep", "0.4",
+		"-trials", "10", "-workers", "2", "-pointworkers", "3",
+		"-csv", csv,
+	}
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	stdout := os.Stdout
+	os.Stdout = null
+	defer func() { os.Stdout = stdout }()
+
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, series := range []string{"disk q=1", "disk q=2", "on/off q=1", "on/off q=2", "theory q=1", "theory q=2"} {
+		if !strings.Contains(text, series) {
+			t.Errorf("series csv missing curve %q", series)
+		}
+	}
+}

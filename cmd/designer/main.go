@@ -6,17 +6,29 @@
 //   - the smallest key ring size K achieving the target k-connectivity
 //     probability under Theorem 1 (memory is the scarce resource on
 //     sensors, so the minimum K matters);
+//   - the empirical P[k-connected] of networks deployed AT that ring size —
+//     the design rule validated by simulation, not just by the asymptotic;
 //   - the eq. (9) connectivity threshold K* for reference;
 //   - the resulting edge probability, expected degree, and α_n.
+//
+// The validation runs through experiment.SweepKConnectivity (the cross-sweep
+// path: the Grid's Xs axis carries the levels k = 1…kmax and each point
+// deploys at its own designed ring size through a reusable
+// wsn.DeployerPool), and the table is assembled by the shared
+// Measurement/PivotSweep presenter.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"github.com/secure-wsn/qcomposite/internal/channel"
 	"github.com/secure-wsn/qcomposite/internal/core"
 	"github.com/secure-wsn/qcomposite/internal/experiment"
+	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/wsn"
 )
 
 func main() {
@@ -28,28 +40,82 @@ func main() {
 
 func run() error {
 	var (
-		n      = flag.Int("n", 1000, "number of sensors")
-		pool   = flag.Int("pool", 10000, "key pool size P")
-		q      = flag.Int("q", 2, "required key overlap")
-		pOn    = flag.Float64("p", 0.5, "channel-on probability")
-		kMax   = flag.Int("kmax", 3, "design for k = 1..kmax")
-		target = flag.Float64("target", 0.99, "target k-connectivity probability")
+		n        = flag.Int("n", 1000, "number of sensors")
+		pool     = flag.Int("pool", 10000, "key pool size P")
+		q        = flag.Int("q", 2, "required key overlap")
+		pOn      = flag.Float64("p", 0.5, "channel-on probability")
+		kMax     = flag.Int("kmax", 3, "design for k = 1..kmax")
+		target   = flag.Float64("target", 0.99, "target k-connectivity probability")
+		trials   = flag.Int("trials", 150, "deployments per level validating the design empirically")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		pWorkers = flag.Int("pointworkers", 0, "grid-point shards (0 = sequential points; results identical either way)")
+		seed     = flag.Uint64("seed", 1, "base RNG seed")
+		csvPath  = flag.String("csv", "", "write table CSV to this path")
 	)
 	flag.Parse()
 
 	if *target <= 0 || *target >= 1 {
 		return fmt.Errorf("target must be in (0,1), got %v", *target)
 	}
+	if *kMax < 1 {
+		return fmt.Errorf("-kmax %d must be ≥ 1", *kMax)
+	}
 
-	fmt.Printf("Design guideline for n=%d sensors, P=%d, q=%d, p=%g, target P[k-conn] ≥ %g\n\n",
+	fmt.Printf("Design guideline for n=%d sensors, P=%d, q=%d, p=%g, target P[k-conn] ≥ %g\n",
 		*n, *pool, *q, *pOn, *target)
+	fmt.Printf("empirical column: P[k-connected] over %d deployments at the designed K, seed %d\n\n",
+		*trials, *seed)
 
-	table := experiment.NewTable(
-		"k", "min ring K", "achieved P[k-conn]", "alpha", "edge prob t", "expected degree")
-	for k := 1; k <= *kMax; k++ {
+	ringFor := func(k int) (int, error) {
 		ring, err := core.DesignK(*n, *pool, *q, *pOn, k, *target)
 		if err != nil {
-			return fmt.Errorf("design k=%d: %w", k, err)
+			return 0, fmt.Errorf("design k=%d: %w", k, err)
+		}
+		return ring, nil
+	}
+
+	// Empirical validation: the Xs axis carries the levels; every level
+	// deploys at its own designed ring size.
+	grid := experiment.Grid{Qs: []int{*q}, Ps: []float64{*pOn}, Xs: experiment.KLevels(*kMax)}
+	results, err := experiment.SweepKConnectivity(context.Background(), grid,
+		experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed},
+		func(pt experiment.GridPoint) (wsn.Config, error) {
+			k, err := experiment.KOf(pt)
+			if err != nil {
+				return wsn.Config{}, err
+			}
+			ring, err := ringFor(k)
+			if err != nil {
+				return wsn.Config{}, err
+			}
+			scheme, err := keys.NewQComposite(*pool, ring, pt.Q)
+			if err != nil {
+				return wsn.Config{}, err
+			}
+			return wsn.Config{
+				Sensors: *n,
+				Scheme:  scheme,
+				Channel: channel.OnOff{P: pt.P},
+			}, nil
+		})
+	if err != nil {
+		return err
+	}
+
+	// One row per level k; every table column is a measurement curve.
+	var ms []experiment.Measurement
+	addCurve := func(pt experiment.GridPoint, curve string, y float64) {
+		ms = append(ms, experiment.Measurement{Point: pt, Curve: curve, X: pt.X, Y: y, Lo: y, Hi: y})
+	}
+	for _, res := range results {
+		pt := res.Point
+		k, err := experiment.KOf(pt)
+		if err != nil {
+			return err
+		}
+		ring, err := ringFor(k)
+		if err != nil {
+			return err
 		}
 		m := core.Model{N: *n, K: ring, P: *pool, Q: *q, ChannelOn: *pOn}
 		achieved, err := m.TheoreticalKConnProb(k)
@@ -68,16 +134,39 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		table.AddRow(
-			fmt.Sprintf("%d", k),
-			fmt.Sprintf("%d", ring),
-			fmt.Sprintf("%.4f", achieved),
-			fmt.Sprintf("%+.3f", alpha),
-			fmt.Sprintf("%.6f", tProb),
-			fmt.Sprintf("%.2f", deg),
-		)
+		addCurve(pt, "min ring K", float64(ring))
+		addCurve(pt, "theory P[k-conn]", achieved)
+		lo, hi := res.Value.WilsonInterval(1.96)
+		ms = append(ms, experiment.Measurement{
+			Point: pt, Curve: "simulated P[k-conn]",
+			X: pt.X, Y: res.Value.Estimate(), Lo: lo, Hi: hi,
+		})
+		addCurve(pt, "alpha", alpha)
+		addCurve(pt, "edge prob t", tProb)
+		addCurve(pt, "expected degree", deg)
 	}
-	if err := table.Render(os.Stdout); err != nil {
+	presented := experiment.PivotSweep(experiment.PivotSpec{
+		RowHeaders: []string{"k"},
+		RowCells: func(pt experiment.GridPoint) []string {
+			return []string{fmt.Sprintf("%d", int(pt.X))}
+		},
+		FormatCell: func(m experiment.Measurement) string {
+			switch m.Curve {
+			case "min ring K":
+				return fmt.Sprintf("%d", int(m.Y))
+			case "alpha":
+				return fmt.Sprintf("%+.3f", m.Y)
+			case "edge prob t":
+				return fmt.Sprintf("%.6f", m.Y)
+			case "expected degree":
+				return fmt.Sprintf("%.2f", m.Y)
+			case "theory P[k-conn]":
+				return fmt.Sprintf("%.4f", m.Y)
+			}
+			return fmt.Sprintf("%.3f", m.Y)
+		},
+	}, ms)
+	if err := presented.Table.Render(os.Stdout); err != nil {
 		return err
 	}
 
@@ -91,5 +180,17 @@ func run() error {
 	}
 	fmt.Printf("\neq. (9) connectivity threshold K*: exact %d, asymptotic %d\n", exact, asym)
 	fmt.Println("(K* puts the network just above the connectivity scaling; the design table targets a probability.)")
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return fmt.Errorf("create csv: %w", err)
+		}
+		defer f.Close()
+		if err := presented.Table.RenderCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
 	return nil
 }

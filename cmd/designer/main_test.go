@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives the migrated tool end to end at a small scale: the
+// design loop, the per-level empirical validation sweep through
+// SweepKConnectivity (sharded), and the pivoted table CSV must work from
+// the flag surface down.
+func TestRunSmoke(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "designer.csv")
+	os.Args = []string{"designer",
+		"-n", "80", "-pool", "400", "-q", "1", "-p", "0.9",
+		"-kmax", "2", "-target", "0.9",
+		"-trials", "12", "-workers", "2", "-pointworkers", "2",
+		"-csv", csv,
+	}
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	stdout := os.Stdout
+	os.Stdout = null
+	defer func() { os.Stdout = stdout }()
+
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	head := strings.SplitN(text, "\n", 2)[0]
+	for _, col := range []string{"k", "min ring K", "theory P[k-conn]", "simulated P[k-conn]", "alpha", "edge prob t", "expected degree"} {
+		if !strings.Contains(head, col) {
+			t.Errorf("csv header %q missing column %q", head, col)
+		}
+	}
+	if lines := strings.Count(strings.TrimSpace(text), "\n"); lines != 2 {
+		t.Errorf("csv has %d data rows, want 2 (k = 1, 2)", lines)
+	}
+}

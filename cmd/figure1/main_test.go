@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives the Figure 1 tool end to end on a small grid with
+// point sharding enabled: the six (q, p) curves, threshold printout, and
+// series CSV must work from the flag surface down.
+func TestRunSmoke(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "figure1.csv")
+	os.Args = []string{"figure1",
+		"-n", "50", "-pool", "300",
+		"-kmin", "8", "-kmax", "12", "-kstep", "4",
+		"-trials", "5", "-workers", "2", "-pointworkers", "3",
+		"-csv", csv,
+	}
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	stdout := os.Stdout
+	os.Stdout = null
+	defer func() { os.Stdout = stdout }()
+
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, series := range []string{"q=2, p=1", "q=2, p=0.5", "q=3, p=0.2"} {
+		if !strings.Contains(text, series) {
+			t.Errorf("series csv missing curve %q", series)
+		}
+	}
+}

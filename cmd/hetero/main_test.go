@@ -1,0 +1,93 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// resetFlags gives run() a fresh global FlagSet: each invocation registers
+// its flags anew, so tests driving the tool twice must clear the previous
+// registration.
+func resetFlags() {
+	flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ContinueOnError)
+}
+
+func silenceStdout(t *testing.T) {
+	t.Helper()
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout := os.Stdout
+	os.Stdout = null
+	t.Cleanup(func() {
+		os.Stdout = stdout
+		null.Close()
+	})
+}
+
+// TestRunSmoke drives the zero–one mode end to end on a small (K1 × μ)
+// grid with a non-uniform channel matrix: heterogeneous scheme + channel,
+// theory-limit overlay, and series CSV from the flag surface down.
+func TestRunSmoke(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "hetero.csv")
+	os.Args = []string{"hetero",
+		"-n", "50", "-pool", "300", "-q", "1", "-k2", "40",
+		"-k1min", "2", "-k1max", "10", "-k1step", "8",
+		"-mus", "0.3,0.7", "-p", "0.8", "-p12", "0.6",
+		"-trials", "10", "-workers", "2", "-pointworkers", "2",
+		"-csv", csv,
+	}
+	silenceStdout(t)
+	resetFlags()
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, series := range []string{"μ=0.3", "μ=0.7", "limit μ=0.3", "limit μ=0.7"} {
+		if !strings.Contains(text, series) {
+			t.Errorf("series csv missing curve %q", series)
+		}
+	}
+}
+
+// TestRunKConnSmoke drives the -kconn cross-sweep mode: the (K1 × k) grid
+// through SweepKConnectivity with the level-k limit overlays.
+func TestRunKConnSmoke(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "hetero_kconn.csv")
+	os.Args = []string{"hetero",
+		"-n", "50", "-pool", "300", "-q", "1", "-k2", "40",
+		"-k1min", "2", "-k1max", "10", "-k1step", "8",
+		"-kconn", "2", "-mu", "0.4", "-p", "0.8",
+		"-trials", "10", "-workers", "2", "-pointworkers", "3",
+		"-csv", csv,
+	}
+	silenceStdout(t)
+	resetFlags()
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, series := range []string{"empirical k=1", "empirical k=2", "limit k=1", "limit k=2"} {
+		if !strings.Contains(text, series) {
+			t.Errorf("series csv missing curve %q", series)
+		}
+	}
+	// An out-of-range mixing probability fails fast in kconn mode.
+	os.Args = []string{"hetero", "-kconn", "1", "-mu", "1.5", "-trials", "1"}
+	resetFlags()
+	if err := run(); err == nil || !strings.Contains(err.Error(), "-mu") {
+		t.Errorf("mu=1.5: err = %v, want a -mu validation error", err)
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives the migrated tool end to end at a small scale: the
+// (q, p) threshold grid, the empirical K* validation sweep (sharded), and
+// the pivoted table CSV must work from the flag surface down.
+func TestRunSmoke(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "kstar.csv")
+	os.Args = []string{"kstar",
+		"-n", "80", "-pool", "400", "-q", "1,2", "-p", "1,0.5",
+		"-trials", "12", "-workers", "2", "-pointworkers", "3",
+		"-csv", csv,
+	}
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	stdout := os.Stdout
+	os.Stdout = null
+	defer func() { os.Stdout = stdout }()
+
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	head := strings.SplitN(text, "\n", 2)[0]
+	for _, col := range []string{"q", "p", "K* exact (5)", "K* asymptotic (Lemma 2)", "paper", "t(K*) exact", "P[connected] @K* (sim)"} {
+		if !strings.Contains(head, col) {
+			t.Errorf("csv header %q missing column %q", head, col)
+		}
+	}
+	if lines := strings.Count(strings.TrimSpace(text), "\n"); lines != 4 {
+		t.Errorf("csv has %d data rows, want 4 (2 q × 2 p)", lines)
+	}
+	// Off-paper parameters render the paper column as "-".
+	if !strings.Contains(text, "-") {
+		t.Error("csv missing '-' placeholder for unpublished paper values")
+	}
+}

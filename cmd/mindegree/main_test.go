@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives the Lemma 8 tool end to end on a small grid with
+// point sharding enabled: the paired min-degree/k-connectivity sweep, the
+// limit overlay, and the series CSV must work from the flag surface down.
+func TestRunSmoke(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "mindegree.csv")
+	os.Args = []string{"mindegree",
+		"-n", "60", "-pool", "300", "-q", "1", "-p", "0.9", "-k", "2",
+		"-kmin", "8", "-kmax", "12", "-kstep", "4",
+		"-trials", "10", "-workers", "2", "-pointworkers", "3",
+		"-csv", csv,
+	}
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	stdout := os.Stdout
+	os.Stdout = null
+	defer func() { os.Stdout = stdout }()
+
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "limit (7)=(76)") {
+		t.Error("series csv missing the limit overlay curve")
+	}
+}

@@ -8,12 +8,14 @@
 // prediction are reported.
 //
 // The (q, capture-count) grid runs through experiment.SweepMean — each point
-// deterministically seeded, trials parallel across the worker pool — with one
-// reusable wsn.DeployerPool per scheme dimensioning, so repeated deployments
-// amortize their buffers. Note that evaluating a capture walks every secure
-// link (adversary.Capture calls Links()), so each trial does materialize the
-// full link-key table; the win here is the amortized deployment plus the
-// parallelism, not lazy key derivation.
+// deterministically seeded, trials parallel across the worker pool, grid
+// points sharded under -pointworkers — with one reusable wsn.DeployerPool
+// per scheme dimensioning, so repeated deployments amortize their buffers.
+// The simulated and analytic curves are assembled by the shared
+// Measurement/PivotSweep presenter. Note that evaluating a capture walks
+// every secure link (adversary.Capture calls Links()), so each trial does
+// materialize the full link-key table; the win here is the amortized
+// deployment plus the parallelism, not lazy key derivation.
 package main
 
 import (
@@ -42,16 +44,17 @@ func main() {
 
 func run() error {
 	var (
-		sensors = flag.Int("sensors", 400, "deployed sensors")
-		ring    = flag.Int("ring", 60, "key ring size K (shared by all schemes)")
-		target  = flag.Float64("target", 0.33, "link probability all schemes are dimensioned to")
-		qMax    = flag.Int("qmax", 3, "largest q to compare (1..qmax)")
-		xMax    = flag.Int("xmax", 120, "largest capture count")
-		xStep   = flag.Int("xstep", 10, "capture count step")
-		trials  = flag.Int("trials", 30, "deployments averaged per point")
-		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
-		seed    = flag.Uint64("seed", 1, "base RNG seed")
-		csvPath = flag.String("csv", "", "write series CSV to this path")
+		sensors  = flag.Int("sensors", 400, "deployed sensors")
+		ring     = flag.Int("ring", 60, "key ring size K (shared by all schemes)")
+		target   = flag.Float64("target", 0.33, "link probability all schemes are dimensioned to")
+		qMax     = flag.Int("qmax", 3, "largest q to compare (1..qmax)")
+		xMax     = flag.Int("xmax", 120, "largest capture count")
+		xStep    = flag.Int("xstep", 10, "capture count step")
+		trials   = flag.Int("trials", 30, "deployments averaged per point")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		pWorkers = flag.Int("pointworkers", 0, "grid-point shards (0 = sequential points; results identical either way)")
+		seed     = flag.Uint64("seed", 1, "base RNG seed")
+		csvPath  = flag.String("csv", "", "write series CSV to this path")
 	)
 	flag.Parse()
 
@@ -81,30 +84,32 @@ func run() error {
 
 	start := time.Now()
 	// One sweep over the (q, capture count) grid; each q dimension reuses a
-	// single DeployerPool across all its capture counts and trials. A trial
-	// deploys from the per-trial stream and runs the capture with the same
-	// stream, so every point is reproducible in isolation.
+	// single DeployerPool across all its capture counts and trials (built
+	// up front so the map is read-only under point sharding — DeployerPool
+	// itself is safe for concurrent Get/Put). A trial deploys from the
+	// per-trial stream and runs the capture with the same stream, so every
+	// point is reproducible in isolation.
 	deployerPools := map[int]*wsn.DeployerPool{}
+	for _, q := range qs {
+		scheme, err := keys.NewQComposite(pools[q], *ring, q)
+		if err != nil {
+			return err
+		}
+		dp, err := wsn.NewDeployerPool(wsn.Config{
+			Sensors: *sensors,
+			Scheme:  scheme,
+			Channel: channel.AlwaysOn{},
+		})
+		if err != nil {
+			return err
+		}
+		deployerPools[q] = dp
+	}
 	results, err := experiment.SweepMean(context.Background(),
 		experiment.Grid{Ks: []int{*ring}, Qs: qs, Xs: captures},
-		experiment.SweepConfig{Trials: *trials, Workers: *workers, Seed: *seed},
+		experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed},
 		func(pt experiment.GridPoint) (montecarlo.Sample, error) {
-			dp, ok := deployerPools[pt.Q]
-			if !ok {
-				scheme, err := keys.NewQComposite(pools[pt.Q], pt.K, pt.Q)
-				if err != nil {
-					return nil, err
-				}
-				dp, err = wsn.NewDeployerPool(wsn.Config{
-					Sensors: *sensors,
-					Scheme:  scheme,
-					Channel: channel.AlwaysOn{},
-				})
-				if err != nil {
-					return nil, err
-				}
-				deployerPools[pt.Q] = dp
-			}
+			dp := deployerPools[pt.Q]
 			captured := int(pt.X)
 			return func(trial int, r *rng.Rand) (float64, error) {
 				d := dp.Get()
@@ -124,39 +129,38 @@ func run() error {
 		return err
 	}
 
-	var series []experiment.Series
-	table := experiment.NewTable("captured", "q", "simulated fraction", "analytic fraction")
-	curves := map[int][2]*experiment.Series{}
-	for _, q := range qs {
-		sim := &experiment.Series{Name: fmt.Sprintf("q=%d simulated", q)}
-		ana := &experiment.Series{Name: fmt.Sprintf("q=%d analytic", q)}
-		curves[q] = [2]*experiment.Series{sim, ana}
-	}
+	// Simulated curves from the sweep plus the closed-form prediction as
+	// theory-only curves, pivoted into one captured-count-rowed table.
+	ms := experiment.MeanMeasurements(results, 1.96,
+		func(pt experiment.GridPoint) float64 { return pt.X },
+		func(pt experiment.GridPoint) string { return fmt.Sprintf("q=%d simulated", pt.Q) },
+	)
 	for _, res := range results {
-		q, x := res.Point.Q, int(res.Point.X)
-		simFrac := res.Value.Mean()
-		anaFrac, err := adversary.AnalyticCompromiseFraction(pools[q], *ring, q, x)
+		pt := res.Point
+		anaFrac, err := adversary.AnalyticCompromiseFraction(pools[pt.Q], *ring, pt.Q, int(pt.X))
 		if err != nil {
 			return err
 		}
-		curves[q][0].Add(res.Point.X, simFrac)
-		curves[q][1].Add(res.Point.X, anaFrac)
-		table.AddRow(
-			fmt.Sprintf("%d", x),
-			fmt.Sprintf("%d", q),
-			fmt.Sprintf("%.4f", simFrac),
-			fmt.Sprintf("%.4f", anaFrac),
-		)
+		ms = append(ms, experiment.Measurement{
+			Point: pt, Curve: fmt.Sprintf("q=%d analytic", pt.Q),
+			X: pt.X, Y: anaFrac, Lo: anaFrac, Hi: anaFrac,
+		})
 	}
-	for _, q := range qs {
-		series = append(series, *curves[q][0], *curves[q][1])
-	}
-	if err := table.Render(os.Stdout); err != nil {
+	presented := experiment.PivotSweep(experiment.PivotSpec{
+		RowHeaders: []string{"captured"},
+		RowCells: func(pt experiment.GridPoint) []string {
+			return []string{fmt.Sprintf("%d", int(pt.X))}
+		},
+		FormatCell: func(m experiment.Measurement) string {
+			return fmt.Sprintf("%.4f", m.Y)
+		},
+	}, ms)
+	if err := presented.Table.Render(os.Stdout); err != nil {
 		return err
 	}
 	fmt.Printf("\nelapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
 
-	if err := experiment.RenderChart(os.Stdout, series, experiment.ChartOptions{
+	if err := experiment.RenderChart(os.Stdout, presented.Series, experiment.ChartOptions{
 		Title:  "Fraction of external links compromised vs sensors captured",
 		XLabel: "captured sensors x",
 		YLabel: "compromised fraction",
@@ -168,12 +172,7 @@ func run() error {
 	fmt.Println("\nExpected shape (Chan et al.): larger q lower at small x, crossing over at large x.")
 
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			return fmt.Errorf("create csv: %w", err)
-		}
-		defer f.Close()
-		if err := experiment.WriteSeriesCSV(f, series); err != nil {
+		if err := presented.SaveSeriesCSV(*csvPath); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *csvPath)

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives the migrated tool end to end at a small scale: scheme
+// dimensioning, the sharded (q × capture) capture sweep on prebuilt
+// DeployerPools, the analytic overlay, and the series CSV must work from
+// the flag surface down.
+func TestRunSmoke(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "resilience.csv")
+	os.Args = []string{"resilience",
+		"-sensors", "40", "-ring", "12", "-target", "0.4", "-qmax", "2",
+		"-xmax", "10", "-xstep", "5",
+		"-trials", "6", "-workers", "2", "-pointworkers", "3",
+		"-csv", csv,
+	}
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	stdout := os.Stdout
+	os.Stdout = null
+	defer func() { os.Stdout = stdout }()
+
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, series := range []string{"q=1 simulated", "q=1 analytic", "q=2 simulated", "q=2 analytic"} {
+		if !strings.Contains(text, series) {
+			t.Errorf("series csv missing curve %q", series)
+		}
+	}
+}

@@ -4,18 +4,27 @@
 // secure path, and optional random failure injection.
 //
 // It is the "kick the tires" tool for the full simulator stack; the
-// statistical experiments live in the other commands.
+// statistical experiments live in the other commands. The single inspected
+// network deploys through the same wsn.Deployer pipeline the sweeps run on
+// (byte-identical to the one-shot wsn.Deploy), and -trials N > 1 adds an
+// ensemble summary — mean connectivity, k-connectivity, minimum degree and
+// secure-link count over N deployments — through experiment.SweepMeanVec on
+// a reusable wsn.DeployerPool, presented by the shared Measurement/
+// PivotSweep presenter.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"github.com/secure-wsn/qcomposite/internal/channel"
+	"github.com/secure-wsn/qcomposite/internal/experiment"
 	"github.com/secure-wsn/qcomposite/internal/graphalgo"
 	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/montecarlo"
 	"github.com/secure-wsn/qcomposite/internal/rng"
 	"github.com/secure-wsn/qcomposite/internal/theory"
 	"github.com/secure-wsn/qcomposite/internal/wsn"
@@ -41,6 +50,8 @@ func run() error {
 		fail      = flag.Int("fail", 0, "random sensors to fail after deployment")
 		failLinks = flag.Int("faillinks", 0, "random secure links to fail after deployment")
 		revoke    = flag.Int("revoke", 0, "sensors whose keys to revoke (captured-node response)")
+		trials    = flag.Int("trials", 1, "deployments in the ensemble summary (1 = inspect the single network only)")
+		workers   = flag.Int("workers", 0, "parallel ensemble workers (0 = all CPUs)")
 		seed      = flag.Uint64("seed", 1, "RNG seed")
 	)
 	flag.Parse()
@@ -65,12 +76,18 @@ func run() error {
 
 	fmt.Printf("Deploying %d sensors, %s scheme (P=%d, K=%d), %s channels, seed %d\n\n",
 		*sensors, scheme.Name(), *pool, *ring, ch.Name(), *seed)
-	net, err := wsn.Deploy(wsn.Config{
+	cfg := wsn.Config{
 		Sensors: *sensors,
 		Scheme:  scheme,
 		Channel: ch,
-		Seed:    *seed,
-	})
+	}
+	// The Deployer pipeline the sweeps run on; one Deploy is byte-identical
+	// to the one-shot wsn.Deploy at the same seed.
+	deployer, err := wsn.NewDeployer(cfg)
+	if err != nil {
+		return err
+	}
+	net, err := deployer.Deploy(*seed)
 	if err != nil {
 		return err
 	}
@@ -104,6 +121,14 @@ func run() error {
 				fmt.Printf("theory: alpha = %+.3f, asymptotic P[%d-connected] = %.4f\n\n",
 					alpha, *kConn, limit)
 			}
+		}
+	}
+
+	// Ensemble summary: the single network above is one draw; -trials > 1
+	// reports how typical it is across repeated deployments.
+	if *trials > 1 {
+		if err := printEnsemble(cfg, *kConn, *trials, *workers, *seed); err != nil {
+			return err
 		}
 	}
 
@@ -192,15 +217,94 @@ func printReport(net *wsn.Network, k int) error {
 		return err
 	}
 	lambda2 := graphalgo.AlgebraicConnectivity(sub, 300)
-	fmt.Printf("  sensors alive      %d / %d\n", rep.Alive, rep.Sensors)
-	fmt.Printf("  channel edges      %d\n", rep.ChannelEdges)
-	fmt.Printf("  secure links       %d\n", rep.SecureLinks)
-	fmt.Printf("  degree             min %d, mean %.2f\n", rep.MinDegree, rep.MeanDegree)
-	fmt.Printf("  components         %d (largest %d)\n", rep.Components, rep.LargestComp)
-	fmt.Printf("  connected          %v\n", rep.Connected)
-	fmt.Printf("  %d-connected        %v\n", k, kc)
-	fmt.Printf("  algebraic conn.    %.4f (Fiedler λ₂; robustness score)\n\n", lambda2)
+	table := experiment.NewTable("metric", "value")
+	table.AddRow("sensors alive", fmt.Sprintf("%d / %d", rep.Alive, rep.Sensors))
+	table.AddRow("channel edges", fmt.Sprintf("%d", rep.ChannelEdges))
+	table.AddRow("secure links", fmt.Sprintf("%d", rep.SecureLinks))
+	table.AddRow("degree", fmt.Sprintf("min %d, mean %.2f", rep.MinDegree, rep.MeanDegree))
+	table.AddRow("components", fmt.Sprintf("%d (largest %d)", rep.Components, rep.LargestComp))
+	table.AddRow("connected", fmt.Sprintf("%v", rep.Connected))
+	table.AddRow(fmt.Sprintf("%d-connected", k), fmt.Sprintf("%v", kc))
+	table.AddRow("algebraic conn.", fmt.Sprintf("%.4f (Fiedler λ₂; robustness score)", lambda2))
+	if err := table.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
 	return nil
+}
+
+// printEnsemble runs the ensemble summary: trials full deployments through a
+// reusable wsn.DeployerPool via experiment.SweepMeanVec (one degenerate grid
+// point, per-trial parameter-derived streams), measuring connectivity,
+// k-connectivity, minimum degree and secure-link count on each deployment at
+// once, presented through the shared Measurement/PivotSweep presenter.
+func printEnsemble(cfg wsn.Config, k, trials, workers int, seed uint64) error {
+	dp, err := wsn.NewDeployerPool(cfg)
+	if err != nil {
+		return err
+	}
+	const dims = 4
+	results, err := experiment.SweepMeanVec(context.Background(), experiment.Grid{},
+		experiment.SweepConfig{Trials: trials, Workers: workers, Seed: seed}, dims,
+		func(pt experiment.GridPoint) (montecarlo.SampleVec, error) {
+			return func(trial int, r *rng.Rand) ([]float64, error) {
+				d := dp.Get()
+				defer dp.Put(d)
+				net, err := d.DeployRand(r)
+				if err != nil {
+					return nil, err
+				}
+				conn, err := net.IsConnected()
+				if err != nil {
+					return nil, err
+				}
+				kc, err := net.IsKConnected(k)
+				if err != nil {
+					return nil, err
+				}
+				rep, err := net.Snapshot()
+				if err != nil {
+					return nil, err
+				}
+				return []float64{b2f(conn), b2f(kc), float64(rep.MinDegree), float64(rep.SecureLinks)}, nil
+			}, nil
+		})
+	if err != nil {
+		return err
+	}
+
+	var ms []experiment.Measurement
+	for dim, curve := range []string{
+		"P[connected]", fmt.Sprintf("P[%d-connected]", k), "mean min degree", "mean secure links",
+	} {
+		ms = append(ms, experiment.MeanVecMeasurements(results, dim, 1.96,
+			func(pt experiment.GridPoint) float64 { return 0 }, curve)...)
+	}
+	presented := experiment.PivotSweep(experiment.PivotSpec{
+		RowHeaders: []string{"deployments"},
+		RowCells: func(pt experiment.GridPoint) []string {
+			return []string{fmt.Sprintf("%d", trials)}
+		},
+		FormatCell: func(m experiment.Measurement) string {
+			if m.Lo == m.Hi {
+				return fmt.Sprintf("%.3f", m.Y)
+			}
+			return fmt.Sprintf("%.3f ± %.3f", m.Y, m.Hi-m.Y)
+		},
+	}, ms)
+	fmt.Printf("ensemble over %d deployments (mean ± 1.96·stderr):\n", trials)
+	if err := presented.Table.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func pathString(path []int32) string {

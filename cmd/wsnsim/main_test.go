@@ -1,0 +1,63 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"testing"
+)
+
+// resetFlags gives run() a fresh global FlagSet, so tests can drive the
+// tool more than once per process.
+func resetFlags() {
+	flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ContinueOnError)
+}
+
+// TestRunSmoke drives the simulator tool end to end at a small scale with
+// every optional stage enabled: Deployer-pipeline deployment, the tabled
+// snapshot report, the DeployerPool ensemble summary, failure injection,
+// link failures, and key revocation must all work from the flag surface
+// down.
+func TestRunSmoke(t *testing.T) {
+	resetFlags()
+	os.Args = []string{"wsnsim",
+		"-sensors", "60", "-pool", "300", "-ring", "25", "-q", "1",
+		"-channel", "onoff", "-p", "0.8", "-k", "2",
+		"-trials", "8", "-workers", "2",
+		"-fail", "3", "-faillinks", "2", "-revoke", "2",
+		"-seed", "7",
+	}
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	stdout := os.Stdout
+	os.Stdout = null
+	defer func() { os.Stdout = stdout }()
+
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunDiskChannel exercises the disk-model branch of the channel flag.
+func TestRunDiskChannel(t *testing.T) {
+	resetFlags()
+	os.Args = []string{"wsnsim",
+		"-sensors", "50", "-pool", "200", "-ring", "30", "-q", "1",
+		"-channel", "disktorus", "-radius", "0.4", "-k", "1",
+		"-seed", "3",
+	}
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	stdout := os.Stdout
+	os.Stdout = null
+	defer func() { os.Stdout = stdout }()
+
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

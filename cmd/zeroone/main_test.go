@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives the zero–one law tool end to end on a short n
+// schedule with point sharding enabled: the ±α branches, per-n ring
+// dimensioning, and the series CSV must work from the flag surface down.
+func TestRunSmoke(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "zeroone.csv")
+	os.Args = []string{"zeroone",
+		"-q", "1", "-p", "0.9", "-k", "1", "-c", "1.5", "-poolmult", "5",
+		"-nlist", "40,80",
+		"-trials", "8", "-workers", "2", "-pointworkers", "2",
+		"-csv", csv,
+	}
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	stdout := os.Stdout
+	os.Stdout = null
+	defer func() { os.Stdout = stdout }()
+
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.TrimSpace(string(data))) == 0 {
+		t.Error("series csv is empty")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"github.com/secure-wsn/qcomposite/internal/graph"
 	"github.com/secure-wsn/qcomposite/internal/randgraph"
 	"github.com/secure-wsn/qcomposite/internal/rng"
+	"github.com/secure-wsn/qcomposite/internal/theory"
 )
 
 // Model samples which node pairs have usable communication channels.
@@ -142,14 +143,16 @@ func (m Disk) SamplePositions(r *rng.Rand, n int) (*graph.Undirected, []randgrap
 }
 
 // EquivalentOnOff returns the on/off model whose channel-on probability
-// matches the disk model's marginal pair probability on the torus
-// (p = π·r²), the comparison device of experiment E8. A zero radius maps to
+// matches the disk model's marginal pair probability on the torus — π·r²
+// for r ≤ ½, the exact clipped-ball area beyond (theory.DiskOnProb owns the
+// formula) — the comparison device of experiment E8. A zero radius maps to
 // OnOff{P: 0}, the (valid) empty channel graph, so the equivalence holds at
-// the degenerate end of a radius sweep too.
+// the degenerate end of a radius sweep too; an invalid radius maps to an
+// OnOff model that fails Validate, mirroring the Disk model itself.
 func (m Disk) EquivalentOnOff() OnOff {
-	p := math.Pi * m.Radius * m.Radius
-	if p > 1 {
-		p = 1
+	p, err := theory.DiskOnProb(m.Radius)
+	if err != nil {
+		return OnOff{P: math.NaN()}
 	}
 	return OnOff{P: p}
 }

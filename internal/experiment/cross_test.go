@@ -1,0 +1,210 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/secure-wsn/qcomposite/internal/channel"
+	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/wsn"
+)
+
+// crossBuild is the standard small-deployment build used by the cross-sweep
+// tests: scheme from the point's (K, q) axes, channel left to the binding.
+func crossBuild(sensors, pool int) func(pt GridPoint) (wsn.Config, error) {
+	return func(pt GridPoint) (wsn.Config, error) {
+		scheme, err := keys.NewQComposite(pool, pt.K, pt.Q)
+		if err != nil {
+			return wsn.Config{}, err
+		}
+		return wsn.Config{Sensors: sensors, Scheme: scheme}, nil
+	}
+}
+
+// TestCrossSpecValidateRejectsDoubleBinding pins the validation satellite: a
+// Grid whose Xs axis is bound twice (k and radius) must be rejected with a
+// clear error instead of silently letting one binding win.
+func TestCrossSpecValidateRejectsDoubleBinding(t *testing.T) {
+	grid := Grid{Ks: []int{8}, Qs: []int{1}, Xs: []float64{1, 2}}
+	build := crossBuild(20, 60)
+
+	_, err := CrossSweep(context.Background(), grid, SweepConfig{Trials: 2, Seed: 1},
+		CrossSpec{Bindings: []XBinding{BindK, BindDiskRadius}, Build: build})
+	if err == nil || !strings.Contains(err.Error(), "bound twice") {
+		t.Errorf("k+radius double binding: err = %v, want a 'bound twice' error", err)
+	}
+	if err != nil && (!strings.Contains(err.Error(), "connectivity level k") || !strings.Contains(err.Error(), "disk radius")) {
+		t.Errorf("double-binding error %q does not name both quantities", err)
+	}
+
+	// The fixed level and a BindK axis are the same quantity twice.
+	_, err = CrossSweep(context.Background(), grid, SweepConfig{Trials: 2, Seed: 1},
+		CrossSpec{Bindings: []XBinding{BindK}, K: 2, Build: build})
+	if err == nil || !strings.Contains(err.Error(), "bound twice") {
+		t.Errorf("K field + BindK: err = %v, want a 'bound twice' error", err)
+	}
+
+	// A channel binding plus a build-supplied channel is a channel conflict.
+	_, err = CrossSweep(context.Background(), Grid{Ks: []int{8}, Qs: []int{1}, Xs: []float64{0.5}},
+		SweepConfig{Trials: 2, Seed: 1},
+		CrossSpec{Bindings: []XBinding{BindChannelOn}, Build: func(pt GridPoint) (wsn.Config, error) {
+			cfg, err := crossBuild(20, 60)(pt)
+			cfg.Channel = channel.AlwaysOn{}
+			return cfg, err
+		}})
+	if err == nil || !strings.Contains(err.Error(), "channel bound twice") {
+		t.Errorf("channel binding + build channel: err = %v, want a 'channel bound twice' error", err)
+	}
+}
+
+// TestCrossSpecValidateEagerAxisChecks pins the remaining spec validation:
+// missing build, negative levels, unknown bindings, and Xs values that are
+// illegal for the bound quantity all fail before any deployment runs.
+func TestCrossSpecValidateEagerAxisChecks(t *testing.T) {
+	build := crossBuild(20, 60)
+	cases := []struct {
+		name string
+		grid Grid
+		spec CrossSpec
+		want string
+	}{
+		{"missing build", Grid{}, CrossSpec{}, "Build callback"},
+		{"negative K", Grid{}, CrossSpec{K: -1, Build: build}, "must be ≥ 0"},
+		{"unknown binding", Grid{}, CrossSpec{Bindings: []XBinding{XBinding(99)}, Build: build}, "unknown"},
+		{"fractional k level", Grid{Xs: []float64{1.5}},
+			CrossSpec{Bindings: []XBinding{BindK}, Build: build}, "connectivity level"},
+		{"negative radius", Grid{Xs: []float64{-0.25}},
+			CrossSpec{Bindings: []XBinding{BindDiskRadius}, Build: build}, "disk radius"},
+		{"on probability above 1", Grid{Xs: []float64{1.5}},
+			CrossSpec{Bindings: []XBinding{BindChannelOn}, Build: build}, "on probability"},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate(tc.grid)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	// And a well-formed spec passes.
+	ok := CrossSpec{Bindings: []XBinding{BindDiskRadius}, Torus: true, K: 2, Build: build}
+	if err := ok.Validate(Grid{Xs: []float64{0, 0.2, 0.4}}); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+// TestCrossSweepRadiusBindingDeploys runs a real radius-bound cross sweep:
+// the channel at each point must be the disk model at the point's radius, so
+// a zero radius yields a never-connected network (for n ≥ 2) and a huge
+// radius under a dense scheme yields an always-connected one.
+func TestCrossSweepRadiusBindingDeploys(t *testing.T) {
+	grid := Grid{Ks: []int{12}, Qs: []int{1}, Xs: []float64{0, 1.5}}
+	res, err := CrossSweep(context.Background(), grid,
+		SweepConfig{Trials: 12, Workers: 2, Seed: 7},
+		CrossSpec{Bindings: []XBinding{BindDiskRadius}, Torus: true, Build: crossBuild(16, 12)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results, want 2", len(res))
+	}
+	if got := res[0].Value.Estimate(); got != 0 {
+		t.Errorf("radius 0: P[connected] = %v, want 0 (empty channel graph)", got)
+	}
+	// K = P = 12 makes every ring the full pool, so any channel edge is a
+	// secure link; radius 1.5 on the torus covers the whole unit square.
+	if got := res[1].Value.Estimate(); got != 1 {
+		t.Errorf("radius 1.5, full-pool rings: P[connected] = %v, want 1", got)
+	}
+}
+
+// TestCrossSweepBitIdenticalAcrossPointWorkers is the determinism pin for
+// the new path: a radius-bound cross sweep at a fixed connectivity level
+// must produce results bit-identical to the sequential run for every
+// PointWorkers value, because per-point seeds derive from point parameters,
+// never from scheduling.
+func TestCrossSweepBitIdenticalAcrossPointWorkers(t *testing.T) {
+	grid := Grid{Ks: []int{6, 10}, Qs: []int{1}, Xs: []float64{0.2, 0.35, 0.5}}
+	spec := CrossSpec{
+		Bindings: []XBinding{BindDiskRadius},
+		Torus:    true,
+		K:        2,
+		Build:    crossBuild(24, 40),
+	}
+	run := func(pointWorkers int) []ProportionResult {
+		t.Helper()
+		res, err := CrossSweep(context.Background(), grid,
+			SweepConfig{Trials: 25, Workers: 2, PointWorkers: pointWorkers, Seed: 23}, spec)
+		if err != nil {
+			t.Fatalf("PointWorkers=%d: %v", pointWorkers, err)
+		}
+		return res
+	}
+	want := run(0)
+	if len(want) != grid.Len() {
+		t.Fatalf("got %d results, want %d", len(want), grid.Len())
+	}
+	for _, pw := range shardCounts()[1:] {
+		got := run(pw)
+		if len(got) != len(want) {
+			t.Fatalf("PointWorkers=%d: %d results, want %d", pw, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("PointWorkers=%d point %d: %+v, want %+v (sequential)", pw, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCrossSweepBuildErrorDrainsShards mirrors the sweep error contract on
+// the cross path: when a later point's build fails, all shards drain and the
+// first failing point in Points() order is reported, never cancellation
+// fallout.
+func TestCrossSweepBuildErrorDrainsShards(t *testing.T) {
+	grid := Grid{Ks: []int{4, 6, 8, 10}, Qs: []int{1}, Xs: []float64{0.3}}
+	wantErr := errors.New("cross build exploded")
+	for _, pw := range shardCounts() {
+		_, err := CrossSweep(context.Background(), grid,
+			SweepConfig{Trials: 5, PointWorkers: pw, Seed: 3},
+			CrossSpec{Bindings: []XBinding{BindDiskRadius}, Build: func(pt GridPoint) (wsn.Config, error) {
+				return wsn.Config{}, wantErr
+			}})
+		if !errors.Is(err, wantErr) {
+			t.Errorf("PointWorkers=%d: err = %v, want the build error", pw, err)
+		}
+		if err != nil && errors.Is(err, context.Canceled) {
+			t.Errorf("PointWorkers=%d: cancellation fallout masked the build error: %v", pw, err)
+		}
+	}
+}
+
+// TestCrossSweepContextCancellation pins prompt shutdown of a cancelled
+// cross sweep across shard counts, mirroring the plain sweep test.
+func TestCrossSweepContextCancellation(t *testing.T) {
+	var ks []int
+	for k := 2; k <= 40; k++ {
+		ks = append(ks, k)
+	}
+	grid := Grid{Ks: ks, Qs: []int{1}, Xs: []float64{0.3, 0.4}}
+	for _, pw := range shardCounts() {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // cancel before the sweep even starts: it must return promptly
+		done := make(chan error, 1)
+		go func() {
+			_, err := CrossSweep(ctx, grid,
+				SweepConfig{Trials: 1 << 16, Workers: 2, PointWorkers: pw, Seed: 5},
+				CrossSpec{Bindings: []XBinding{BindDiskRadius}, Build: crossBuild(40, 60)})
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("PointWorkers=%d: err = %v, want context.Canceled", pw, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("PointWorkers=%d: cancelled cross sweep did not stop", pw)
+		}
+	}
+}

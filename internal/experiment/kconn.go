@@ -13,8 +13,6 @@ import (
 	"context"
 	"fmt"
 
-	"github.com/secure-wsn/qcomposite/internal/montecarlo"
-	"github.com/secure-wsn/qcomposite/internal/rng"
 	"github.com/secure-wsn/qcomposite/internal/wsn"
 )
 
@@ -55,30 +53,10 @@ func KOf(pt GridPoint) (int, error) {
 // instead when sample-by-sample monotonicity matters.
 func SweepKConnectivity(ctx context.Context, grid Grid, cfg SweepConfig,
 	build func(pt GridPoint) (wsn.Config, error)) ([]ProportionResult, error) {
-	return SweepProportion(ctx, grid, cfg,
-		func(pt GridPoint) (montecarlo.Trial, error) {
-			k, err := KOf(pt)
-			if err != nil {
-				return nil, err
-			}
-			deployCfg, err := build(pt)
-			if err != nil {
-				return nil, err
-			}
-			dp, err := wsn.NewDeployerPool(deployCfg)
-			if err != nil {
-				return nil, err
-			}
-			return func(trial int, r *rng.Rand) (bool, error) {
-				d := dp.Get()
-				defer dp.Put(d)
-				net, err := d.DeployRand(r)
-				if err != nil {
-					return false, err
-				}
-				return net.IsKConnected(k)
-			}, nil
-		})
+	return CrossSweep(ctx, grid, cfg, CrossSpec{
+		Bindings: []XBinding{BindK},
+		Build:    build,
+	})
 }
 
 // KConnMeasurements adapts SweepKConnectivity results into per-k empirical

@@ -44,6 +44,29 @@ func ProportionMeasurements(results []ProportionResult, z float64,
 	return ms
 }
 
+// MeanMeasurements adapts SweepMean results into measurements: x positions
+// the point on its series, curve names the series/column, and the confidence
+// band is mean ± z·stderr (z ≤ 0 omits it).
+func MeanMeasurements(results []MeanResult, z float64,
+	x func(GridPoint) float64, curve func(GridPoint) string) []Measurement {
+	ms := make([]Measurement, len(results))
+	for i, res := range results {
+		m := Measurement{
+			Point: res.Point,
+			Curve: curve(res.Point),
+			X:     x(res.Point),
+			Y:     res.Value.Mean(),
+		}
+		m.Lo, m.Hi = m.Y, m.Y
+		if z > 0 {
+			half := z * res.Value.StdErr()
+			m.Lo, m.Hi = m.Y-half, m.Y+half
+		}
+		ms[i] = m
+	}
+	return ms
+}
+
 // MeanVecMeasurements adapts one component of SweepMeanVec results into
 // measurements, with a mean ± z·stderr confidence band (z ≤ 0 omits it).
 func MeanVecMeasurements(results []MeanVecResult, dim int, z float64,

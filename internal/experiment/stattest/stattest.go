@@ -1,0 +1,236 @@
+// Package stattest statistically validates simulation output against
+// internal/theory predictions: given simulated proportions and their
+// predicted probabilities, it classifies each point as a zero–one plateau
+// point (prediction essentially 0 or 1, checked by absolute deviation) or an
+// interior point (checked by a binomial z-score), and pools the interior
+// z-scores into a chi-square statistic against an explicit critical value.
+//
+// The equivalence tests elsewhere in the repository pin that two code paths
+// produce identical bits; none of them would notice a sampler that is
+// consistently wrong. This package closes that gap: at fixed seeds the
+// checks are deterministic, and a silently-biased sampler (wrong key-share
+// probability, skewed channel marginal, broken class mixing) shifts the
+// observed proportions and fails the chi-square/z gates.
+package stattest
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/secure-wsn/qcomposite/internal/stats"
+)
+
+// Observation pairs one simulated proportion with its theoretical
+// prediction.
+type Observation struct {
+	// Name identifies the point in failure messages (e.g. "K=41 p=0.5").
+	Name string
+	// Predicted is the theoretical success probability in [0, 1].
+	Predicted float64
+	// Observed is the simulated estimate with its trial counts.
+	Observed stats.Proportion
+}
+
+// Config controls plateau classification and test thresholds. The zero
+// value picks the defaults noted on each field.
+type Config struct {
+	// PlateauMargin classifies predictions within this distance of 0 or 1
+	// as zero–one plateau points, where the normal approximation breaks
+	// down and agreement is checked by absolute deviation instead.
+	// Default 0.005.
+	PlateauMargin float64
+	// PlateauTol is the largest |observed − predicted| accepted at plateau
+	// points. Default 0.02.
+	PlateauTol float64
+	// MaxAbsZ is the per-point two-sided z-score threshold for interior
+	// points. Default 4 (a deterministic fixed-seed run is a single draw;
+	// the pooled chi-square provides the sharper joint test). Default 4.
+	MaxAbsZ float64
+	// Alpha is the significance level of the pooled chi-square check over
+	// the interior points. Default 0.001.
+	Alpha float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.PlateauMargin == 0 {
+		c.PlateauMargin = 0.005
+	}
+	if c.PlateauTol == 0 {
+		c.PlateauTol = 0.02
+	}
+	if c.MaxAbsZ == 0 {
+		c.MaxAbsZ = 4
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.001
+	}
+	return c
+}
+
+// PointResult is the verdict on one observation.
+type PointResult struct {
+	Observation
+	// Plateau reports whether the point was checked by plateau deviation
+	// (true) or z-score (false).
+	Plateau bool
+	// Z is the binomial z-score of interior points (NaN at plateau points).
+	Z float64
+	// OK reports whether the point passed its check.
+	OK bool
+	// Detail explains a failure in one line.
+	Detail string
+}
+
+// Report is the outcome of one Compare run.
+type Report struct {
+	Points []PointResult
+	// ChiSquare pools the squared interior z-scores; under the null it is
+	// χ²-distributed with DF degrees of freedom.
+	ChiSquare float64
+	DF        int
+	// Critical is the χ² upper critical value at the configured Alpha
+	// (0 when there are no interior points).
+	Critical float64
+	// OK reports whether every point passed AND the pooled statistic stayed
+	// below Critical.
+	OK bool
+}
+
+// ZScore returns the binomial z statistic of an observed proportion against
+// the predicted success probability p0:
+// (successes − trials·p0) / sqrt(trials·p0·(1−p0)).
+func ZScore(obs stats.Proportion, p0 float64) float64 {
+	se := math.Sqrt(float64(obs.Trials) * p0 * (1 - p0))
+	if se == 0 {
+		if float64(obs.Successes) == float64(obs.Trials)*p0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (float64(obs.Successes) - float64(obs.Trials)*p0) / se
+}
+
+// Compare checks every observation against its prediction under cfg. It
+// errors on malformed inputs (no observations, zero trials, predictions
+// outside [0, 1]) — those are harness bugs, not statistical disagreement.
+func Compare(obs []Observation, cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	if len(obs) == 0 {
+		return Report{}, fmt.Errorf("stattest: no observations to compare")
+	}
+	rep := Report{Points: make([]PointResult, len(obs)), OK: true}
+	for i, o := range obs {
+		if o.Observed.Trials <= 0 {
+			return Report{}, fmt.Errorf("stattest: observation %q has no trials", o.Name)
+		}
+		if math.IsNaN(o.Predicted) || o.Predicted < 0 || o.Predicted > 1 {
+			return Report{}, fmt.Errorf("stattest: observation %q predicts probability %v outside [0,1]", o.Name, o.Predicted)
+		}
+		pr := PointResult{Observation: o, Z: math.NaN(), OK: true}
+		est := o.Observed.Estimate()
+		if o.Predicted < cfg.PlateauMargin || o.Predicted > 1-cfg.PlateauMargin {
+			pr.Plateau = true
+			if dev := math.Abs(est - o.Predicted); dev > cfg.PlateauTol {
+				pr.OK = false
+				pr.Detail = fmt.Sprintf("plateau deviation |%.4f − %.4f| = %.4f exceeds %.4f",
+					est, o.Predicted, dev, cfg.PlateauTol)
+			}
+		} else {
+			pr.Z = ZScore(o.Observed, o.Predicted)
+			rep.ChiSquare += pr.Z * pr.Z
+			rep.DF++
+			if math.Abs(pr.Z) > cfg.MaxAbsZ {
+				pr.OK = false
+				pr.Detail = fmt.Sprintf("z = %+.2f exceeds ±%.2f (observed %.4f, predicted %.4f, %d trials)",
+					pr.Z, cfg.MaxAbsZ, est, o.Predicted, o.Observed.Trials)
+			}
+		}
+		if !pr.OK {
+			rep.OK = false
+		}
+		rep.Points[i] = pr
+	}
+	if rep.DF > 0 {
+		rep.Critical = ChiSquareCritical(rep.DF, cfg.Alpha)
+		if rep.ChiSquare > rep.Critical {
+			rep.OK = false
+		}
+	}
+	return rep, nil
+}
+
+// Check fails t with one line per failing point (and the pooled statistic
+// when it is the reason) if the report is not OK.
+func (r Report) Check(t testing.TB) {
+	t.Helper()
+	for _, p := range r.Points {
+		if !p.OK {
+			t.Errorf("stattest: %s: %s", p.Name, p.Detail)
+		}
+	}
+	if r.DF > 0 && r.ChiSquare > r.Critical {
+		t.Errorf("stattest: pooled χ² = %.2f over %d interior points exceeds critical %.2f",
+			r.ChiSquare, r.DF, r.Critical)
+	}
+}
+
+// ChiSquareCritical returns the upper critical value of the χ² distribution
+// with df degrees of freedom at significance alpha (i.e. the 1−alpha
+// quantile): exact closed forms at df ≤ 2 (χ²₁ is a squared normal, χ²₂ an
+// exponential), the Wilson–Hilferty cube approximation beyond — accurate to
+// a few per mille at the tail levels used in tests.
+func ChiSquareCritical(df int, alpha float64) float64 {
+	if df <= 0 || alpha <= 0 || alpha >= 1 {
+		return math.NaN()
+	}
+	switch df {
+	case 1:
+		z := NormalQuantile(1 - alpha/2)
+		return z * z
+	case 2:
+		return -2 * math.Log(alpha)
+	}
+	z := NormalQuantile(1 - alpha)
+	d := float64(df)
+	h := 2.0 / (9.0 * d)
+	v := 1 - h + z*math.Sqrt(h)
+	return d * v * v * v
+}
+
+// NormalQuantile returns the p-quantile of the standard normal distribution
+// (Acklam's rational approximation; |relative error| < 1.2e-9 on (0, 1)).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	const (
+		pLow  = 0.02425
+		pHigh = 1 - pLow
+	)
+	var a = [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	var b = [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	var c = [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	var d = [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > pHigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	q := p - 0.5
+	r := q * q
+	return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+		(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+}

@@ -1,0 +1,148 @@
+package stattest
+
+import (
+	"math"
+	"testing"
+
+	"github.com/secure-wsn/qcomposite/internal/stats"
+)
+
+func TestZScore(t *testing.T) {
+	// 60 successes in 100 trials against p0 = 0.5: z = 10/5 = 2.
+	z := ZScore(stats.Proportion{Successes: 60, Trials: 100}, 0.5)
+	if math.Abs(z-2) > 1e-12 {
+		t.Errorf("z = %v, want 2", z)
+	}
+	// Degenerate p0 matching the observation exactly.
+	if z := ZScore(stats.Proportion{Successes: 100, Trials: 100}, 1); z != 0 {
+		t.Errorf("exact degenerate match: z = %v, want 0", z)
+	}
+	if z := ZScore(stats.Proportion{Successes: 99, Trials: 100}, 1); !math.IsInf(z, 1) {
+		t.Errorf("degenerate mismatch: z = %v, want +Inf", z)
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.999, 3.090232},
+		{0.025, -1.959964},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("NormalQuantile endpoints must be ±Inf")
+	}
+}
+
+// TestChiSquareCritical checks the Wilson–Hilferty approximation against
+// reference quantiles (R qchisq): within ~2% at the tail levels tests use.
+func TestChiSquareCritical(t *testing.T) {
+	cases := []struct {
+		df    int
+		alpha float64
+		want  float64
+	}{
+		{1, 0.001, 10.828},
+		{5, 0.001, 20.515},
+		{10, 0.001, 29.588},
+		{10, 0.05, 18.307},
+	}
+	for _, c := range cases {
+		got := ChiSquareCritical(c.df, c.alpha)
+		if math.Abs(got-c.want)/c.want > 0.02 {
+			t.Errorf("ChiSquareCritical(%d, %v) = %v, want ≈ %v", c.df, c.alpha, got, c.want)
+		}
+	}
+	if !math.IsNaN(ChiSquareCritical(0, 0.01)) || !math.IsNaN(ChiSquareCritical(3, 0)) {
+		t.Error("invalid arguments must return NaN")
+	}
+}
+
+func TestCompareClassifiesAndPools(t *testing.T) {
+	obs := []Observation{
+		{Name: "plateau-0 ok", Predicted: 0.0001, Observed: stats.Proportion{Successes: 1, Trials: 100}},
+		{Name: "plateau-1 ok", Predicted: 0.9999, Observed: stats.Proportion{Successes: 99, Trials: 100}},
+		{Name: "interior ok", Predicted: 0.5, Observed: stats.Proportion{Successes: 52, Trials: 100}},
+		{Name: "interior ok 2", Predicted: 0.3, Observed: stats.Proportion{Successes: 27, Trials: 100}},
+	}
+	rep, err := Compare(obs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Errorf("healthy observations: report not OK: %+v", rep)
+	}
+	if !rep.Points[0].Plateau || !rep.Points[1].Plateau || rep.Points[2].Plateau {
+		t.Errorf("plateau classification wrong: %+v", rep.Points)
+	}
+	if rep.DF != 2 {
+		t.Errorf("DF = %d, want 2 interior points", rep.DF)
+	}
+	wantChi := rep.Points[2].Z*rep.Points[2].Z + rep.Points[3].Z*rep.Points[3].Z
+	if math.Abs(rep.ChiSquare-wantChi) > 1e-12 {
+		t.Errorf("ChiSquare = %v, want pooled %v", rep.ChiSquare, wantChi)
+	}
+
+	// A biased interior point fails its z gate and the pooled gate.
+	bad := []Observation{
+		{Name: "biased", Predicted: 0.5, Observed: stats.Proportion{Successes: 90, Trials: 100}},
+	}
+	rep, err = Compare(bad, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK || rep.Points[0].OK {
+		t.Errorf("biased observation passed: %+v", rep)
+	}
+	// A drifted plateau point fails the deviation gate.
+	drift := []Observation{
+		{Name: "drifted plateau", Predicted: 0.9999, Observed: stats.Proportion{Successes: 90, Trials: 100}},
+	}
+	rep, err = Compare(drift, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Errorf("drifted plateau passed: %+v", rep)
+	}
+
+	// Malformed inputs are harness errors, not statistical verdicts.
+	if _, err := Compare(nil, Config{}); err == nil {
+		t.Error("empty observations: want error")
+	}
+	if _, err := Compare([]Observation{{Name: "no trials", Predicted: 0.5}}, Config{}); err == nil {
+		t.Error("zero trials: want error")
+	}
+	if _, err := Compare([]Observation{
+		{Name: "bad prediction", Predicted: 1.5, Observed: stats.Proportion{Successes: 1, Trials: 2}},
+	}, Config{}); err == nil {
+		t.Error("prediction outside [0,1]: want error")
+	}
+
+	// Many mildly-off points: each |z| under the per-point gate, pooled χ²
+	// over the line — the joint test catches what the marginals miss.
+	var mild []Observation
+	for i := 0; i < 30; i++ {
+		mild = append(mild, Observation{
+			Name: "mild", Predicted: 0.5,
+			Observed: stats.Proportion{Successes: 62, Trials: 100}, // z = 2.4 each
+		})
+	}
+	rep, err = Compare(mild, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rep.Points {
+		if !p.OK {
+			t.Fatalf("per-point gate tripped at z = %v; want pooled failure only", p.Z)
+		}
+	}
+	if rep.OK {
+		t.Errorf("consistent mild bias passed the pooled χ² gate: χ² = %v, critical %v", rep.ChiSquare, rep.Critical)
+	}
+}

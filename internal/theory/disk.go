@@ -1,0 +1,103 @@
+package theory
+
+import (
+	"fmt"
+	"math"
+)
+
+// Disk-model predictions (the paper's Section IX comparison): on the unit
+// torus a disk channel of radius r has marginal pair probability equal to
+// the area of the torus ball of radius r — exactly π·r² for r ≤ ½, the
+// disk clipped to the unit fundamental square beyond that — so the
+// q-composite scheme under disk channels is compared against the on/off
+// model at that matched p. The functions below compute the equivalent edge
+// probability and the resulting Theorem 1 overlay, the theory curves of the
+// on/off-vs-disk cross sweeps (cmd/crossq). channel.Disk.EquivalentOnOff
+// delegates here, so the simulator and the overlays share one marginal.
+//
+// The equivalence is marginal, not joint: disk edges are positively
+// correlated through the geometry (two sensors near a third are near each
+// other), which is exactly the deviation the cross sweep measures.
+
+// DiskOnProb returns the marginal channel-on probability of the disk model
+// on the unit torus: the area of {y : d(x, y) ≤ r}. With per-coordinate
+// wrap distances bounded by ½, that set is the radius-r disk clipped to the
+// [−½, ½]² square — π·r² for r ≤ ½, π·r² minus four circular segments for
+// ½ < r < √2⁄2, and the whole torus (probability 1) beyond. The radius must
+// be finite and non-negative (a zero radius is the valid empty channel
+// graph).
+func DiskOnProb(radius float64) (float64, error) {
+	if math.IsNaN(radius) || math.IsInf(radius, 0) || radius < 0 {
+		return 0, fmt.Errorf("theory: disk radius %v must be finite and non-negative", radius)
+	}
+	r := radius
+	switch {
+	case r <= 0.5:
+		return math.Pi * r * r, nil
+	case r >= math.Sqrt2/2:
+		return 1, nil
+	}
+	// Clip the disk to the square: subtract the four segments protruding
+	// past the half-width d = ½ (they never overlap below √2⁄2).
+	const d = 0.5
+	seg := r*r*math.Acos(d/r) - d*math.Sqrt(r*r-d*d)
+	return math.Pi*r*r - 4*seg, nil
+}
+
+// DiskRadiusForOnProb inverts DiskOnProb: the smallest torus radius whose
+// marginal pair probability reaches p ∈ [0, 1] — the threshold-radius design
+// rule of the disk model (solve p = π·r² below π/4, bisect the clipped-area
+// regime above it).
+func DiskRadiusForOnProb(p float64) (float64, error) {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return 0, fmt.Errorf("theory: disk marginal %v outside [0,1]", p)
+	}
+	if p <= math.Pi/4 {
+		return math.Sqrt(p / math.Pi), nil
+	}
+	lo, hi := 0.5, math.Sqrt2/2 // invariant: DiskOnProb(lo) ≤ p ≤ DiskOnProb(hi)
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		area, err := DiskOnProb(mid)
+		if err != nil {
+			return 0, err
+		}
+		if area < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}
+
+// DiskEdgeProb returns the disk-equivalent secure-link probability
+// t = π·r² · s(K, P, q): the marginal probability that two sensors share
+// enough keys and sit within radius r of each other on the unit torus — the
+// eq. (5) edge probability with the channel term replaced by the disk
+// marginal.
+func DiskEdgeProb(pool, ring, q int, radius float64) (float64, error) {
+	p, err := DiskOnProb(radius)
+	if err != nil {
+		return 0, err
+	}
+	return EdgeProb(pool, ring, q, p)
+}
+
+// DiskKConnProbability composes the disk marginal with Theorem 1: the
+// asymptotic k-connectivity probability of the q-composite scheme under an
+// on/off channel matched to the disk model's pair probability. Plotted
+// against the empirical disk-model curve it shows how far the geometric
+// dependence pushes the transition away from the independent-channel
+// prediction (the paper's on/off-vs-disk comparison).
+func DiskKConnProbability(n, pool, ring, q int, radius float64, k int) (float64, error) {
+	t, err := DiskEdgeProb(pool, ring, q, radius)
+	if err != nil {
+		return 0, err
+	}
+	alpha, err := Alpha(n, t, k)
+	if err != nil {
+		return 0, err
+	}
+	return KConnProbLimit(alpha, k)
+}

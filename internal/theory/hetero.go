@@ -176,6 +176,61 @@ func HeteroConnProbLimit(beta float64) float64 {
 	return math.Exp(-math.Exp(-beta))
 }
 
+// HeteroKConnBeta inverts the k-connectivity scaling of the heterogeneous
+// model (Eletreby–Yağan, arXiv:1604.00460 §IV): with
+// λ_min = (ln n + (k−1)·ln ln n + β_n)/n, it returns
+// β_n = n·λ_min − ln n − (k−1)·ln ln n. k = 1 recovers HeteroBeta. It
+// requires n ≥ 3 (so ln ln n is defined; n ≥ 2 suffices at k = 1) and
+// k ≥ 1.
+func HeteroKConnBeta(n int, lambdaMin float64, k int) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("theory: heterogeneous k-connectivity beta needs k ≥ 1, got %d", k)
+	}
+	if k == 1 {
+		return HeteroBeta(n, lambdaMin)
+	}
+	if n < 3 {
+		return 0, fmt.Errorf("theory: heterogeneous k-connectivity beta needs n ≥ 3, got %d", n)
+	}
+	logN := math.Log(float64(n))
+	return float64(n)*lambdaMin - logN - float64(k-1)*math.Log(logN), nil
+}
+
+// HeteroKConnProbLimit returns exp(−e^{−β}/(k−1)!), the k-connectivity
+// analogue of HeteroConnProbLimit: the Poisson limit for the probability
+// that no minimal-class sensor has degree below k, whose β → ±∞ endpoints
+// are the heterogeneous zero–one law at level k (the §IV generalisation of
+// Theorem 1; at k = 1 it is exactly HeteroConnProbLimit). k must be ≥ 1.
+func HeteroKConnProbLimit(beta float64, k int) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("theory: heterogeneous k-connectivity limit needs k ≥ 1, got %d", k)
+	}
+	if math.IsInf(beta, 1) {
+		return 1, nil
+	}
+	if math.IsInf(beta, -1) {
+		return 0, nil
+	}
+	return math.Exp(-math.Exp(-beta) / combin.Factorial(k-1)), nil
+}
+
+// HeteroKConnProbability composes the finite-parameter k-connectivity
+// pipeline: class-pair edge probabilities → minimal mean λ → level-k
+// deviation β → the asymptotic k-connectivity probability. It is the theory
+// overlay of the heterogeneous k-connectivity cross sweep (cmd/hetero
+// -kconn).
+func HeteroKConnProbability(n, pool, q int, classes []keys.Class, pOn [][]float64, k int) (float64, error) {
+	lambdaMin, err := HeteroMinLambda(pool, q, classes, pOn)
+	if err != nil {
+		return 0, err
+	}
+	beta, err := HeteroKConnBeta(n, lambdaMin, k)
+	if err != nil {
+		return 0, err
+	}
+	return HeteroKConnProbLimit(beta, k)
+}
+
 // HeteroConnProbability composes the finite-parameter pipeline: class-pair
 // edge probabilities → minimal mean λ → deviation β → the asymptotic
 // connectivity probability.
