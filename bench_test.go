@@ -16,6 +16,7 @@ package qcomposite_test
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"testing"
 
@@ -269,6 +270,82 @@ func BenchmarkDeployPipeline(b *testing.B) {
 			if links := net.Links(); len(links) == 0 {
 				b.Fatal("no links materialized")
 			}
+		}
+	})
+
+	// The size ladder: one connectivity trial per iteration at n = 10³ … 10⁶,
+	// streaming (DeployConnectivity: edges flow through the intersector into a
+	// union-find, early exit once connected) versus CSR (Deploy +
+	// IsConnected). The design keeps the scheme fixed at K = 32, P = 512,
+	// q = 2 (2-overlap probability s ≈ 0.59) and thins the channel with n —
+	// p = d/n with d = 8·ln n / s — so the mean secure degree sits at 8·ln n,
+	// deep in the connected plateau: the channel draw is Θ(n log n) edges
+	// instead of Θ(n²), and the union-find spans after roughly the
+	// (n/2)·ln n secure edges connectivity needs, so the early exit skips
+	// ~7/8 of every draw (the CSR path must intersect all of it, then build
+	// two CSR graphs and BFS). The CSR arm stops at n = 10⁵ (building
+	// 10⁶-node CSR graphs per iteration is the cost the streaming path exists
+	// to avoid); n = 10⁶ runs streaming-only and is the scale acceptance
+	// artifact.
+	b.Run("ladder", func(b *testing.B) {
+		const (
+			ladderPool = 512
+			ladderRing = 32
+			ladderQ    = 2
+			sOverlap   = 0.594 // P[|ring∩ring| ≥ 2] at K=32, P=512
+		)
+		scheme, err := keys.NewQComposite(ladderPool, ladderRing, ladderQ)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, n := range []int{1_000, 10_000, 100_000, 1_000_000} {
+			p := 8 * math.Log(float64(n)) / sOverlap / float64(n)
+			cfg := wsn.Config{Sensors: n, Scheme: scheme, Channel: channel.OnOff{P: p}}
+			b.Run(fmt.Sprintf("n=%d/streaming", n), func(b *testing.B) {
+				d, err := wsn.NewDeployer(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				connected := 0
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					st, err := d.DeployConnectivity(uint64(i))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if st.Connected {
+						connected++
+					}
+				}
+				b.ReportMetric(float64(connected)/float64(b.N), "connected/op")
+			})
+			if n > 100_000 {
+				continue
+			}
+			b.Run(fmt.Sprintf("n=%d/csr", n), func(b *testing.B) {
+				d, err := wsn.NewDeployer(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				connected := 0
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					net, err := d.Deploy(uint64(i))
+					if err != nil {
+						b.Fatal(err)
+					}
+					ok, err := net.IsConnected()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if ok {
+						connected++
+					}
+				}
+				b.ReportMetric(float64(connected)/float64(b.N), "connected/op")
+			})
 		}
 	})
 }

@@ -9,11 +9,13 @@
 // Output: an aligned table, a terminal ASCII rendering of the figure, and
 // optional CSV (-csv) for external plotting.
 //
-// The sweep runs through experiment.SweepProportion over the (K, q, p) grid
-// with per-point deterministic seeding, and each trial deploys a full
-// network through a reusable wsn.DeployerPool (amortized rings, discovery
-// workspace and liveness buffers; no link keys are ever derived, since
-// connectivity trials never touch them).
+// The sweep runs through experiment.SweepConnectivity over the (K, q, p)
+// grid with per-point deterministic seeding. Connectivity is
+// union-find-answerable, so every trial runs on the streaming edge path:
+// rings are assigned, the channel draw is streamed edge by edge through the
+// ring intersector into a union-find, and the draw stops as soon as one
+// component remains — no CSR graph, edge list or link key is ever
+// materialized. Estimates are bit-identical to the previous CSR sweep.
 package main
 
 import (
@@ -27,8 +29,6 @@ import (
 	"github.com/secure-wsn/qcomposite/internal/core"
 	"github.com/secure-wsn/qcomposite/internal/experiment"
 	"github.com/secure-wsn/qcomposite/internal/keys"
-	"github.com/secure-wsn/qcomposite/internal/montecarlo"
-	"github.com/secure-wsn/qcomposite/internal/rng"
 	"github.com/secure-wsn/qcomposite/internal/wsn"
 )
 
@@ -76,30 +76,18 @@ func run() error {
 
 	ctx := context.Background()
 	start := time.Now()
-	results, err := experiment.SweepProportion(ctx,
+	results, err := experiment.SweepConnectivity(ctx,
 		experiment.Grid{Ks: ks, Qs: qs, Ps: ps},
 		experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed},
-		func(pt experiment.GridPoint) (montecarlo.Trial, error) {
+		func(pt experiment.GridPoint) (wsn.Config, error) {
 			scheme, err := keys.NewQComposite(*pool, pt.K, pt.Q)
 			if err != nil {
-				return nil, err
+				return wsn.Config{}, err
 			}
-			dp, err := wsn.NewDeployerPool(wsn.Config{
+			return wsn.Config{
 				Sensors: *n,
 				Scheme:  scheme,
 				Channel: channel.OnOff{P: pt.P},
-			})
-			if err != nil {
-				return nil, err
-			}
-			return func(trial int, r *rng.Rand) (bool, error) {
-				d := dp.Get()
-				defer dp.Put(d)
-				net, err := d.DeployRand(r)
-				if err != nil {
-					return false, err
-				}
-				return net.IsConnected()
 			}, nil
 		})
 	if err != nil {

@@ -20,10 +20,7 @@ import (
 	"github.com/secure-wsn/qcomposite/internal/channel"
 	"github.com/secure-wsn/qcomposite/internal/core"
 	"github.com/secure-wsn/qcomposite/internal/experiment"
-	"github.com/secure-wsn/qcomposite/internal/graphalgo"
 	"github.com/secure-wsn/qcomposite/internal/keys"
-	"github.com/secure-wsn/qcomposite/internal/montecarlo"
-	"github.com/secure-wsn/qcomposite/internal/rng"
 	"github.com/secure-wsn/qcomposite/internal/theory"
 	"github.com/secure-wsn/qcomposite/internal/wsn"
 )
@@ -69,38 +66,24 @@ func run() error {
 	start := time.Now()
 
 	// One sweep over the K axis measures both statistics on each deployed
-	// topology (a two-component SampleVec), so no network is ever sampled
-	// twice. Each grid point gets a DeployerPool that amortizes deployment
-	// buffers across its trials.
+	// topology, so no network is ever sampled twice. Giant and isolated
+	// fractions are union-find-answerable, so every trial runs on the
+	// streaming edge path (no CSR graph is ever built); the per-trial
+	// observations equal the old LargestComponentSize/DegreeHistogram
+	// measurements bit for bit.
 	grid := experiment.Grid{Ks: rings, Qs: []int{*q}, Ps: []float64{*pOn}}
 	cfg := experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed}
-	results, err := experiment.SweepMeanVec(ctx, grid, cfg, 2,
-		func(pt experiment.GridPoint) (montecarlo.SampleVec, error) {
+	results, err := experiment.SweepConnStats(ctx, grid, cfg,
+		[]experiment.ConnStat{experiment.ConnStatGiantFraction, experiment.ConnStatIsolatedFraction},
+		func(pt experiment.GridPoint) (wsn.Config, error) {
 			scheme, err := keys.NewQComposite(*pool, pt.K, pt.Q)
 			if err != nil {
-				return nil, err
+				return wsn.Config{}, err
 			}
-			dp, err := wsn.NewDeployerPool(wsn.Config{
+			return wsn.Config{
 				Sensors: *n,
 				Scheme:  scheme,
 				Channel: channel.OnOff{P: pt.P},
-			})
-			if err != nil {
-				return nil, err
-			}
-			return func(trial int, r *rng.Rand) ([]float64, error) {
-				d := dp.Get()
-				defer dp.Put(d)
-				net, err := d.DeployRand(r)
-				if err != nil {
-					return nil, err
-				}
-				g := net.FullSecureTopology()
-				hist := g.DegreeHistogram()
-				return []float64{
-					float64(graphalgo.LargestComponentSize(g)) / float64(*n),
-					float64(hist[0]) / float64(*n),
-				}, nil
 			}, nil
 		})
 	if err != nil {

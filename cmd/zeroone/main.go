@@ -5,10 +5,12 @@
 // empirical probability of k-connectivity must march to 1 on the plus
 // branch and to 0 on the minus branch.
 //
-// The sweep runs through experiment.SweepProportion over the (n × branch)
-// grid with per-point deterministic seeding; each trial deploys a full
-// network through a reusable wsn.DeployerPool (zero steady-state allocation
-// on the trial loop).
+// The sweep runs through experiment.CrossSweep over the (n × branch) grid
+// with per-point deterministic seeding; each trial deploys through a
+// reusable wsn.DeployerPool (zero steady-state allocation on the trial
+// loop). With -k=1 the sweep auto-selects the streaming edge path (union-find
+// over streamed channel edges, no CSR, early exit once connected); k ≥ 2
+// deploys full networks for the exact k-connectivity decision.
 package main
 
 import (
@@ -25,8 +27,6 @@ import (
 	"github.com/secure-wsn/qcomposite/internal/core"
 	"github.com/secure-wsn/qcomposite/internal/experiment"
 	"github.com/secure-wsn/qcomposite/internal/keys"
-	"github.com/secure-wsn/qcomposite/internal/montecarlo"
-	"github.com/secure-wsn/qcomposite/internal/rng"
 	"github.com/secure-wsn/qcomposite/internal/theory"
 	"github.com/secure-wsn/qcomposite/internal/wsn"
 )
@@ -110,34 +110,25 @@ func run() error {
 	grid := experiment.Grid{Ks: ns, Qs: []int{*q}, Ps: []float64{*pOn}, Xs: []float64{1, -1}}
 	ctx := context.Background()
 	start := time.Now()
-	results, err := experiment.SweepProportion(ctx, grid,
+	results, err := experiment.CrossSweep(ctx, grid,
 		experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed},
-		func(pt experiment.GridPoint) (montecarlo.Trial, error) {
-			d, err := designFor(pt.K, pt.X)
-			if err != nil {
-				return nil, err
-			}
-			scheme, err := keys.NewQComposite(d.pool, d.ring, pt.Q)
-			if err != nil {
-				return nil, err
-			}
-			dp, err := wsn.NewDeployerPool(wsn.Config{
-				Sensors: pt.K,
-				Scheme:  scheme,
-				Channel: channel.OnOff{P: pt.P},
-			})
-			if err != nil {
-				return nil, err
-			}
-			return func(trial int, r *rng.Rand) (bool, error) {
-				dep := dp.Get()
-				defer dp.Put(dep)
-				net, err := dep.DeployRand(r)
+		experiment.CrossSpec{
+			K: *k,
+			Build: func(pt experiment.GridPoint) (wsn.Config, error) {
+				d, err := designFor(pt.K, pt.X)
 				if err != nil {
-					return false, err
+					return wsn.Config{}, err
 				}
-				return net.IsKConnected(*k)
-			}, nil
+				scheme, err := keys.NewQComposite(d.pool, d.ring, pt.Q)
+				if err != nil {
+					return wsn.Config{}, err
+				}
+				return wsn.Config{
+					Sensors: pt.K,
+					Scheme:  scheme,
+					Channel: channel.OnOff{P: pt.P},
+				}, nil
+			},
 		})
 	if err != nil {
 		return err

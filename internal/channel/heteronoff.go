@@ -153,6 +153,39 @@ func (m HeterOnOff) SampleClassesInto(r *rng.Rand, n int, labels []uint8, b *gra
 	return m.sampleClasses(r, n, labels, b)
 }
 
+// bucketByClass groups the node IDs 0..n-1 by class into flat (len n) with a
+// counting sort — ascending node order within each class — and writes the
+// class offsets to off: class c occupies flat[off[c]:off[c+1]]. Shared by the
+// buffered sampling and streaming emission paths so both walk identical
+// buckets. nil labels put every node in class 0.
+func bucketByClass(n, classes int, labels []uint8, flat []int32, off *[257]int32) error {
+	var cnt [257]int32
+	for v := 0; v < n; v++ {
+		c := 0
+		if labels != nil {
+			c = int(labels[v])
+		}
+		if c >= classes {
+			return fmt.Errorf("channel: node %d has class %d, model has %d classes", v, c, classes)
+		}
+		cnt[c+1]++
+	}
+	for c := 0; c < classes; c++ {
+		cnt[c+1] += cnt[c]
+	}
+	*off = cnt // off[c]..off[c+1] delimit class c after the fill
+	cursor := [256]int32{}
+	for v := 0; v < n; v++ {
+		c := 0
+		if labels != nil {
+			c = int(labels[v])
+		}
+		flat[off[c]+cursor[c]] = int32(v)
+		cursor[c]++
+	}
+	return nil
+}
+
 // sampleClasses is the shared block-sampling core; a nil builder falls back
 // to one-shot allocation.
 func (m HeterOnOff) sampleClasses(r *rng.Rand, n int, labels []uint8, b *graph.Builder) (*graph.Undirected, error) {
@@ -182,29 +215,9 @@ func (m HeterOnOff) sampleClasses(r *rng.Rand, n int, labels []uint8, b *graph.B
 	} else {
 		flat = make([]int32, n)
 	}
-	var cnt [257]int32
-	for v := 0; v < n; v++ {
-		c := 0
-		if labels != nil {
-			c = int(labels[v])
-		}
-		if c >= classes {
-			return nil, fmt.Errorf("channel: node %d has class %d, model has %d classes", v, c, classes)
-		}
-		cnt[c+1]++
-	}
-	for c := 0; c < classes; c++ {
-		cnt[c+1] += cnt[c]
-	}
-	off := cnt // off[c]..off[c+1] delimit class c after the fill
-	cursor := [256]int32{}
-	for v := 0; v < n; v++ {
-		c := 0
-		if labels != nil {
-			c = int(labels[v])
-		}
-		flat[off[c]+cursor[c]] = int32(v)
-		cursor[c]++
+	var off [257]int32
+	if err := bucketByClass(n, classes, labels, flat, &off); err != nil {
+		return nil, err
 	}
 	bucket := func(c int) []int32 { return flat[off[c]:off[c+1]] }
 

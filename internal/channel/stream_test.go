@@ -1,0 +1,190 @@
+package channel
+
+import (
+	"testing"
+
+	"github.com/secure-wsn/qcomposite/internal/graph"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+// emittedGraph drains an emitter into a merged CSR graph (union-find sinks
+// are idempotent, so duplicate pairs collapse exactly as FromEdges does).
+func emittedGraph(t *testing.T, n int, emit func(yield func(u, v int32) bool) error) *graph.Undirected {
+	t.Helper()
+	var edges []graph.Edge
+	if err := emit(func(u, v int32) bool {
+		edges = append(edges, graph.Edge{U: u, V: v})
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.NewFromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestEmitEdgesMatchesSample pins the EdgeEmitter contract for every model:
+// at a fixed seed the emitted edge multiset merges to exactly the sampled
+// graph, and both draws consume the generator identically.
+func TestEmitEdgesMatchesSample(t *testing.T) {
+	models := []EdgeEmitter{
+		OnOff{P: 0},
+		OnOff{P: 0.15},
+		OnOff{P: 1},
+		AlwaysOn{},
+		Disk{Radius: 0.2},
+		Disk{Radius: 0.3, Torus: true},
+		Disk{Radius: 0.6, Torus: true}, // tiny grid: duplicate pairs possible
+		Disk{Radius: 0},
+		HeterOnOff{P: [][]float64{{0.4}}},
+	}
+	for _, m := range models {
+		t.Run(m.Name(), func(t *testing.T) {
+			for trial := 0; trial < 3; trial++ {
+				seed := uint64(100 + trial)
+				for _, n := range []int{0, 1, 37, 80} {
+					rs, rd := rng.New(seed), rng.New(seed)
+					want, err := m.Sample(rs, n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := emittedGraph(t, n, func(yield func(u, v int32) bool) error {
+						return m.EmitEdges(rd, n, yield)
+					})
+					if !sameGraph(want, got) {
+						t.Fatalf("seed %d n=%d: emitted graph differs from Sample", seed, n)
+					}
+					if rs.Uint64() != rd.Uint64() {
+						t.Fatalf("seed %d n=%d: generators diverged after the draw", seed, n)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEmitClassEdgesMatchesSampleClasses pins the class-aware contract on a
+// 3-class heterogeneous channel with mixed labels, nil labels (all class 0),
+// and empty classes.
+func TestEmitClassEdgesMatchesSampleClasses(t *testing.T) {
+	m := HeterOnOff{P: [][]float64{
+		{0.9, 0.5, 0.2},
+		{0.5, 0.6, 0.4},
+		{0.2, 0.4, 0.8},
+	}}
+	const n = 90
+	labelings := map[string][]uint8{
+		"mixed":       make([]uint8, n),
+		"nil":         nil,
+		"empty-class": make([]uint8, n),
+	}
+	for i := 0; i < n; i++ {
+		labelings["mixed"][i] = uint8(i % 3)
+		labelings["empty-class"][i] = uint8(i%2) * 2 // classes {0, 2}; class 1 empty
+	}
+	for name, labels := range labelings {
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 3; seed++ {
+				rs, rd := rng.New(seed), rng.New(seed)
+				want, err := m.SampleClasses(rs, n, labels)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := emittedGraph(t, n, func(yield func(u, v int32) bool) error {
+					return m.EmitClassEdges(rd, n, labels, yield)
+				})
+				if !sameGraph(want, got) {
+					t.Fatalf("seed %d: emitted class graph differs from SampleClasses", seed)
+				}
+				if rs.Uint64() != rd.Uint64() {
+					t.Fatalf("seed %d: generators diverged after the draw", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestEmitEdgesEarlyExit checks that a false yield stops every emitter
+// immediately — including across the block boundaries of EmitClassEdges —
+// and that what was emitted is a prefix of the full enumeration.
+func TestEmitEdgesEarlyExit(t *testing.T) {
+	const n, seed = 60, 7
+	labels := make([]uint8, n)
+	for i := range labels {
+		labels[i] = uint8(i % 3)
+	}
+	hetero := HeterOnOff{P: [][]float64{
+		{0.9, 0.5, 0.2},
+		{0.5, 0.6, 0.4},
+		{0.2, 0.4, 0.8},
+	}}
+	emitters := map[string]func(r *rng.Rand, yield func(u, v int32) bool) error{
+		"on-off":    func(r *rng.Rand, yield func(u, v int32) bool) error { return OnOff{P: 0.3}.EmitEdges(r, n, yield) },
+		"always-on": func(r *rng.Rand, yield func(u, v int32) bool) error { return AlwaysOn{}.EmitEdges(r, n, yield) },
+		"disk": func(r *rng.Rand, yield func(u, v int32) bool) error {
+			return Disk{Radius: 0.3, Torus: true}.EmitEdges(r, n, yield)
+		},
+		"hetero-class": func(r *rng.Rand, yield func(u, v int32) bool) error {
+			return hetero.EmitClassEdges(r, n, labels, yield)
+		},
+	}
+	for name, emit := range emitters {
+		t.Run(name, func(t *testing.T) {
+			var full []graph.Edge
+			if err := emit(rng.New(seed), func(u, v int32) bool {
+				full = append(full, graph.Edge{U: u, V: v})
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(full) < 4 {
+				t.Fatalf("test draw too sparse: %d edges", len(full))
+			}
+			for _, stop := range []int{1, 3, len(full) / 2} {
+				var prefix []graph.Edge
+				if err := emit(rng.New(seed), func(u, v int32) bool {
+					prefix = append(prefix, graph.Edge{U: u, V: v})
+					return len(prefix) < stop
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if len(prefix) != stop {
+					t.Fatalf("stopped after %d edges, want %d", len(prefix), stop)
+				}
+				for i := range prefix {
+					if prefix[i] != full[i] {
+						t.Fatalf("stop=%d: edge %d = %v, want %v", stop, i, prefix[i], full[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEmitEdgesValidation covers the streaming entry points' validation,
+// including the multi-class restriction EmitEdges shares with Sample.
+func TestEmitEdgesValidation(t *testing.T) {
+	yield := func(u, v int32) bool { return true }
+	r := rng.New(1)
+	if err := (OnOff{P: 1.5}).EmitEdges(r, 10, yield); err == nil {
+		t.Error("invalid OnOff: want error")
+	}
+	if err := (AlwaysOn{}).EmitEdges(r, -1, yield); err == nil {
+		t.Error("negative n: want error")
+	}
+	if err := (Disk{Radius: -1}).EmitEdges(r, 10, yield); err == nil {
+		t.Error("invalid Disk: want error")
+	}
+	multi := UniformHeterOnOff(2, 0.5)
+	if err := multi.EmitEdges(r, 10, yield); err == nil {
+		t.Error("multi-class EmitEdges without labels: want error")
+	}
+	if err := multi.EmitClassEdges(r, 10, make([]uint8, 3), yield); err == nil {
+		t.Error("label/count mismatch: want error")
+	}
+	if err := multi.EmitClassEdges(r, 4, []uint8{0, 1, 2, 0}, yield); err == nil {
+		t.Error("label beyond class count: want error")
+	}
+}

@@ -174,6 +174,13 @@ func (s CrossSpec) pointDeployment(pt GridPoint) (wsn.Config, int, error) {
 // wsn.DeployerPool, and tests connectivity at the point's level — so the
 // sweep composes with PointWorkers sharding, parameter-derived seeds, and
 // the allocation-free trial loop like every SweepProportion workload.
+//
+// Points whose resolved level is k = 1 are union-find-answerable and
+// auto-select the streaming fast path (wsn.Deployer.DeployConnectivityRand:
+// no CSR, early exit on the connected plateau); k ≥ 2 points deploy full
+// networks and run the exact k-connectivity decision. The verdicts are
+// identical either way, so mixed-level sweeps (e.g. a BindK grid with
+// levels {1, 2, 3}) stay bit-for-bit reproducible.
 func CrossSweep(ctx context.Context, grid Grid, cfg SweepConfig, spec CrossSpec) ([]ProportionResult, error) {
 	if err := spec.Validate(grid); err != nil {
 		return nil, err
@@ -187,6 +194,22 @@ func CrossSweep(ctx context.Context, grid Grid, cfg SweepConfig, spec CrossSpec)
 			dp, err := wsn.NewDeployerPool(deployCfg)
 			if err != nil {
 				return nil, err
+			}
+			if k == 1 {
+				n := deployCfg.Sensors
+				return func(trial int, r *rng.Rand) (bool, error) {
+					d := dp.Get()
+					defer dp.Put(d)
+					st, err := d.DeployConnectivityRand(r)
+					if err != nil {
+						return false, err
+					}
+					// IsKConnected(1) is false for n ≤ 1 (a graph needs more
+					// than k vertices); ConnStats.Connected follows the
+					// IsConnected convention (n ≤ 1 connected). Preserve the
+					// k-connectivity convention exactly.
+					return st.Connected && n > 1, nil
+				}, nil
 			}
 			return func(trial int, r *rng.Rand) (bool, error) {
 				d := dp.Get()

@@ -1,0 +1,158 @@
+package experiment
+
+// The streaming fast path: sweep entry points whose per-point measurements
+// are union-find-answerable — connectivity, giant-component fraction,
+// isolated fraction, component count — run their trials through
+// wsn.Deployer.DeployConnectivityRand, which streams the channel draw
+// straight into a StreamUnionFind and never builds a CSR graph. Verdicts are
+// bit-identical to the CSR path (same parameter-derived seeds, same booleans
+// and sizes per trial), so these are drop-in replacements for the
+// SweepProportion/SweepMeanVec idioms the cmds used before; measurements that
+// need the graph itself (k ≥ 2, spectral, positions) keep deploying CSR
+// networks.
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/secure-wsn/qcomposite/internal/montecarlo"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+	"github.com/secure-wsn/qcomposite/internal/wsn"
+)
+
+// SweepConnectivity estimates P[secure topology connected] at every grid
+// point on the streaming path: build returns the point's deployment (like
+// CrossSpec.Build), each trial streams one deployment into a union-find and
+// reports its Connected verdict. Seeding, sharding (PointWorkers) and result
+// order follow SweepProportion exactly, and the estimates are bit-identical
+// to a CSR IsConnected sweep with the same grid, config and build.
+func SweepConnectivity(ctx context.Context, grid Grid, cfg SweepConfig,
+	build func(pt GridPoint) (wsn.Config, error)) ([]ProportionResult, error) {
+	return SweepProportion(ctx, grid, cfg,
+		func(pt GridPoint) (montecarlo.Trial, error) {
+			dp, _, err := connectivityPool(pt, build)
+			if err != nil {
+				return nil, err
+			}
+			return func(trial int, r *rng.Rand) (bool, error) {
+				d := dp.Get()
+				defer dp.Put(d)
+				st, err := d.DeployConnectivityRand(r)
+				if err != nil {
+					return false, err
+				}
+				return st.Connected, nil
+			}, nil
+		})
+}
+
+// ConnStat selects one union-find-answerable statistic of a deployment for
+// SweepConnStats.
+type ConnStat uint8
+
+const (
+	// ConnStatConnected is the connectivity indicator (1 if connected).
+	ConnStatConnected ConnStat = iota + 1
+	// ConnStatGiantFraction is the largest-component size divided by n.
+	ConnStatGiantFraction
+	// ConnStatIsolatedFraction is the degree-0 sensor count divided by n.
+	ConnStatIsolatedFraction
+	// ConnStatComponents is the number of connected components.
+	ConnStatComponents
+)
+
+// String implements fmt.Stringer for validation errors and labels.
+func (s ConnStat) String() string {
+	switch s {
+	case ConnStatConnected:
+		return "connected"
+	case ConnStatGiantFraction:
+		return "giant fraction"
+	case ConnStatIsolatedFraction:
+		return "isolated fraction"
+	case ConnStatComponents:
+		return "components"
+	}
+	return fmt.Sprintf("ConnStat(%d)", uint8(s))
+}
+
+// value extracts the statistic from one trial's ConnStats.
+func (s ConnStat) value(st wsn.ConnStats, n int) float64 {
+	switch s {
+	case ConnStatConnected:
+		if st.Connected {
+			return 1
+		}
+		return 0
+	case ConnStatGiantFraction:
+		if n == 0 {
+			return 0
+		}
+		return float64(st.Giant) / float64(n)
+	case ConnStatIsolatedFraction:
+		if n == 0 {
+			return 0
+		}
+		return float64(st.Isolated) / float64(n)
+	case ConnStatComponents:
+		return float64(st.Components)
+	}
+	return 0
+}
+
+// SweepConnStats estimates several union-find-answerable statistics per grid
+// point from one set of streamed deployments — the streaming counterpart of
+// the SweepMeanVec idiom "deploy once, measure giant and isolated fractions
+// on the same topology". Values[i] of each result summarises stats[i]. The
+// per-trial observations equal the CSR path's (LargestComponentSize/n,
+// degree-0 fraction, …) bit for bit, so summaries match a SweepMeanVec over
+// full deployments with the same grid, config and build.
+func SweepConnStats(ctx context.Context, grid Grid, cfg SweepConfig, stats []ConnStat,
+	build func(pt GridPoint) (wsn.Config, error)) ([]MeanVecResult, error) {
+	if len(stats) == 0 {
+		return nil, fmt.Errorf("experiment: connectivity-stats sweep needs at least one statistic")
+	}
+	for _, s := range stats {
+		switch s {
+		case ConnStatConnected, ConnStatGiantFraction, ConnStatIsolatedFraction, ConnStatComponents:
+		default:
+			return nil, fmt.Errorf("experiment: unknown connectivity statistic %v", s)
+		}
+	}
+	return SweepMeanVec(ctx, grid, cfg, len(stats),
+		func(pt GridPoint) (montecarlo.SampleVec, error) {
+			dp, n, err := connectivityPool(pt, build)
+			if err != nil {
+				return nil, err
+			}
+			return func(trial int, r *rng.Rand) ([]float64, error) {
+				d := dp.Get()
+				defer dp.Put(d)
+				st, err := d.DeployConnectivityRand(r)
+				if err != nil {
+					return nil, err
+				}
+				// Fresh slice per trial: trials of one point run across
+				// montecarlo workers concurrently.
+				vals := make([]float64, len(stats))
+				for i, s := range stats {
+					vals[i] = s.value(st, n)
+				}
+				return vals, nil
+			}, nil
+		})
+}
+
+// connectivityPool builds the deployment of one grid point and wraps it in a
+// DeployerPool for the point's trials, returning the sensor count alongside.
+func connectivityPool(pt GridPoint, build func(pt GridPoint) (wsn.Config, error)) (*wsn.DeployerPool, int, error) {
+	deployCfg, err := build(pt)
+	if err != nil {
+		return nil, 0, err
+	}
+	dp, err := wsn.NewDeployerPool(deployCfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return dp, deployCfg.Sensors, nil
+}

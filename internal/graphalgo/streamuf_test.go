@@ -1,0 +1,146 @@
+package graphalgo
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/secure-wsn/qcomposite/internal/graph"
+)
+
+// feedGraph pushes every edge of g into the sink after resetting it to g's
+// node count, returning how many pushes merged components.
+func feedGraph(s *StreamUnionFind, g *graph.Undirected) int {
+	s.Reset(g.N())
+	merges := 0
+	g.ForEachEdge(func(u, v int32) bool {
+		if s.Add(u, v) {
+			merges++
+		}
+		return true
+	})
+	return merges
+}
+
+// requireMatchesGraph asserts the sink's statistics equal the batch
+// measurements of the graph it was fed: component count, largest-component
+// size, degree-0 count, and the Report connectivity convention.
+func requireMatchesGraph(t *testing.T, s *StreamUnionFind, g *graph.Undirected) {
+	t.Helper()
+	_, comps := Components(g)
+	if got := s.Components(); got != comps {
+		t.Errorf("Components() = %d, want %d", got, comps)
+	}
+	if want := LargestComponentSize(g); s.GiantSize() != want {
+		t.Errorf("GiantSize() = %d, want %d", s.GiantSize(), want)
+	}
+	isolated := 0
+	if hist := g.DegreeHistogram(); len(hist) > 0 {
+		isolated = hist[0]
+	}
+	if got := s.IsolatedCount(); got != isolated {
+		t.Errorf("IsolatedCount() = %d, want %d", got, isolated)
+	}
+	if want := comps <= 1; s.Connected() != want || s.Done() != want {
+		t.Errorf("Connected()/Done() = %v/%v, want %v", s.Connected(), s.Done(), want)
+	}
+}
+
+// TestStreamUnionFindMatchesBatchMeasures feeds structured and random graphs
+// through the sink and compares every statistic against the batch algorithms.
+func TestStreamUnionFindMatchesBatchMeasures(t *testing.T) {
+	var s StreamUnionFind
+	graphs := map[string]*graph.Undirected{
+		"empty":      mustGraph(t, 0, nil),
+		"singleton":  mustGraph(t, 1, nil),
+		"two-lonely": mustGraph(t, 2, nil),
+		"path":       pathGraph(t, 12),
+		"cycle":      cycleGraph(t, 9),
+		"complete":   completeGraph(t, 8),
+		"two-comps": mustGraph(t, 7, []graph.Edge{
+			{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}, // node 5, 6 isolated
+		}),
+	}
+	r := rand.New(rand.NewSource(4))
+	for i, p := range []float64{0.01, 0.05, 0.2, 0.8} {
+		graphs["gnp-"+string(rune('a'+i))] = gnp(t, r, 60, p)
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			feedGraph(&s, g) // reused sink across subtests: Reset must clean up
+			requireMatchesGraph(t, &s, g)
+		})
+	}
+}
+
+// TestStreamUnionFindIncrementalInvariants drives one sink edge by edge and
+// checks the statistics stay consistent at every step, that duplicates and
+// self-loops are no-ops, and that Done flips exactly when one component
+// remains.
+func TestStreamUnionFindIncrementalInvariants(t *testing.T) {
+	var s StreamUnionFind
+	s.Reset(5)
+	if s.Components() != 5 || s.IsolatedCount() != 5 || s.GiantSize() != 1 || s.Done() {
+		t.Fatalf("fresh state: comps=%d isolated=%d giant=%d done=%v",
+			s.Components(), s.IsolatedCount(), s.GiantSize(), s.Done())
+	}
+	if s.Add(2, 2) {
+		t.Error("self-loop reported a merge")
+	}
+	if !s.Add(0, 1) {
+		t.Error("first edge did not merge")
+	}
+	if s.Add(1, 0) {
+		t.Error("duplicate edge reported a merge")
+	}
+	if s.Components() != 4 || s.IsolatedCount() != 3 || s.GiantSize() != 2 {
+		t.Fatalf("after {0,1}: comps=%d isolated=%d giant=%d",
+			s.Components(), s.IsolatedCount(), s.GiantSize())
+	}
+	s.Add(2, 3)
+	s.Add(0, 2) // merges {0,1} with {2,3}
+	if s.Components() != 2 || s.IsolatedCount() != 1 || s.GiantSize() != 4 || s.Done() {
+		t.Fatalf("after 3 merges: comps=%d isolated=%d giant=%d done=%v",
+			s.Components(), s.IsolatedCount(), s.GiantSize(), s.Done())
+	}
+	s.Add(4, 1)
+	if !s.Done() || !s.Connected() || s.GiantSize() != 5 || s.IsolatedCount() != 0 {
+		t.Fatalf("after spanning: comps=%d isolated=%d giant=%d done=%v",
+			s.Components(), s.IsolatedCount(), s.GiantSize(), s.Done())
+	}
+}
+
+// TestStreamUnionFindResetReuse pins the amortization contract: a sink that
+// just answered a large connected instance must come back clean for a small
+// disconnected one.
+func TestStreamUnionFindResetReuse(t *testing.T) {
+	var s StreamUnionFind
+	feedGraph(&s, completeGraph(t, 40))
+	if !s.Done() {
+		t.Fatal("K40 should be connected")
+	}
+	g := mustGraph(t, 6, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	feedGraph(&s, g)
+	requireMatchesGraph(t, &s, g)
+}
+
+// TestStreamUnionFindEdgeOrderIndependence shuffles the edge feed order; the
+// statistics are functions of the edge set, so every order must agree.
+func TestStreamUnionFindEdgeOrderIndependence(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	g := gnp(t, r, 50, 0.04)
+	edges := g.Edges()
+	var want StreamUnionFind
+	feedGraph(&want, g)
+	var s StreamUnionFind
+	for pass := 0; pass < 5; pass++ {
+		r.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+		s.Reset(g.N())
+		for _, e := range edges {
+			s.Add(e.U, e.V)
+		}
+		if s.Components() != want.Components() || s.GiantSize() != want.GiantSize() ||
+			s.IsolatedCount() != want.IsolatedCount() {
+			t.Fatalf("pass %d: stats depend on edge order", pass)
+		}
+	}
+}

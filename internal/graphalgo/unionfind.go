@@ -61,9 +61,18 @@ func (u *UnionFind) Find(x int32) int32 {
 // Union merges the sets containing x and y and reports whether a merge
 // happened (false if they were already in the same set).
 func (u *UnionFind) Union(x, y int32) bool {
+	_, merged := u.UnionRoot(x, y)
+	return merged
+}
+
+// UnionRoot merges the sets containing x and y and returns the surviving
+// root plus whether a merge happened. The root return lets callers that keep
+// per-set aggregates (e.g. StreamUnionFind's component sizes) update them
+// without a second Find.
+func (u *UnionFind) UnionRoot(x, y int32) (int32, bool) {
 	rx, ry := u.Find(x), u.Find(y)
 	if rx == ry {
-		return false
+		return rx, false
 	}
 	if u.rank[rx] < u.rank[ry] {
 		rx, ry = ry, rx
@@ -73,7 +82,7 @@ func (u *UnionFind) Union(x, y int32) bool {
 		u.rank[rx]++
 	}
 	u.count--
-	return true
+	return rx, true
 }
 
 // Connected reports whether x and y are in the same set.

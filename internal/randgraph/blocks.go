@@ -1,8 +1,6 @@
 package randgraph
 
 import (
-	"fmt"
-
 	"github.com/secure-wsn/qcomposite/internal/graph"
 	"github.com/secure-wsn/qcomposite/internal/rng"
 )
@@ -20,39 +18,12 @@ import (
 // probability p. Node IDs must be distinct; duplicates would produce
 // self-loops or parallel edges downstream.
 func AppendErdosRenyiSubset(r *rng.Rand, nodes []int32, p float64, dst []graph.Edge) ([]graph.Edge, error) {
-	if p < 0 || p > 1 {
-		return nil, fmt.Errorf("randgraph: edge probability %v outside [0,1]", p)
-	}
-	m := len(nodes)
-	if p == 0 || m < 2 {
-		return dst, nil
-	}
-	if p == 1 {
-		for u := 0; u < m; u++ {
-			for v := u + 1; v < m; v++ {
-				dst = append(dst, graph.Edge{U: nodes[u], V: nodes[v]})
-			}
-		}
-		return dst, nil
-	}
-	// Geometric skipping across the flattened upper triangle, as in
-	// ErdosRenyi, but emitting the subset's node IDs.
-	u, v := 0, 0 // v is advanced before use; position (0,1) is slot 0
-	for {
-		skip := r.Geometric(p) + 1
-		v += skip
-		for v >= m {
-			overflow := v - m
-			u++
-			v = u + 1 + overflow
-			if u >= m-1 {
-				break
-			}
-		}
-		if u >= m-1 || v >= m {
-			break
-		}
-		dst = append(dst, graph.Edge{U: nodes[u], V: nodes[v]})
+	err := AppendErdosRenyiSubsetStream(r, nodes, p, func(u, v int32) bool {
+		dst = append(dst, graph.Edge{U: u, V: v})
+		return true
+	})
+	if err != nil {
+		return nil, err
 	}
 	return dst, nil
 }
@@ -61,29 +32,12 @@ func AppendErdosRenyiSubset(r *rng.Rand, nodes []int32, p float64, dst []graph.E
 // every pair (a[i], b[j]) to dst and returns the extended slice. The two
 // sides must be disjoint; overlap would produce self-loops.
 func AppendErdosRenyiBipartite(r *rng.Rand, a, b []int32, p float64, dst []graph.Edge) ([]graph.Edge, error) {
-	if p < 0 || p > 1 {
-		return nil, fmt.Errorf("randgraph: edge probability %v outside [0,1]", p)
+	err := AppendErdosRenyiBipartiteStream(r, a, b, p, func(u, v int32) bool {
+		dst = append(dst, graph.Edge{U: u, V: v})
+		return true
+	})
+	if err != nil {
+		return nil, err
 	}
-	if p == 0 || len(a) == 0 || len(b) == 0 {
-		return dst, nil
-	}
-	if p == 1 {
-		for _, u := range a {
-			for _, v := range b {
-				dst = append(dst, graph.Edge{U: u, V: v})
-			}
-		}
-		return dst, nil
-	}
-	// Geometric skipping across the flattened |a|×|b| grid (slot = i·|b|+j).
-	cols := len(b)
-	slot := -1
-	total := len(a) * cols
-	for {
-		slot += r.Geometric(p) + 1
-		if slot >= total {
-			return dst, nil
-		}
-		dst = append(dst, graph.Edge{U: a[slot/cols], V: b[slot%cols]})
-	}
+	return dst, nil
 }

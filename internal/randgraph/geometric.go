@@ -44,13 +44,31 @@ func (sc *GeoScratch) Points() []GeometricPoint { return sc.pts }
 // edge wherever the (optionally toroidal) Euclidean distance is at most
 // radius. It consumes randomness exactly as Geometric does; positions are
 // available from sc.Points afterwards. A cell grid makes the expected cost
-// O(n + m).
+// O(n + m). It is the appending form of EmitGeometric.
 func (sc *GeoScratch) AppendGeometric(r *rng.Rand, n int, radius float64, opts GeometricOptions, dst []graph.Edge) ([]graph.Edge, error) {
+	err := sc.EmitGeometric(r, n, radius, opts, func(u, v int32) bool {
+		dst = append(dst, graph.Edge{U: u, V: v})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// EmitGeometric streams one random geometric graph draw edge by edge: all n
+// positions are drawn up front (randomness is consumed exactly as
+// AppendGeometric — the cell-grid walk itself spends no randomness), then the
+// 3×3 neighborhood walk passes each in-range pair directly to yield until it
+// returns false. On tiny toroidal grids aliased cells can yield a pair twice;
+// sinks must tolerate duplicates exactly as graph.FromEdges merges them (a
+// union-find is naturally idempotent).
+func (sc *GeoScratch) EmitGeometric(r *rng.Rand, n int, radius float64, opts GeometricOptions, yield func(u, v int32) bool) error {
 	if n < 0 {
-		return nil, fmt.Errorf("randgraph: negative node count %d", n)
+		return fmt.Errorf("randgraph: negative node count %d", n)
 	}
 	if radius < 0 {
-		return nil, fmt.Errorf("randgraph: negative radius %v", radius)
+		return fmt.Errorf("randgraph: negative radius %v", radius)
 	}
 	if cap(sc.pts) < n {
 		sc.pts = make([]GeometricPoint, n)
@@ -150,13 +168,15 @@ func (sc *GeoScratch) AppendGeometric(r *rng.Rand, n int, radius float64, opts G
 						continue
 					}
 					if dist2(p, pts[j]) <= r2 {
-						dst = append(dst, graph.Edge{U: int32(i), V: j})
+						if !yield(int32(i), j) {
+							return nil
+						}
 					}
 				}
 			}
 		}
 	}
-	return dst, nil
+	return nil
 }
 
 // growInt32 resizes buf to n entries (contents unspecified) reusing its

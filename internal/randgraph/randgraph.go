@@ -38,42 +38,14 @@ const maxCounterNodes = 8192
 // order and skipped geometrically, so the cost is O(n + E[m]) rather than
 // O(n²). Pass a reused buffer (e.g. a graph.Builder's EdgeScratch) to keep
 // Monte Carlo loops allocation-free; the draw consumes randomness exactly as
-// ErdosRenyi does.
+// ErdosRenyi does. It is the appending form of AppendErdosRenyiStream.
 func AppendErdosRenyi(r *rng.Rand, n int, p float64, dst []graph.Edge) ([]graph.Edge, error) {
-	if n < 0 {
-		return nil, fmt.Errorf("randgraph: negative node count %d", n)
-	}
-	if math.IsNaN(p) || p < 0 || p > 1 {
-		return nil, fmt.Errorf("randgraph: edge probability %v outside [0,1]", p)
-	}
-	if p == 0 || n < 2 {
-		return dst, nil
-	}
-	if p == 1 {
-		for u := 0; u < n; u++ {
-			for v := u + 1; v < n; v++ {
-				dst = append(dst, graph.Edge{U: int32(u), V: int32(v)})
-			}
-		}
-		return dst, nil
-	}
-	// Geometric skipping across the flattened upper triangle.
-	u, v := 0, 0 // v is advanced before use; position (0,1) is slot 0
-	for {
-		skip := r.Geometric(p) + 1
-		v += skip
-		for v >= n {
-			overflow := v - n
-			u++
-			v = u + 1 + overflow
-			if u >= n-1 {
-				break
-			}
-		}
-		if u >= n-1 || v >= n {
-			break
-		}
-		dst = append(dst, graph.Edge{U: int32(u), V: int32(v)})
+	err := AppendErdosRenyiStream(r, n, p, func(u, v int32) bool {
+		dst = append(dst, graph.Edge{U: u, V: v})
+		return true
+	})
+	if err != nil {
+		return nil, err
 	}
 	return dst, nil
 }

@@ -1,0 +1,147 @@
+package randgraph
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+// Streaming edge enumeration: push-style duals of the Append* samplers. Each
+// Emit/Stream function drives the exact same skip-distance walk as its
+// appending counterpart — randomness is consumed draw for draw, so at a fixed
+// generator state the yielded edge sequence equals the appended one — but
+// edges flow to a callback instead of a buffer, so a consumer (e.g. a
+// union-find connectivity trial) never materializes the edge list. When yield
+// returns false the enumeration stops immediately and the remaining skip
+// distances are NOT drawn; callers sharing a generator across draws must only
+// early-exit when nothing after the draw consumes that stream (per-trial
+// streams, as montecarlo hands out, satisfy this trivially).
+
+// AppendErdosRenyiStream streams one G(n, p) draw edge by edge: each of the
+// C(n,2) possible edges is present independently with probability p, pairs
+// are enumerated in lexicographic order and skipped geometrically, and every
+// present edge is passed to yield until it returns false. The name keeps the
+// Append* family prefix: it is AppendErdosRenyi with the append replaced by a
+// callback.
+func AppendErdosRenyiStream(r *rng.Rand, n int, p float64, yield func(u, v int32) bool) error {
+	if n < 0 {
+		return fmt.Errorf("randgraph: negative node count %d", n)
+	}
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return fmt.Errorf("randgraph: edge probability %v outside [0,1]", p)
+	}
+	if p == 0 || n < 2 {
+		return nil
+	}
+	if p == 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if !yield(int32(u), int32(v)) {
+					return nil
+				}
+			}
+		}
+		return nil
+	}
+	// Geometric skipping across the flattened upper triangle.
+	u, v := 0, 0 // v is advanced before use; position (0,1) is slot 0
+	for {
+		skip := r.Geometric(p) + 1
+		v += skip
+		for v >= n {
+			overflow := v - n
+			u++
+			v = u + 1 + overflow
+			if u >= n-1 {
+				break
+			}
+		}
+		if u >= n-1 || v >= n {
+			return nil
+		}
+		if !yield(int32(u), int32(v)) {
+			return nil
+		}
+	}
+}
+
+// AppendErdosRenyiSubsetStream streams G(|nodes|, p) drawn over the given
+// node IDs: every unordered pair of distinct entries of nodes is an edge
+// independently with probability p. Node IDs must be distinct. Randomness is
+// consumed exactly as AppendErdosRenyiSubset.
+func AppendErdosRenyiSubsetStream(r *rng.Rand, nodes []int32, p float64, yield func(u, v int32) bool) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("randgraph: edge probability %v outside [0,1]", p)
+	}
+	m := len(nodes)
+	if p == 0 || m < 2 {
+		return nil
+	}
+	if p == 1 {
+		for u := 0; u < m; u++ {
+			for v := u + 1; v < m; v++ {
+				if !yield(nodes[u], nodes[v]) {
+					return nil
+				}
+			}
+		}
+		return nil
+	}
+	// Geometric skipping across the flattened upper triangle, emitting the
+	// subset's node IDs.
+	u, v := 0, 0 // v is advanced before use; position (0,1) is slot 0
+	for {
+		skip := r.Geometric(p) + 1
+		v += skip
+		for v >= m {
+			overflow := v - m
+			u++
+			v = u + 1 + overflow
+			if u >= m-1 {
+				break
+			}
+		}
+		if u >= m-1 || v >= m {
+			return nil
+		}
+		if !yield(nodes[u], nodes[v]) {
+			return nil
+		}
+	}
+}
+
+// AppendErdosRenyiBipartiteStream streams independent Bernoulli(p) edges
+// between every pair (a[i], b[j]). The two sides must be disjoint.
+// Randomness is consumed exactly as AppendErdosRenyiBipartite.
+func AppendErdosRenyiBipartiteStream(r *rng.Rand, a, b []int32, p float64, yield func(u, v int32) bool) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("randgraph: edge probability %v outside [0,1]", p)
+	}
+	if p == 0 || len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	if p == 1 {
+		for _, u := range a {
+			for _, v := range b {
+				if !yield(u, v) {
+					return nil
+				}
+			}
+		}
+		return nil
+	}
+	// Geometric skipping across the flattened |a|×|b| grid (slot = i·|b|+j).
+	cols := len(b)
+	slot := -1
+	total := len(a) * cols
+	for {
+		slot += r.Geometric(p) + 1
+		if slot >= total {
+			return nil
+		}
+		if !yield(a[slot/cols], b[slot%cols]) {
+			return nil
+		}
+	}
+}

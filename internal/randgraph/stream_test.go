@@ -1,0 +1,211 @@
+package randgraph
+
+import (
+	"math"
+	"testing"
+
+	"github.com/secure-wsn/qcomposite/internal/graph"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+// collectStream drains a streaming enumerator into an edge slice.
+func collectStream(t *testing.T, emit func(yield func(u, v int32) bool) error) []graph.Edge {
+	t.Helper()
+	var edges []graph.Edge
+	if err := emit(func(u, v int32) bool {
+		edges = append(edges, graph.Edge{U: u, V: v})
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return edges
+}
+
+// requireSameEdges asserts two edge sequences are identical, order included —
+// the streaming duals must replay the appending walk exactly.
+func requireSameEdges(t *testing.T, want, got []graph.Edge) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%d edges, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("edge %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestErdosRenyiStreamMatchesAppend pins the draw-for-draw contract: at a
+// fixed generator state the streamed G(n, p) edge sequence equals the
+// appended one, and both walks leave the generator in the same state.
+func TestErdosRenyiStreamMatchesAppend(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 10, 47} {
+		for _, p := range []float64{0, 0.01, 0.3, 0.95, 1} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				ra, rs := rng.New(seed), rng.New(seed)
+				want, err := AppendErdosRenyi(ra, n, p, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := collectStream(t, func(yield func(u, v int32) bool) error {
+					return AppendErdosRenyiStream(rs, n, p, yield)
+				})
+				requireSameEdges(t, want, got)
+				if a, s := ra.Uint64(), rs.Uint64(); a != s {
+					t.Fatalf("n=%d p=%v seed=%d: generators diverged after the draw", n, p, seed)
+				}
+			}
+		}
+	}
+}
+
+// TestErdosRenyiSubsetStreamMatchesAppend covers the subset-block dual used
+// by within-class draws.
+func TestErdosRenyiSubsetStreamMatchesAppend(t *testing.T) {
+	nodes := []int32{3, 7, 8, 11, 20, 21, 35, 40}
+	for _, p := range []float64{0, 0.1, 0.5, 1} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			ra, rs := rng.New(seed), rng.New(seed)
+			want, err := AppendErdosRenyiSubset(ra, nodes, p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := collectStream(t, func(yield func(u, v int32) bool) error {
+				return AppendErdosRenyiSubsetStream(rs, nodes, p, yield)
+			})
+			requireSameEdges(t, want, got)
+			if a, s := ra.Uint64(), rs.Uint64(); a != s {
+				t.Fatalf("p=%v seed=%d: generators diverged after the draw", p, seed)
+			}
+		}
+	}
+}
+
+// TestErdosRenyiBipartiteStreamMatchesAppend covers the cross-class block
+// dual.
+func TestErdosRenyiBipartiteStreamMatchesAppend(t *testing.T) {
+	a := []int32{0, 2, 4, 6, 9}
+	b := []int32{1, 3, 5, 7, 8, 10, 12}
+	for _, p := range []float64{0, 0.1, 0.5, 1} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			ra, rs := rng.New(seed), rng.New(seed)
+			want, err := AppendErdosRenyiBipartite(ra, a, b, p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := collectStream(t, func(yield func(u, v int32) bool) error {
+				return AppendErdosRenyiBipartiteStream(rs, a, b, p, yield)
+			})
+			requireSameEdges(t, want, got)
+			if av, sv := ra.Uint64(), rs.Uint64(); av != sv {
+				t.Fatalf("p=%v seed=%d: generators diverged after the draw", p, seed)
+			}
+		}
+	}
+}
+
+// TestStreamEarlyExitIsPrefix pins the early-exit semantics: stopping after m
+// edges yields exactly the first m edges of the full enumeration, for every
+// stream variant.
+func TestStreamEarlyExitIsPrefix(t *testing.T) {
+	const seed = 9
+	nodes := []int32{1, 4, 6, 9, 13, 17, 22, 30}
+	sideA := []int32{0, 2, 4, 6}
+	sideB := []int32{1, 3, 5, 7, 9}
+	variants := map[string]func(r *rng.Rand, yield func(u, v int32) bool) error{
+		"er": func(r *rng.Rand, yield func(u, v int32) bool) error {
+			return AppendErdosRenyiStream(r, 30, 0.3, yield)
+		},
+		"er-dense": func(r *rng.Rand, yield func(u, v int32) bool) error {
+			return AppendErdosRenyiStream(r, 12, 1, yield)
+		},
+		"subset": func(r *rng.Rand, yield func(u, v int32) bool) error {
+			return AppendErdosRenyiSubsetStream(r, nodes, 0.5, yield)
+		},
+		"bipartite": func(r *rng.Rand, yield func(u, v int32) bool) error {
+			return AppendErdosRenyiBipartiteStream(r, sideA, sideB, 0.5, yield)
+		},
+	}
+	for name, emit := range variants {
+		t.Run(name, func(t *testing.T) {
+			full := collectStream(t, func(yield func(u, v int32) bool) error {
+				return emit(rng.New(seed), yield)
+			})
+			if len(full) < 3 {
+				t.Fatalf("test draw too sparse: %d edges", len(full))
+			}
+			for stop := 0; stop <= len(full); stop++ {
+				var prefix []graph.Edge
+				err := emit(rng.New(seed), func(u, v int32) bool {
+					prefix = append(prefix, graph.Edge{U: u, V: v})
+					return len(prefix) < stop
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantLen := stop
+				if stop == 0 {
+					wantLen = 1 // yield runs once before its verdict is read
+				}
+				if wantLen > len(full) {
+					wantLen = len(full)
+				}
+				requireSameEdges(t, full[:wantLen], prefix)
+			}
+		})
+	}
+}
+
+// TestEmitGeometricMatchesAppend pins the geometric dual: the emitted pair
+// sequence equals AppendGeometric's, including on the tiny toroidal grids
+// where the 3×3 cell walk can revisit a pair.
+func TestEmitGeometricMatchesAppend(t *testing.T) {
+	cases := []struct {
+		name   string
+		n      int
+		radius float64
+		opts   GeometricOptions
+	}{
+		{"plane", 60, 0.2, GeometricOptions{}},
+		{"torus", 60, 0.2, GeometricOptions{Torus: true}},
+		{"tiny-torus", 8, 0.45, GeometricOptions{Torus: true}},
+		{"zero-radius", 30, 0, GeometricOptions{}},
+		{"empty", 0, 0.3, GeometricOptions{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 3; seed++ {
+				var sa, ss GeoScratch
+				want, err := sa.AppendGeometric(rng.New(seed), tc.n, tc.radius, tc.opts, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := collectStream(t, func(yield func(u, v int32) bool) error {
+					return ss.EmitGeometric(rng.New(seed), tc.n, tc.radius, tc.opts, yield)
+				})
+				requireSameEdges(t, want, got)
+			}
+		})
+	}
+}
+
+// TestStreamValidation mirrors the appending validation on the streaming
+// entry points.
+func TestStreamValidation(t *testing.T) {
+	yield := func(u, v int32) bool { return true }
+	r := rng.New(1)
+	if err := AppendErdosRenyiStream(r, -1, 0.5, yield); err == nil {
+		t.Error("negative n: want error")
+	}
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		if err := AppendErdosRenyiStream(r, 10, p, yield); err == nil {
+			t.Errorf("p=%v: want error", p)
+		}
+	}
+	if err := AppendErdosRenyiSubsetStream(r, []int32{1, 2}, -1, yield); err == nil {
+		t.Error("subset p=-1: want error")
+	}
+	if err := AppendErdosRenyiBipartiteStream(r, []int32{1}, []int32{2}, 2, yield); err == nil {
+		t.Error("bipartite p=2: want error")
+	}
+}

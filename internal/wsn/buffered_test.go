@@ -71,10 +71,13 @@ func TestBufferedDeploymentMatchesUnbuffered(t *testing.T) {
 }
 
 // TestConnectivityTrialAllocBudget is the alloc-budget regression gate on
-// the connectivity-only trial loop (the BenchmarkDeployPipeline hot path):
-// after warm-up, a reused Deployer must run deploy + IsConnected with ZERO
-// allocations per trial — rng.Reseed removed the last one, the per-Deploy
-// generator. The seed state ran this loop at ≈ 2,020 allocs per trial.
+// the connectivity trial loops (the BenchmarkDeployPipeline hot paths):
+// after warm-up, a reused Deployer must answer connectivity with ZERO
+// allocations per trial — on the CSR path (deploy + IsConnected; rng.Reseed
+// removed its last allocation, the per-Deploy generator; the seed state ran
+// it at ≈ 2,020 allocs per trial) and on the streaming path
+// (DeployConnectivity, whose persistent yield closure keeps the
+// EdgeEmitter interface crossing allocation-free).
 func TestConnectivityTrialAllocBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("alloc gate needs the full n=1000 deployment")
@@ -88,21 +91,33 @@ func TestConnectivityTrialAllocBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	seed := uint64(0)
-	trial := func() {
-		seed++
-		net, err := d.Deploy(seed)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if _, err := net.IsConnected(); err != nil {
-			t.Fatal(err)
-		}
+	trials := map[string]func(){
+		"csr": func() {
+			seed++
+			net, err := d.Deploy(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := net.IsConnected(); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"streaming": func() {
+			seed++
+			if _, err := d.DeployConnectivity(seed); err != nil {
+				t.Fatal(err)
+			}
+		},
 	}
-	// Warm up so every amortized buffer has grown to its working size.
-	for i := 0; i < 8; i++ {
-		trial()
-	}
-	if avg := testing.AllocsPerRun(20, trial); avg != 0 {
-		t.Errorf("connectivity-only trial allocates %.1f allocs/run, want 0", avg)
+	for name, trial := range trials {
+		t.Run(name, func(t *testing.T) {
+			// Warm up so every amortized buffer has grown to its working size.
+			for i := 0; i < 8; i++ {
+				trial()
+			}
+			if avg := testing.AllocsPerRun(20, trial); avg != 0 {
+				t.Errorf("%s connectivity trial allocates %.1f allocs/run, want 0", name, avg)
+			}
+		})
 	}
 }

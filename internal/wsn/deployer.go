@@ -87,6 +87,14 @@ type Deployer struct {
 	// Sparse per-row counting (larger n).
 	rowCnt     []uint8 // shared-key count of the current row's pairs
 	rowTouched []int32 // peers of the current row with a nonzero count
+
+	// Streaming connectivity-only mode (DeployConnectivity): the union-find
+	// sink and its persistent yield closure. The closure is created once and
+	// reused because it crosses the channel.EdgeEmitter interface boundary,
+	// where a per-call closure would escape and allocate every trial.
+	suf         graphalgo.StreamUnionFind
+	streamQ     int
+	streamYield func(u, v int32) bool
 }
 
 // NewDeployer validates the configuration (including the channel model's

@@ -1,0 +1,140 @@
+package wsn
+
+import (
+	"fmt"
+
+	"github.com/secure-wsn/qcomposite/internal/channel"
+	"github.com/secure-wsn/qcomposite/internal/graph"
+	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+// ConnStats are the union-find-answerable statistics of one deployment's
+// secure topology, as computed by the streaming connectivity-only mode. The
+// values match the CSR path bit for bit: Connected equals
+// Network.IsConnected on a fresh deployment, Components and Giant equal
+// graphalgo.Components / LargestComponentSize on FullSecureTopology, and
+// Isolated equals its degree-0 count.
+type ConnStats struct {
+	// Connected reports whether the secure topology is one component
+	// (n ≤ 1 counts as connected, the Report convention).
+	Connected bool
+	// Components is the number of connected components.
+	Components int
+	// Giant is the size of the largest component (0 when n = 0).
+	Giant int
+	// Isolated is the number of degree-0 sensors.
+	Isolated int
+}
+
+// DeployConnectivity runs a deployment in connectivity-only mode from the
+// given seed: key rings are assigned exactly as Deploy, but the channel draw
+// is streamed edge by edge through the ring intersector into a union-find —
+// no channel CSR, no secure CSR, no edge list, no link keys — so memory
+// stays O(n + ΣK) however dense the channel is. The emitter is stopped as
+// soon as one component remains (the verdict of every further edge is
+// determined), which on the connected plateau skips most of each draw.
+//
+// Determinism: rings and channel randomness are drawn exactly as Deploy up
+// to the early exit, and the reported statistics are order-independent
+// functions of the secure edge set, so DeployConnectivity(seed) agrees with
+// the statistics of Deploy(seed) for every channel model. Because the early
+// exit leaves the remainder of the channel draw unconsumed, a generator
+// handed to DeployConnectivityRand must not be used for anything afterwards
+// within the same trial (per-trial streams, as montecarlo provides, satisfy
+// this).
+func (d *Deployer) DeployConnectivity(seed uint64) (ConnStats, error) {
+	d.rand.Reseed(seed)
+	return d.deployConnectivity(&d.rand)
+}
+
+// DeployConnectivityRand is DeployConnectivity drawing all randomness from r
+// — the entry point for Monte Carlo trials handed a per-trial stream.
+func (d *Deployer) DeployConnectivityRand(r *rng.Rand) (ConnStats, error) {
+	return d.deployConnectivity(r)
+}
+
+func (d *Deployer) deployConnectivity(r *rng.Rand) (ConnStats, error) {
+	n := d.cfg.Sensors
+
+	// 1. Key predistribution, identical to deploy: same arena, same draws.
+	var asg keys.Assignment
+	var err error
+	if aa, ok := d.cfg.Scheme.(keys.ArenaAssigner); ok {
+		asg, err = aa.AssignInto(r, n, &d.arena)
+	} else {
+		asg, err = d.cfg.Scheme.Assign(r, n)
+	}
+	if err != nil {
+		return ConnStats{}, fmt.Errorf("wsn: deploy connectivity: %w", err)
+	}
+
+	// 2. Discovery state: the exact per-edge intersection predicate (the
+	// same keys.Intersector the per-edge CSR strategy uses) and the
+	// union-find sink.
+	if d.ix == nil {
+		ix, err := keys.NewIntersector(d.cfg.Scheme.PoolSize())
+		if err != nil {
+			return ConnStats{}, fmt.Errorf("wsn: deploy connectivity: %w", err)
+		}
+		d.ix = ix
+	}
+	if err := d.ix.Reset(asg.Rings); err != nil {
+		return ConnStats{}, fmt.Errorf("wsn: deploy connectivity: %w", err)
+	}
+	d.streamQ = d.cfg.Scheme.RequiredOverlap()
+	d.suf.Reset(n)
+	if d.streamYield == nil {
+		// One persistent closure: yield crosses the EdgeEmitter interface
+		// boundary, where escape analysis would heap-allocate a fresh
+		// closure per call; capturing only the receiver keeps the trial
+		// loop at zero allocations.
+		d.streamYield = func(u, v int32) bool {
+			if d.ix.HasAtLeast(u, v, d.streamQ) {
+				d.suf.Add(u, v)
+			}
+			return !d.suf.Done()
+		}
+	}
+
+	// 3. Stream the channel draw into the union-find. Class-aware models
+	// take priority exactly as in deploy, so a model that is class-aware AND
+	// a plain emitter streams with the deployment's labels, never without
+	// them. Models with no streaming support fall back to a sampled channel
+	// graph walked edge by edge — the secure side still never materializes.
+	if cem, ok := d.cfg.Channel.(channel.ClassEdgeEmitter); ok {
+		err = cem.EmitClassEdges(r, n, asg.Labels, d.streamYield)
+	} else if cm, ok := d.cfg.Channel.(channel.ClassModel); ok {
+		var g *graph.Undirected
+		if bcm, ok := d.cfg.Channel.(channel.BufferedClassModel); ok {
+			g, err = bcm.SampleClassesInto(r, n, asg.Labels, d.chanBld)
+		} else {
+			g, err = cm.SampleClasses(r, n, asg.Labels)
+		}
+		if err == nil {
+			g.ForEachEdge(d.streamYield)
+		}
+	} else if em, ok := d.cfg.Channel.(channel.EdgeEmitter); ok {
+		err = em.EmitEdges(r, n, d.streamYield)
+	} else {
+		var g *graph.Undirected
+		if bm, ok := d.cfg.Channel.(channel.BufferedModel); ok {
+			g, err = bm.SampleInto(r, n, d.chanBld)
+		} else {
+			g, err = d.cfg.Channel.Sample(r, n)
+		}
+		if err == nil {
+			g.ForEachEdge(d.streamYield)
+		}
+	}
+	if err != nil {
+		return ConnStats{}, fmt.Errorf("wsn: deploy connectivity: %w", err)
+	}
+
+	return ConnStats{
+		Connected:  d.suf.Connected(),
+		Components: d.suf.Components(),
+		Giant:      d.suf.GiantSize(),
+		Isolated:   d.suf.IsolatedCount(),
+	}, nil
+}

@@ -1,0 +1,178 @@
+package wsn
+
+import (
+	"testing"
+
+	"github.com/secure-wsn/qcomposite/internal/channel"
+	"github.com/secure-wsn/qcomposite/internal/graph"
+	"github.com/secure-wsn/qcomposite/internal/graphalgo"
+	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+// bufferedOnlyChannel hides a model's EdgeEmitter methods while keeping the
+// buffered Sample path, forcing the connectivity-only mode onto its
+// SampleInto fallback.
+type bufferedOnlyChannel struct{ m channel.BufferedModel }
+
+func (b bufferedOnlyChannel) Name() string    { return b.m.Name() }
+func (b bufferedOnlyChannel) Validate() error { return b.m.Validate() }
+func (b bufferedOnlyChannel) Sample(r *rng.Rand, n int) (*graph.Undirected, error) {
+	return b.m.Sample(r, n)
+}
+func (b bufferedOnlyChannel) SampleInto(r *rng.Rand, n int, bld *graph.Builder) (*graph.Undirected, error) {
+	return b.m.SampleInto(r, n, bld)
+}
+
+// bufferedOnlyClassChannel is the class-aware analogue.
+type bufferedOnlyClassChannel struct{ m channel.BufferedClassModel }
+
+func (b bufferedOnlyClassChannel) Name() string    { return b.m.Name() }
+func (b bufferedOnlyClassChannel) Validate() error { return b.m.Validate() }
+func (b bufferedOnlyClassChannel) ClassCount() int { return b.m.ClassCount() }
+func (b bufferedOnlyClassChannel) Sample(r *rng.Rand, n int) (*graph.Undirected, error) {
+	return b.m.Sample(r, n)
+}
+func (b bufferedOnlyClassChannel) SampleClasses(r *rng.Rand, n int, labels []uint8) (*graph.Undirected, error) {
+	return b.m.SampleClasses(r, n, labels)
+}
+func (b bufferedOnlyClassChannel) SampleClassesInto(r *rng.Rand, n int, labels []uint8, bld *graph.Builder) (*graph.Undirected, error) {
+	return b.m.SampleClassesInto(r, n, labels, bld)
+}
+
+// connStatsOf computes a deployment's ConnStats the batch way: deploy the
+// full network and measure the CSR secure topology.
+func connStatsOf(t *testing.T, net *Network) ConnStats {
+	t.Helper()
+	topo := net.FullSecureTopology()
+	connected, err := net.IsConnected()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, comps := graphalgo.Components(topo)
+	isolated := 0
+	if hist := topo.DegreeHistogram(); len(hist) > 0 {
+		isolated = hist[0]
+	}
+	return ConnStats{
+		Connected:  connected,
+		Components: comps,
+		Giant:      graphalgo.LargestComponentSize(topo),
+		Isolated:   isolated,
+	}
+}
+
+// TestDeployConnectivityMatchesCSR is the central equivalence test of the
+// streaming pipeline (the PR's satellite 1): for every channel model, both
+// discovery regimes and several seeds, the connectivity-only mode must report
+// exactly the statistics a full CSR deployment measures — on the streaming
+// emitters AND on the sampled-graph fallbacks (emitter methods hidden).
+func TestDeployConnectivityMatchesCSR(t *testing.T) {
+	for name, cfg := range deployerConfigs(t) {
+		variants := map[string]Config{"streaming": cfg}
+		fallback := cfg
+		if cm, ok := cfg.Channel.(channel.BufferedClassModel); ok {
+			fallback.Channel = bufferedOnlyClassChannel{m: cm}
+		} else {
+			fallback.Channel = bufferedOnlyChannel{m: cfg.Channel.(channel.BufferedModel)}
+		}
+		variants["sampled-fallback"] = fallback
+		unbuf := cfg
+		if cm, ok := cfg.Channel.(channel.ClassModel); ok {
+			unbuf.Channel = unbufferedClassChannel{m: cm}
+		} else {
+			unbuf.Channel = unbufferedChannel{m: cfg.Channel}
+		}
+		variants["unbuffered-fallback"] = unbuf
+		for vname, vcfg := range variants {
+			t.Run(name+"/"+vname, func(t *testing.T) {
+				d, err := NewDeployer(vcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for seed := uint64(0); seed < 4; seed++ {
+					refCfg := cfg
+					refCfg.Seed = seed
+					net, err := Deploy(refCfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := connStatsOf(t, net)
+					got, err := d.DeployConnectivity(seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want {
+						t.Fatalf("seed %d: ConnStats %+v, want %+v", seed, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDeployConnectivityReuse pins reuse semantics on one Deployer: mixing
+// connectivity-only and full deployments across seeds must leak no state in
+// either direction.
+func TestDeployConnectivityReuse(t *testing.T) {
+	for name, cfg := range deployerConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			d, err := NewDeployer(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, err := d.DeployConnectivity(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Interleave a full deployment and a different seed, then replay.
+			if _, err := d.Deploy(2); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.DeployConnectivity(3); err != nil {
+				t.Fatal(err)
+			}
+			again, err := d.DeployConnectivity(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again != first {
+				t.Fatalf("replaying seed 1: %+v, want %+v", again, first)
+			}
+			// The interleaved full deployment must also stay untouched.
+			net, err := d.Deploy(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := connStatsOf(t, net); got != first {
+				t.Fatalf("full deployment after streaming: %+v, want %+v", got, first)
+			}
+		})
+	}
+}
+
+// TestDeployConnectivityTinyNetworks pins the conventions at degenerate
+// sizes: n = 0 and n = 1 count as connected (the Report convention), with
+// the singleton isolated.
+func TestDeployConnectivityTinyNetworks(t *testing.T) {
+	scheme, err := keys.NewQComposite(100, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, want := range map[int]ConnStats{
+		0: {Connected: true, Components: 0, Giant: 0, Isolated: 0},
+		1: {Connected: true, Components: 1, Giant: 1, Isolated: 1},
+	} {
+		d, err := NewDeployer(Config{Sensors: n, Scheme: scheme, Channel: channel.OnOff{P: 0.5}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.DeployConnectivity(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("n=%d: %+v, want %+v", n, got, want)
+		}
+	}
+}
