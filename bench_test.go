@@ -283,10 +283,11 @@ func BenchmarkDeployPipeline(b *testing.B) {
 	// instead of Θ(n²), and the union-find spans after roughly the
 	// (n/2)·ln n secure edges connectivity needs, so the early exit skips
 	// ~7/8 of every draw (the CSR path must intersect all of it, then build
-	// two CSR graphs and BFS). The CSR arm stops at n = 10⁵ (building
-	// 10⁶-node CSR graphs per iteration is the cost the streaming path exists
-	// to avoid); n = 10⁶ runs streaming-only and is the scale acceptance
-	// artifact.
+	// two CSR graphs and BFS). Each rung also runs the streaming degree mode
+	// (DeployDegreeStats at k = 2), the graph-free Lemma 8 trial. The CSR arm
+	// stops at n = 10⁵ (building 10⁶-node CSR graphs per iteration is the
+	// cost the streaming paths exist to avoid); n = 10⁶ runs graph-free only
+	// and is the scale acceptance artifact.
 	b.Run("ladder", func(b *testing.B) {
 		const (
 			ladderPool = 512
@@ -319,6 +320,30 @@ func BenchmarkDeployPipeline(b *testing.B) {
 					}
 				}
 				b.ReportMetric(float64(connected)/float64(b.N), "connected/op")
+			})
+			b.Run(fmt.Sprintf("n=%d/mindegree", n), func(b *testing.B) {
+				// The streaming degree mode: the same graph-free pass with the
+				// degree accumulator riding beside the union-find, answering
+				// P[min degree ≥ 2] (the Lemma 8 statistic) at the same scale.
+				// Its early exit needs every node at degree k, not just one
+				// component, so it reads slightly more of each draw.
+				d, err := wsn.NewDeployer(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				atLeast := 0
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					st, err := d.DeployDegreeStats(uint64(i), 2)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if st.MinDegreeAtLeastK {
+						atLeast++
+					}
+				}
+				b.ReportMetric(float64(atLeast)/float64(b.N), "mindeg2/op")
 			})
 			if n > 100_000 {
 				continue

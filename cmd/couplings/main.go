@@ -10,14 +10,17 @@
 //
 //	P[G(n, z_n) k-conn] − o(1) ≤ P[G_{n,q} k-conn] ≤ P[min degree ≥ k]
 //
-// The model-side probabilities run as one experiment.SweepMeanVec over the
-// ring-size grid: every trial deploys one network through a reusable
-// wsn.DeployerPool and measures BOTH properties on that topology, so the
-// upper-bound half of the sandwich holds sample by sample by construction.
-// The Erdős–Rényi lower bound is an independent SweepProportion on the same
-// grid (its own seed sub-stream, so the two estimates really are
-// independent), and everything pivots into one table via
-// experiment.PivotSweep.
+// The model side runs two seed-paired sweeps over the ring-size grid: a CSR
+// SweepProportion for k-connectivity (which needs the graph) and a streaming
+// experiment.SweepMinDegree for the upper bound (graph-free: the channel draw
+// feeds the degree accumulator directly). Because sweep seeds are derived
+// from the grid point and config — not from execution order — equal cfg and
+// grid make trial t of both sweeps deploy the IDENTICAL topology, so the
+// sample-by-sample ordering (k-connected ⇒ min degree ≥ k) still holds by
+// construction; the per-point success counts are checked at runtime. The
+// Erdős–Rényi lower bound is an independent SweepProportion on the same grid
+// (its own seed sub-stream, so the two estimates really are independent),
+// and everything pivots into one table via experiment.PivotSweep.
 package main
 
 import (
@@ -101,52 +104,55 @@ func run() error {
 		couplingOf[ring] = row
 	}
 
-	// (b) The k-connectivity sandwich. The model side measures both the
-	// k-connectivity and the min-degree property on ONE deployment per trial;
-	// the ER lower bound is an independent sweep on the same grid and seeds.
+	// (b) The k-connectivity sandwich. Seeds are parameter-derived, so running
+	// the CSR k-connectivity sweep and the streaming min-degree sweep with the
+	// same grid and cfg deploys the identical topology in trial t of both —
+	// the pairing the legacy one-deployment-two-statistics trial provided,
+	// now with the min-degree half graph-free. The ER lower bound is an
+	// independent sweep on the same grid and seeds.
 	grid := experiment.Grid{Ks: rings, Qs: []int{*q}, Ps: []float64{*pOn}}
 	cfg := experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed}
 	ctx := context.Background()
 	start := time.Now()
-	model, err := experiment.SweepMeanVec(ctx, grid, cfg, 2,
-		func(pt experiment.GridPoint) (montecarlo.SampleVec, error) {
-			scheme, err := keys.NewQComposite(*pool, pt.K, pt.Q)
+	build := func(pt experiment.GridPoint) (wsn.Config, error) {
+		scheme, err := keys.NewQComposite(*pool, pt.K, pt.Q)
+		if err != nil {
+			return wsn.Config{}, err
+		}
+		return wsn.Config{Sensors: *n, Scheme: scheme, Channel: channel.OnOff{P: pt.P}}, nil
+	}
+	kconn, err := experiment.SweepProportion(ctx, grid, cfg,
+		func(pt experiment.GridPoint) (montecarlo.Trial, error) {
+			deployCfg, err := build(pt)
 			if err != nil {
 				return nil, err
 			}
-			dp, err := wsn.NewDeployerPool(wsn.Config{
-				Sensors: *n,
-				Scheme:  scheme,
-				Channel: channel.OnOff{P: pt.P},
-			})
+			dp, err := wsn.NewDeployerPool(deployCfg)
 			if err != nil {
 				return nil, err
 			}
-			return func(trial int, r *rng.Rand) ([]float64, error) {
+			return func(trial int, r *rng.Rand) (bool, error) {
 				d := dp.Get()
 				defer dp.Put(d)
 				net, err := d.DeployRand(r)
 				if err != nil {
-					return nil, err
+					return false, err
 				}
-				out := []float64{0, 0}
-				kc, err := net.IsKConnected(*k)
-				if err != nil {
-					return nil, err
-				}
-				if kc {
-					out[0] = 1
-				}
-				if net.FullSecureTopology().MinDegree() >= *k {
-					out[1] = 1
-				} else if kc {
-					return nil, fmt.Errorf("K=%d trial %d: k-connected topology with min degree < k", pt.K, trial)
-				}
-				return out, nil
+				return net.IsKConnected(*k)
 			}, nil
 		})
 	if err != nil {
 		return err
+	}
+	minDeg, err := experiment.SweepMinDegree(ctx, grid, cfg, *k, build)
+	if err != nil {
+		return err
+	}
+	for i, res := range kconn {
+		if res.Value.Successes > minDeg[i].Value.Successes {
+			return fmt.Errorf("K=%d: %d k-connected trials but only %d with min degree >= k (seed pairing broken)",
+				res.Point.K, res.Value.Successes, minDeg[i].Value.Successes)
+		}
 	}
 	// The ER bound runs on its own sub-stream of the base seed: identical
 	// grid and cfg would otherwise replay the exact per-trial streams of the
@@ -175,13 +181,15 @@ func run() error {
 	ms := experiment.ProportionMeasurements(er, 0,
 		func(pt experiment.GridPoint) float64 { return float64(pt.K) },
 		func(experiment.GridPoint) string { return "P[ER(z) k-conn]" })
-	ms = append(ms, experiment.MeanVecMeasurements(model, 0, 0,
-		func(pt experiment.GridPoint) float64 { return float64(pt.K) }, "P[G_nq k-conn]")...)
-	ms = append(ms, experiment.MeanVecMeasurements(model, 1, 0,
-		func(pt experiment.GridPoint) float64 { return float64(pt.K) }, "P[minDeg>=k]")...)
+	ms = append(ms, experiment.ProportionMeasurements(kconn, 0,
+		func(pt experiment.GridPoint) float64 { return float64(pt.K) },
+		func(experiment.GridPoint) string { return "P[G_nq k-conn]" })...)
+	ms = append(ms, experiment.ProportionMeasurements(minDeg, 0,
+		func(pt experiment.GridPoint) float64 { return float64(pt.K) },
+		func(experiment.GridPoint) string { return "P[minDeg>=k]" })...)
 	for i, res := range er {
-		gEst := model[i].Values[0].Mean()
-		mdEst := model[i].Values[1].Mean()
+		gEst := kconn[i].Value.Estimate()
+		mdEst := minDeg[i].Value.Estimate()
 		ok := 0.0
 		if res.Value.Estimate() <= gEst+slack && gEst <= mdEst {
 			ok = 1
@@ -217,8 +225,9 @@ func run() error {
 	fmt.Println("\nReading: containment must hold in every sampled coupling; the ER lower")
 	fmt.Println("bound (with z_n strictly below t) and the min-degree upper bound must")
 	fmt.Println("bracket the model's k-connectivity probability — the skeleton of the proof.")
-	fmt.Println("(The upper half now holds sample by sample: both model statistics are")
-	fmt.Println("measured on one deployment per trial.)")
+	fmt.Println("(The upper half holds sample by sample: shared parameter-derived seeds")
+	fmt.Println("make trial t of both model sweeps deploy the identical topology, with the")
+	fmt.Println("min-degree half running graph-free through the streaming accumulator.)")
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

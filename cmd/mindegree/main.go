@@ -4,12 +4,20 @@
 // bounds the k-connectivity probability (minimum degree ≥ k is necessary
 // for k-connectivity — the upper-bound half of the paper's proof strategy).
 //
-// The sweep runs through experiment.SweepMeanVec over the ring-size grid
-// with per-point deterministic seeding; each trial deploys one network
-// through a reusable wsn.DeployerPool and measures BOTH properties on that
-// single topology, so the sample-by-sample ordering
-// (k-connected ⇒ min degree ≥ k) holds structurally, not just by seed
-// pairing.
+// Two modes share the flag surface and presentation:
+//
+//   - "stream" (default) runs experiment.SweepMinDegree: every trial streams
+//     its channel draw through the ring intersector into the degree
+//     accumulator — no CSR graph at any n — so the min-degree curve scales to
+//     n = 10^6 and beyond, limited by time rather than memory.
+//   - "csr" keeps the legacy joint sweep: each trial deploys one full network
+//     and measures BOTH min degree and k-connectivity on that topology, so
+//     the sample-by-sample ordering (k-connected ⇒ min degree ≥ k) is checked
+//     structurally, not just by seed pairing.
+//
+// Both modes seed per point deterministically, and at equal flags the stream
+// mode's min-degree curve is bit-identical to the csr mode's (the streaming
+// accumulator is pinned against FullSecureTopology().MinDegree()).
 package main
 
 import (
@@ -49,6 +57,7 @@ func run() error {
 		workers  = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
 		pWorkers = flag.Int("pointworkers", 0, "grid-point shards (0 = sequential points; results identical either way)")
 		seed     = flag.Uint64("seed", 1, "base RNG seed")
+		mode     = flag.String("mode", "stream", `"stream" (graph-free min-degree sweep) or "csr" (joint min-degree + k-connectivity cross-check)`)
 		csvPath  = flag.String("csv", "", "write series CSV to this path")
 	)
 	flag.Parse()
@@ -58,64 +67,85 @@ func run() error {
 		ks = append(ks, ring)
 	}
 
-	fmt.Printf("Lemma 8 validation: P[min degree ≥ %d] vs P[%d-connected] vs limit\n", *k, *k)
-	fmt.Printf("n=%d, P=%d, q=%d, p=%g, %d trials/point (both statistics from one deployment per trial)\n\n",
-		*n, *pool, *q, *pOn, *trials)
-
 	grid := experiment.Grid{Ks: ks, Qs: []int{*q}, Ps: []float64{*pOn}}
+	cfg := experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed}
 	ctx := context.Background()
+	xOf := func(pt experiment.GridPoint) float64 { return float64(pt.K) }
 	start := time.Now()
-	results, err := experiment.SweepMeanVec(ctx, grid,
-		experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed}, 2,
-		func(pt experiment.GridPoint) (montecarlo.SampleVec, error) {
-			scheme, err := keys.NewQComposite(*pool, pt.K, pt.Q)
-			if err != nil {
-				return nil, err
-			}
-			dp, err := wsn.NewDeployerPool(wsn.Config{
-				Sensors: *n,
-				Scheme:  scheme,
-				Channel: channel.OnOff{P: pt.P},
+
+	var ms []experiment.Measurement
+	switch *mode {
+	case "stream":
+		fmt.Printf("Lemma 8 validation (streaming): P[min degree ≥ %d] vs limit\n", *k)
+		fmt.Printf("n=%d, P=%d, q=%d, p=%g, %d trials/point (graph-free: degree accumulator, no CSR at any n)\n\n",
+			*n, *pool, *q, *pOn, *trials)
+		results, err := experiment.SweepMinDegree(ctx, grid, cfg, *k,
+			func(pt experiment.GridPoint) (wsn.Config, error) {
+				scheme, err := keys.NewQComposite(*pool, pt.K, pt.Q)
+				if err != nil {
+					return wsn.Config{}, err
+				}
+				return wsn.Config{Sensors: *n, Scheme: scheme, Channel: channel.OnOff{P: pt.P}}, nil
 			})
-			if err != nil {
-				return nil, err
-			}
-			return func(trial int, r *rng.Rand) ([]float64, error) {
-				d := dp.Get()
-				defer dp.Put(d)
-				net, err := d.DeployRand(r)
+		if err != nil {
+			return err
+		}
+		ms = experiment.ProportionMeasurements(results, 1.96, xOf,
+			func(experiment.GridPoint) string { return fmt.Sprintf("P[min degree >= %d]", *k) })
+	case "csr":
+		fmt.Printf("Lemma 8 validation: P[min degree ≥ %d] vs P[%d-connected] vs limit\n", *k, *k)
+		fmt.Printf("n=%d, P=%d, q=%d, p=%g, %d trials/point (both statistics from one deployment per trial)\n\n",
+			*n, *pool, *q, *pOn, *trials)
+		results, err := experiment.SweepMeanVec(ctx, grid, cfg, 2,
+			func(pt experiment.GridPoint) (montecarlo.SampleVec, error) {
+				scheme, err := keys.NewQComposite(*pool, pt.K, pt.Q)
 				if err != nil {
 					return nil, err
 				}
-				out := []float64{0, 0}
-				if net.FullSecureTopology().MinDegree() >= *k {
-					out[0] = 1
-				}
-				kc, err := net.IsKConnected(*k)
+				dp, err := wsn.NewDeployerPool(wsn.Config{
+					Sensors: *n,
+					Scheme:  scheme,
+					Channel: channel.OnOff{P: pt.P},
+				})
 				if err != nil {
 					return nil, err
 				}
-				if kc {
-					out[1] = 1
-					if out[0] == 0 {
-						return nil, fmt.Errorf("K=%d trial %d: k-connected topology with min degree < k", pt.K, trial)
+				return func(trial int, r *rng.Rand) ([]float64, error) {
+					d := dp.Get()
+					defer dp.Put(d)
+					net, err := d.DeployRand(r)
+					if err != nil {
+						return nil, err
 					}
-				}
-				return out, nil
-			}, nil
-		})
-	if err != nil {
-		return err
+					out := []float64{0, 0}
+					if net.FullSecureTopology().MinDegree() >= *k {
+						out[0] = 1
+					}
+					kc, err := net.IsKConnected(*k)
+					if err != nil {
+						return nil, err
+					}
+					if kc {
+						out[1] = 1
+						if out[0] == 0 {
+							return nil, fmt.Errorf("K=%d trial %d: k-connected topology with min degree < k", pt.K, trial)
+						}
+					}
+					return out, nil
+				}, nil
+			})
+		if err != nil {
+			return err
+		}
+		ms = experiment.MeanVecMeasurements(results, 0, 1.96, xOf,
+			fmt.Sprintf("P[min degree >= %d]", *k))
+		ms = append(ms, experiment.MeanVecMeasurements(results, 1, 1.96, xOf,
+			fmt.Sprintf("P[%d-connected]", *k))...)
+	default:
+		return fmt.Errorf("unknown -mode %q (want \"stream\" or \"csr\")", *mode)
 	}
 
-	// Pivot: one row per K, three curves — the two empirical proportions
-	// (± 1.96·stderr band) and the shared eq. (7)/(76) limit.
-	ms := experiment.MeanVecMeasurements(results, 0, 1.96,
-		func(pt experiment.GridPoint) float64 { return float64(pt.K) },
-		fmt.Sprintf("P[min degree >= %d]", *k))
-	ms = append(ms, experiment.MeanVecMeasurements(results, 1, 1.96,
-		func(pt experiment.GridPoint) float64 { return float64(pt.K) },
-		fmt.Sprintf("P[%d-connected]", *k))...)
+	// Limit overlay: one row per K, the shared eq. (7)/(76) limit.
 	for _, pt := range grid.Points() {
 		m := core.Model{N: *n, K: pt.K, P: *pool, Q: pt.Q, ChannelOn: pt.P}
 		want, err := m.TheoreticalMinDegProb(*k)
@@ -147,8 +177,13 @@ func run() error {
 		return err
 	}
 	fmt.Printf("\nelapsed: %v\n", time.Since(start).Round(time.Millisecond))
-	fmt.Printf("(every trial measures both properties on one deployed topology, so\n")
-	fmt.Printf(" P[k-connected] ≤ P[min degree ≥ k] holds sample by sample by construction)\n\n")
+	if *mode == "csr" {
+		fmt.Printf("(every trial measures both properties on one deployed topology, so\n")
+		fmt.Printf(" P[k-connected] ≤ P[min degree ≥ k] holds sample by sample by construction)\n\n")
+	} else {
+		fmt.Printf("(streaming mode: each trial feeds the channel draw straight into the degree\n")
+		fmt.Printf(" accumulator; run -mode=csr for the joint k-connectivity cross-check)\n\n")
+	}
 
 	if err := experiment.RenderChart(os.Stdout, presented.Series, experiment.ChartOptions{
 		Title:  fmt.Sprintf("Lemma 8: min degree vs %d-connectivity (n=%d)", *k, *n),

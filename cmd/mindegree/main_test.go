@@ -1,23 +1,19 @@
 package main
 
 import (
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
 
-// TestRunSmoke drives the Lemma 8 tool end to end on a small grid with
-// point sharding enabled: the paired min-degree/k-connectivity sweep, the
-// limit overlay, and the series CSV must work from the flag surface down.
-func TestRunSmoke(t *testing.T) {
-	csv := filepath.Join(t.TempDir(), "mindegree.csv")
-	os.Args = []string{"mindegree",
-		"-n", "60", "-pool", "300", "-q", "1", "-p", "0.9", "-k", "2",
-		"-kmin", "8", "-kmax", "12", "-kstep", "4",
-		"-trials", "10", "-workers", "2", "-pointworkers", "3",
-		"-csv", csv,
-	}
+// runWithArgs resets the flag surface, points stdout at /dev/null, and
+// drives run() with the given argv tail.
+func runWithArgs(t *testing.T, args ...string) error {
+	t.Helper()
+	flag.CommandLine = flag.NewFlagSet("mindegree", flag.ExitOnError)
+	os.Args = append([]string{"mindegree"}, args...)
 	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -26,15 +22,49 @@ func TestRunSmoke(t *testing.T) {
 	stdout := os.Stdout
 	os.Stdout = null
 	defer func() { os.Stdout = stdout }()
+	return run()
+}
 
-	if err := run(); err != nil {
-		t.Fatal(err)
+// TestRunSmoke drives the Lemma 8 tool end to end on a small grid with
+// point sharding enabled, in both modes: the streaming (graph-free)
+// min-degree sweep and the legacy csr joint min-degree/k-connectivity
+// sweep. In each mode the limit overlay and the series CSV must work from
+// the flag surface down.
+func TestRunSmoke(t *testing.T) {
+	for _, mode := range []string{"stream", "csr"} {
+		t.Run(mode, func(t *testing.T) {
+			csv := filepath.Join(t.TempDir(), "mindegree.csv")
+			err := runWithArgs(t,
+				"-mode", mode,
+				"-n", "60", "-pool", "300", "-q", "1", "-p", "0.9", "-k", "2",
+				"-kmin", "8", "-kmax", "12", "-kstep", "4",
+				"-trials", "10", "-workers", "2", "-pointworkers", "3",
+				"-csv", csv,
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := os.ReadFile(csv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(string(data), "limit (7)=(76)") {
+				t.Error("series csv missing the limit overlay curve")
+			}
+			if !strings.Contains(string(data), "P[min degree >= 2]") {
+				t.Error("series csv missing the min-degree curve")
+			}
+			if strings.Contains(string(data), "P[2-connected]") != (mode == "csr") {
+				t.Errorf("mode %s: k-connectivity curve presence wrong", mode)
+			}
+		})
 	}
-	data, err := os.ReadFile(csv)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(string(data), "limit (7)=(76)") {
-		t.Error("series csv missing the limit overlay curve")
+}
+
+// TestRunRejectsUnknownMode covers the mode validation.
+func TestRunRejectsUnknownMode(t *testing.T) {
+	err := runWithArgs(t, "-mode", "bogus", "-trials", "1")
+	if err == nil || !strings.Contains(err.Error(), "unknown -mode") {
+		t.Fatalf("err = %v, want unknown -mode", err)
 	}
 }

@@ -225,17 +225,27 @@ func (m HeterOnOff) sampleClasses(r *rng.Rand, n int, labels []uint8, b *graph.B
 	if b != nil {
 		edges = (*b.EdgeScratch())[:0]
 	}
-	var err error
+	// One skip kernel threads the whole class draw: block boundaries share
+	// buffered uniforms, so skip i consumes uniform i across ALL blocks —
+	// the alignment EmitClassEdges reproduces and the pinned topology
+	// fingerprints rely on.
+	var src rng.GeometricSource
+	src.Reset(r)
+	appendEdge := func(u, v int32) bool {
+		edges = append(edges, graph.Edge{U: u, V: v})
+		return true
+	}
 	for i := 0; i < classes; i++ {
-		if edges, err = randgraph.AppendErdosRenyiSubset(r, bucket(i), m.P[i][i], edges); err != nil {
+		if err := randgraph.EmitErdosRenyiSubset(&src, bucket(i), m.P[i][i], appendEdge); err != nil {
 			return nil, fmt.Errorf("channel: heterogeneous on/off: %w", err)
 		}
 		for j := i + 1; j < classes; j++ {
-			if edges, err = randgraph.AppendErdosRenyiBipartite(r, bucket(i), bucket(j), m.P[i][j], edges); err != nil {
+			if err := randgraph.EmitErdosRenyiBipartite(&src, bucket(i), bucket(j), m.P[i][j], appendEdge); err != nil {
 				return nil, fmt.Errorf("channel: heterogeneous on/off: %w", err)
 			}
 		}
 	}
+	var err error
 	var g *graph.Undirected
 	if b != nil {
 		*b.EdgeScratch() = edges

@@ -11,13 +11,15 @@ import (
 // EdgeEmitter is the streaming extension of Model: EmitEdges pushes one
 // channel draw edge by edge to yield instead of materializing a graph. It
 // must consume randomness exactly as Sample does, so at a fixed generator
-// state the yielded edge multiset equals the sampled graph's edge set (up to
-// the duplicates Sample's FromEdges would merge — sinks must be idempotent,
-// as a union-find is). When yield returns false the draw stops immediately
-// and the rest of its randomness is NOT consumed; callers must only
-// early-exit streams nothing else draws from (per-trial streams qualify).
-// wsn.Deployer's connectivity-only mode uses EmitEdges when the configured
-// model provides it.
+// state the yielded edge set equals the sampled graph's edge set. Every
+// built-in emitter yields each pair at most once, which the streaming
+// degree accumulator depends on; third-party emitters feeding
+// wsn.Deployer's degree mode must be duplicate-free too (a pure union-find
+// sink would tolerate duplicates, a degree count does not). When yield
+// returns false the draw stops immediately and the rest of its randomness
+// is NOT consumed; callers must only early-exit streams nothing else draws
+// from (per-trial streams qualify). wsn.Deployer's graph-free modes use
+// EmitEdges when the configured model provides it.
 type EdgeEmitter interface {
 	Model
 	// EmitEdges streams the channel draw on n nodes to yield.
@@ -99,10 +101,11 @@ func (m HeterOnOff) EmitEdges(r *rng.Rand, n int, yield func(u, v int32) bool) e
 var classScratchPool = sync.Pool{New: func() any { return new([]int32) }}
 
 // EmitClassEdges implements ClassEdgeEmitter: the per-class-pair Erdős–Rényi
-// blocks are streamed in the same fixed (i ≤ j) order as SampleClasses, each
-// through its AppendErdosRenyi*Stream dual, so randomness is consumed draw
-// for draw. A false from yield stops the current block and skips all
-// remaining blocks.
+// blocks are streamed in the same fixed (i ≤ j) order as SampleClasses,
+// through ONE skip kernel threaded across all blocks — block boundaries
+// share buffered uniforms exactly as SampleClasses does, so randomness is
+// consumed draw for draw. A false from yield stops the current block and
+// skips all remaining blocks.
 func (m HeterOnOff) EmitClassEdges(r *rng.Rand, n int, labels []uint8, yield func(u, v int32) bool) error {
 	if err := m.Validate(); err != nil {
 		return err
@@ -133,12 +136,14 @@ func (m HeterOnOff) EmitClassEdges(r *rng.Rand, n int, labels []uint8, yield fun
 		}
 		return true
 	}
+	var src rng.GeometricSource
+	src.Reset(r)
 	for i := 0; i < classes && !stopped; i++ {
-		if err := randgraph.AppendErdosRenyiSubsetStream(r, bucket(i), m.P[i][i], wrap); err != nil {
+		if err := randgraph.EmitErdosRenyiSubset(&src, bucket(i), m.P[i][i], wrap); err != nil {
 			return fmt.Errorf("channel: heterogeneous on/off: %w", err)
 		}
 		for j := i + 1; j < classes && !stopped; j++ {
-			if err := randgraph.AppendErdosRenyiBipartiteStream(r, bucket(i), bucket(j), m.P[i][j], wrap); err != nil {
+			if err := randgraph.EmitErdosRenyiBipartite(&src, bucket(i), bucket(j), m.P[i][j], wrap); err != nil {
 				return fmt.Errorf("channel: heterogeneous on/off: %w", err)
 			}
 		}

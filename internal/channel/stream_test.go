@@ -7,8 +7,7 @@ import (
 	"github.com/secure-wsn/qcomposite/internal/rng"
 )
 
-// emittedGraph drains an emitter into a merged CSR graph (union-find sinks
-// are idempotent, so duplicate pairs collapse exactly as FromEdges does).
+// emittedGraph drains an emitter into a merged CSR graph.
 func emittedGraph(t *testing.T, n int, emit func(yield func(u, v int32) bool) error) *graph.Undirected {
 	t.Helper()
 	var edges []graph.Edge
@@ -25,8 +24,68 @@ func emittedGraph(t *testing.T, n int, emit func(yield func(u, v int32) bool) er
 	return g
 }
 
+// TestEmitEdgesDuplicateFree pins the emitter half of the streaming-degree
+// contract: every built-in emitter yields each unordered pair at most once
+// (degree counting is not idempotent), including on the tiny toroidal disk
+// grids whose aliased neighbor cells used to produce duplicates.
+func TestEmitEdgesDuplicateFree(t *testing.T) {
+	models := []EdgeEmitter{
+		OnOff{P: 0.3},
+		AlwaysOn{},
+		Disk{Radius: 0.2},
+		Disk{Radius: 0.45, Torus: true}, // 2×2 toroidal grid
+		Disk{Radius: 0.6, Torus: true},  // 1×1 toroidal grid
+		HeterOnOff{P: [][]float64{{0.5}}},
+	}
+	for _, m := range models {
+		t.Run(m.Name(), func(t *testing.T) {
+			for seed := uint64(1); seed <= 4; seed++ {
+				const n = 40
+				seen := make(map[[2]int32]bool)
+				err := m.EmitEdges(rng.New(seed), n, func(u, v int32) bool {
+					if u == v {
+						t.Fatalf("seed %d: self-loop on %d", seed, u)
+					}
+					key := [2]int32{u, v}
+					if u > v {
+						key = [2]int32{v, u}
+					}
+					if seen[key] {
+						t.Fatalf("seed %d: pair {%d,%d} emitted twice", seed, u, v)
+					}
+					seen[key] = true
+					return true
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+	hetero := HeterOnOff{P: [][]float64{{0.9, 0.5}, {0.5, 0.7}}}
+	labels := make([]uint8, 50)
+	for i := range labels {
+		labels[i] = uint8(i % 2)
+	}
+	seen := make(map[[2]int32]bool)
+	err := hetero.EmitClassEdges(rng.New(3), len(labels), labels, func(u, v int32) bool {
+		key := [2]int32{u, v}
+		if u > v {
+			key = [2]int32{v, u}
+		}
+		if seen[key] {
+			t.Fatalf("class blocks: pair {%d,%d} emitted twice", u, v)
+		}
+		seen[key] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestEmitEdgesMatchesSample pins the EdgeEmitter contract for every model:
-// at a fixed seed the emitted edge multiset merges to exactly the sampled
+// at a fixed seed the emitted edge set merges to exactly the sampled
 // graph, and both draws consume the generator identically.
 func TestEmitEdgesMatchesSample(t *testing.T) {
 	models := []EdgeEmitter{
@@ -36,7 +95,7 @@ func TestEmitEdgesMatchesSample(t *testing.T) {
 		AlwaysOn{},
 		Disk{Radius: 0.2},
 		Disk{Radius: 0.3, Torus: true},
-		Disk{Radius: 0.6, Torus: true}, // tiny grid: duplicate pairs possible
+		Disk{Radius: 0.6, Torus: true}, // tiny grid: aliased cells, dedup path
 		Disk{Radius: 0},
 		HeterOnOff{P: [][]float64{{0.4}}},
 	}

@@ -16,6 +16,7 @@ package stattest
 import (
 	"context"
 	"fmt"
+	"math"
 	"testing"
 
 	"github.com/secure-wsn/qcomposite/internal/channel"
@@ -211,6 +212,86 @@ func TestFigure1InteriorChiSquareLargeBudget(t *testing.T) {
 	}
 	obs := figure1InteriorSweep(t, 4000, 31337)
 	rep, err := Compare(obs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Check(t)
+	if rep.DF != len(obs) {
+		t.Errorf("expected all %d interior points to feed the pooled χ², got DF = %d", len(obs), rep.DF)
+	}
+}
+
+// TestLargeNInteriorAgainstTheory is the nightly-scale gate: n = 10⁴
+// deployments — 33× the other connectivity checks — through the streaming
+// edge pipeline, at channel probabilities p_α = (ln n + α)/(n·s) chosen so
+// the scaling parameter α lands at −1, 0, +1 and the Theorem 1 limit
+// exp(−e^{−α}) sits deep in the transition interior (≈ 0.066, 0.368,
+// 0.692). At this n the finite-size gap to the asymptotic limit is well
+// under one standard error at 400 trials, so the per-point z gate tightens
+// from the default 4 to 3 — a sampler bias that hides inside the loose
+// small-n gates has to survive a 33× larger graph AND a tighter gate here.
+// Exercises the kernelized geometric sampler in its bulk-skip regime
+// (p ≈ 1.5×10⁻³, mean skip ≈ 645 slots). Skipped under -short; CI's plain
+// `go test ./...` runs it.
+func TestLargeNInteriorAgainstTheory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-n statistical validation skipped in -short mode")
+	}
+	const (
+		n      = 10_000
+		pool   = 512
+		ring   = 32
+		q      = 2
+		trials = 400
+	)
+	// s = P[two rings share ≥ q keys]: the key half of the edge probability,
+	// so p_α·s reproduces t_α = (ln n + α)/n exactly.
+	s, err := theory.EdgeProb(pool, ring, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ps []float64
+	for _, alpha := range []float64{-1, 0, 1} {
+		ps = append(ps, (math.Log(n)+alpha)/(float64(n)*s))
+	}
+	grid := experiment.Grid{Ks: []int{ring}, Qs: []int{q}, Ps: ps}
+	results, err := experiment.SweepConnectivity(context.Background(), grid,
+		experiment.SweepConfig{Trials: trials, Workers: 0, Seed: 20260807},
+		func(pt experiment.GridPoint) (wsn.Config, error) {
+			scheme, err := keys.NewQComposite(pool, pt.K, pt.Q)
+			if err != nil {
+				return wsn.Config{}, err
+			}
+			return wsn.Config{Sensors: n, Scheme: scheme, Channel: channel.OnOff{P: pt.P}}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obs []Observation
+	for _, res := range results {
+		pt := res.Point
+		tProb, err := theory.EdgeProb(pool, pt.K, pt.Q, pt.P)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alpha, err := theory.Alpha(n, tProb, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := theory.KConnProbLimit(alpha, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred < 0.05 || pred > 0.97 {
+			t.Fatalf("p=%g prediction %v is not transition-interior; re-derive the p_α schedule", pt.P, pred)
+		}
+		obs = append(obs, Observation{
+			Name:      fmt.Sprintf("large-n interior alpha=%+.0f", alpha),
+			Predicted: pred,
+			Observed:  res.Value,
+		})
+	}
+	rep, err := Compare(obs, Config{MaxAbsZ: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

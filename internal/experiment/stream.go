@@ -46,6 +46,37 @@ func SweepConnectivity(ctx context.Context, grid Grid, cfg SweepConfig,
 		})
 }
 
+// SweepMinDegree estimates P[secure min degree ≥ k] at every grid point on
+// the streaming path: each trial streams one deployment through the degree
+// accumulator (no CSR graph at any n) and reports the MinDegreeAtLeastK
+// verdict. This is the min-degree half of the paper's zero–one law, whose
+// limit equals the k-connectivity limit (eq. (7) = (76)). Seeding, sharding
+// and result order follow SweepProportion exactly, and the estimates are
+// bit-identical to a CSR FullSecureTopology().MinDegree() >= k sweep with
+// the same grid, config and build. k must be non-negative.
+func SweepMinDegree(ctx context.Context, grid Grid, cfg SweepConfig, k int,
+	build func(pt GridPoint) (wsn.Config, error)) ([]ProportionResult, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("experiment: min-degree sweep with negative k = %d", k)
+	}
+	return SweepProportion(ctx, grid, cfg,
+		func(pt GridPoint) (montecarlo.Trial, error) {
+			dp, _, err := connectivityPool(pt, build)
+			if err != nil {
+				return nil, err
+			}
+			return func(trial int, r *rng.Rand) (bool, error) {
+				d := dp.Get()
+				defer dp.Put(d)
+				st, err := d.DeployDegreeStatsRand(r, k)
+				if err != nil {
+					return false, err
+				}
+				return st.MinDegreeAtLeastK, nil
+			}, nil
+		})
+}
+
 // ConnStat selects one union-find-answerable statistic of a deployment for
 // SweepConnStats.
 type ConnStat uint8

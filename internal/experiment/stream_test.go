@@ -112,6 +112,56 @@ func TestSweepConnectivityMatchesCSRSweep(t *testing.T) {
 	}
 }
 
+// TestSweepMinDegreeMatchesCSRSweep pins the sweep-level half of the
+// streaming degree equivalence: SweepMinDegree must reproduce a CSR
+// MinDegree() >= k SweepProportion bit for bit — same points, same success
+// counts — at every PointWorkers sharding level and for several degree
+// levels. It also pins the coupling direction the paper's sandwich argument
+// uses: per point, k-connected implies min degree ≥ k, so under the shared
+// parameter-derived seeds (identical topologies trial for trial) the
+// success counts must be ordered.
+func TestSweepMinDegreeMatchesCSRSweep(t *testing.T) {
+	ctx := context.Background()
+	for _, k := range []int{1, 2} {
+		for _, pw := range pointWorkerCounts() {
+			cfg := streamTestCfg
+			cfg.PointWorkers = pw
+			want, err := SweepProportion(ctx, streamTestGrid, cfg,
+				func(pt GridPoint) (montecarlo.Trial, error) {
+					return csrTrial(pt, func(net *wsn.Network) (bool, error) {
+						return net.FullSecureTopology().MinDegree() >= k, nil
+					})
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := SweepMinDegree(ctx, streamTestGrid, cfg, k, streamTestBuild)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameProportions(t, fmt.Sprintf("k=%d PointWorkers=%d", k, pw), want, got)
+			kconn, err := SweepProportion(ctx, streamTestGrid, cfg,
+				func(pt GridPoint) (montecarlo.Trial, error) {
+					return csrTrial(pt, func(net *wsn.Network) (bool, error) {
+						return net.IsKConnected(k)
+					})
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if kconn[i].Value.Successes > got[i].Value.Successes {
+					t.Fatalf("k=%d point %+v: %d k-connected trials but only %d with min degree >= k",
+						k, got[i].Point, kconn[i].Value.Successes, got[i].Value.Successes)
+				}
+			}
+		}
+	}
+	if _, err := SweepMinDegree(ctx, streamTestGrid, streamTestCfg, -1, streamTestBuild); err == nil {
+		t.Error("negative k: want error")
+	}
+}
+
 // TestSweepConnStatsMatchesCSRSweep compares SweepConnStats against a CSR
 // SweepMeanVec measuring the same four statistics on full deployments: every
 // summary (count, mean, min, max) must agree exactly at every sharding

@@ -2,30 +2,37 @@ package keys
 
 import (
 	"fmt"
-
-	"github.com/secure-wsn/qcomposite/internal/bitset"
+	"math/bits"
 )
 
-// denseRingFactor selects the Intersector strategy: the bitset path scans
-// pool/64 words per query while the sorted merge scans up to 2·K elements, so
-// word-parallel intersection wins once pool ≤ denseRingFactor·K (i.e. the
-// word count drops below the merge length).
+// denseRingFactor selects the Intersector strategy: the flat-bitmap path
+// scans pool/64 words per query while the sorted merge scans up to 2·K
+// elements, so word-parallel intersection wins once pool ≤
+// denseRingFactor·K (i.e. the word count drops below the merge length).
 const denseRingFactor = 128
 
 // Intersector answers ring-intersection queries over a fixed set of rings
 // with a density-adaptive strategy: when rings are dense relative to the pool
-// (K ≥ pool/denseRingFactor) it indexes every ring as a pool-width bitset and
+// (K ≥ pool/denseRingFactor) it indexes every ring as a pool-width bitmap and
 // intersects word-parallel; otherwise it falls back to the sorted merge of
 // Ring.SharedCount/SharedWith. Both strategies are exact, so query results
 // are identical either way.
 //
-// An Intersector amortizes its bitsets across Reset calls, making it suitable
+// The dense index is one flat word arena — ring i occupies
+// flat[i·stride : (i+1)·stride] — rather than per-ring bitset objects: the
+// query pattern of streaming discovery (sequential u, random v) is
+// memory-latency-bound, and the flat layout costs one cache miss per ring
+// instead of the pointer-chase's two to three. At the streaming-ladder
+// design point (P = 512, stride = 8) each ring is exactly one cache line.
+//
+// An Intersector amortizes its arena across Reset calls, making it suitable
 // for repeated deployments. It is not safe for concurrent use.
 type Intersector struct {
-	pool  int
-	rings []Ring
-	dense bool
-	sets  []*bitset.Set
+	pool   int
+	rings  []Ring
+	dense  bool
+	stride int
+	flat   []uint64
 }
 
 // NewIntersector returns an Intersector over rings drawn from a pool of the
@@ -34,7 +41,7 @@ func NewIntersector(pool int) (*Intersector, error) {
 	if pool <= 0 {
 		return nil, fmt.Errorf("keys: intersector pool size %d must be positive", pool)
 	}
-	return &Intersector{pool: pool}, nil
+	return &Intersector{pool: pool, stride: (pool + 63) / 64}, nil
 }
 
 // Reset points the Intersector at a new set of rings (typically one
@@ -52,44 +59,66 @@ func (x *Intersector) Reset(rings []Ring) error {
 	if !x.dense {
 		return nil
 	}
-	for len(x.sets) < len(rings) {
-		x.sets = append(x.sets, bitset.New(x.pool))
+	need := x.stride * len(rings)
+	if cap(x.flat) < need {
+		x.flat = make([]uint64, need)
+	} else {
+		x.flat = x.flat[:need]
+		clear(x.flat)
 	}
 	for i, r := range rings {
-		s := x.sets[i]
-		s.Clear()
+		row := x.flat[i*x.stride : (i+1)*x.stride]
 		for _, k := range r.ids {
 			if int(k) < 0 || int(k) >= x.pool {
 				x.dense = false
 				return fmt.Errorf("keys: intersector: ring %d key %d outside pool [0,%d)", i, k, x.pool)
 			}
-			s.Add(int(k))
+			row[k/64] |= 1 << (uint(k) % 64)
 		}
 	}
 	return nil
 }
 
-// Dense reports whether the bitset strategy is active (exported for tests and
-// benchmarks; callers get identical answers either way).
+// Dense reports whether the flat-bitmap strategy is active (exported for
+// tests and benchmarks; callers get identical answers either way).
 func (x *Intersector) Dense() bool { return x.dense }
+
+// row returns ring i's words in the dense arena.
+func (x *Intersector) row(i int32) []uint64 {
+	return x.flat[int(i)*x.stride : (int(i)+1)*x.stride]
+}
 
 // SharedCount returns |ring(u) ∩ ring(v)| without allocating.
 func (x *Intersector) SharedCount(u, v int32) int {
 	if x.dense {
-		return x.sets[u].IntersectionCount(x.sets[v])
+		a, b := x.row(u), x.row(v)
+		c := 0
+		for i, w := range a {
+			c += bits.OnesCount64(w & b[i])
+		}
+		return c
 	}
 	return x.rings[u].SharedCount(x.rings[v])
 }
 
 // HasAtLeast reports whether rings u and v share at least q keys. It is the
-// hot predicate of shared-key discovery and short-circuits where the
+// hot predicate of shared-key discovery — every emitted channel edge of a
+// streaming deployment passes through here — and short-circuits where the
 // representation allows.
 func (x *Intersector) HasAtLeast(u, v int32, q int) bool {
 	if q <= 0 {
 		return true
 	}
 	if x.dense {
-		return x.sets[u].IntersectsAtLeast(x.sets[v], q)
+		a, b := x.row(u), x.row(v)
+		c := 0
+		for i, w := range a {
+			c += bits.OnesCount64(w & b[i])
+			if c >= q {
+				return true
+			}
+		}
+		return false
 	}
 	return x.rings[u].SharedAtLeast(x.rings[v], q)
 }
@@ -98,10 +127,15 @@ func (x *Intersector) HasAtLeast(u, v int32, q int) bool {
 // returns the extended slice.
 func (x *Intersector) AppendShared(u, v int32, dst []ID) []ID {
 	if x.dense {
-		x.sets[u].ForEachIntersection(x.sets[v], func(i int) bool {
-			dst = append(dst, ID(i))
-			return true
-		})
+		a, b := x.row(u), x.row(v)
+		for i, w := range a {
+			w &= b[i]
+			base := i * 64
+			for w != 0 {
+				dst = append(dst, ID(base+bits.TrailingZeros64(w)))
+				w &= w - 1
+			}
+		}
 		return dst
 	}
 	return x.rings[u].AppendShared(x.rings[v], dst)

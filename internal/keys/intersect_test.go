@@ -175,3 +175,47 @@ func FuzzNewRing(f *testing.F) {
 		}
 	})
 }
+
+// BenchmarkIntersectorHasAtLeast measures the hot predicate of streaming
+// discovery in its ladder configuration (P = 512, K = 32, q = 2: dense,
+// stride 8 — one cache line per ring) over n = 100000 rings, with the access
+// pattern the edge emitters produce: sequential u, uniform random v. This is
+// the latency-bound load the flat-arena layout exists for.
+func BenchmarkIntersectorHasAtLeast(b *testing.B) {
+	const (
+		pool = 512
+		ring = 32
+		q    = 2
+		n    = 100_000
+	)
+	s, err := NewQComposite(pool, ring, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	asg, err := s.Assign(rng.New(11), n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := NewIntersector(pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ix.Reset(asg.Rings); err != nil {
+		b.Fatal(err)
+	}
+	if !ix.Dense() {
+		b.Fatal("ladder configuration should select the dense strategy")
+	}
+	r := rng.New(12)
+	hits := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := int32(i % n)
+		v := int32(r.Uint64() % n)
+		if ix.HasAtLeast(u, v, q) {
+			hits++
+		}
+	}
+	b.ReportMetric(float64(hits)/float64(b.N), "hit/op")
+}

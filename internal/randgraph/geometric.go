@@ -30,9 +30,10 @@ type GeometricPoint struct {
 // concurrent use.
 type GeoScratch struct {
 	pts       []GeometricPoint
-	cellOf    []int32 // cell index per node
-	cellStart []int32 // CSR offsets into cellItems, one per cell (+1)
-	cellItems []int32 // node ids grouped by cell, ascending within a cell
+	uni       []float64 // batched position uniforms, 2 per node
+	cellOf    []int32   // cell index per node
+	cellStart []int32   // CSR offsets into cellItems, one per cell (+1)
+	cellItems []int32   // node ids grouped by cell, ascending within a cell
 }
 
 // Points returns the node positions of the most recent draw, valid until the
@@ -57,12 +58,13 @@ func (sc *GeoScratch) AppendGeometric(r *rng.Rand, n int, radius float64, opts G
 }
 
 // EmitGeometric streams one random geometric graph draw edge by edge: all n
-// positions are drawn up front (randomness is consumed exactly as
-// AppendGeometric — the cell-grid walk itself spends no randomness), then the
-// 3×3 neighborhood walk passes each in-range pair directly to yield until it
-// returns false. On tiny toroidal grids aliased cells can yield a pair twice;
-// sinks must tolerate duplicates exactly as graph.FromEdges merges them (a
-// union-find is naturally idempotent).
+// positions are drawn up front in one batched FillFloat64 (randomness is
+// consumed exactly as the per-coordinate draws were — X then Y per node in
+// index order; the cell-grid walk itself spends no randomness), then the
+// 3×3 neighborhood walk passes each in-range pair directly to yield until
+// it returns false. Every pair is yielded at most once: on tiny toroidal
+// grids, where wraparound aliases neighbor cells, the walk deduplicates the
+// candidate cells, so degree-counting sinks can consume the stream as-is.
 func (sc *GeoScratch) EmitGeometric(r *rng.Rand, n int, radius float64, opts GeometricOptions, yield func(u, v int32) bool) error {
 	if n < 0 {
 		return fmt.Errorf("randgraph: negative node count %d", n)
@@ -74,8 +76,13 @@ func (sc *GeoScratch) EmitGeometric(r *rng.Rand, n int, radius float64, opts Geo
 		sc.pts = make([]GeometricPoint, n)
 	}
 	sc.pts = sc.pts[:n]
+	if cap(sc.uni) < 2*n {
+		sc.uni = make([]float64, 2*n)
+	}
+	sc.uni = sc.uni[:2*n]
+	r.FillFloat64(sc.uni)
 	for i := range sc.pts {
-		sc.pts[i] = GeometricPoint{X: r.Float64(), Y: r.Float64()}
+		sc.pts[i] = GeometricPoint{X: sc.uni[2*i], Y: sc.uni[2*i+1]}
 	}
 	pts := sc.pts
 	r2 := radius * radius
@@ -148,21 +155,39 @@ func (sc *GeoScratch) EmitGeometric(r *rng.Rand, n int, radius float64, opts Geo
 		}
 		return dx*dx + dy*dy
 	}
+	// Grids of side ≥ 3 visit 9 distinct cells per node; smaller toroidal
+	// grids alias neighbor cells under wraparound, so the walk tracks the
+	// (at most 9) cells already visited to keep every candidate pair unique.
+	dedupCells := opts.Torus && cells < 3
+	var seen [9]int32
 	for i := 0; i < n; i++ {
 		p := pts[i]
 		cx, cy := cellOf(p)
+		nSeen := 0
 		for dy := -1; dy <= 1; dy++ {
 			for dx := -1; dx <= 1; dx++ {
 				nx, ny := cx+dx, cy+dy
 				if opts.Torus {
-					// Tiny grids alias cells under wraparound, producing
-					// duplicate candidate pairs; FromEdges merges them.
 					nx = ((nx % cells) + cells) % cells
 					ny = ((ny % cells) + cells) % cells
 				} else if nx < 0 || ny < 0 || nx >= cells || ny >= cells {
 					continue
 				}
 				c := ny*cells + nx
+				if dedupCells {
+					dup := false
+					for _, s := range seen[:nSeen] {
+						if s == int32(c) {
+							dup = true
+							break
+						}
+					}
+					if dup {
+						continue
+					}
+					seen[nSeen] = int32(c)
+					nSeen++
+				}
 				for _, j := range sc.cellItems[sc.cellStart[c]:sc.cellStart[c+1]] {
 					if int(j) <= i {
 						continue

@@ -7,24 +7,33 @@ import (
 	"github.com/secure-wsn/qcomposite/internal/rng"
 )
 
-// Streaming edge enumeration: push-style duals of the Append* samplers. Each
-// Emit/Stream function drives the exact same skip-distance walk as its
-// appending counterpart — randomness is consumed draw for draw, so at a fixed
-// generator state the yielded edge sequence equals the appended one — but
-// edges flow to a callback instead of a buffer, so a consumer (e.g. a
-// union-find connectivity trial) never materializes the edge list. When yield
-// returns false the enumeration stops immediately and the remaining skip
-// distances are NOT drawn; callers sharing a generator across draws must only
-// early-exit when nothing after the draw consumes that stream (per-trial
-// streams, as montecarlo hands out, satisfy this trivially).
+// Streaming edge enumeration: push-style duals of the Append* samplers,
+// running on the batched rng.GeometricSource skip kernel. Each Emit/Stream
+// function drives the exact same skip-distance walk as its appending
+// counterpart — skip i consumes uniform i, so at a fixed generator state the
+// yielded edge sequence equals the appended one — but edges flow to a
+// callback instead of a buffer, so a consumer (e.g. a union-find
+// connectivity trial) never materializes the edge list.
+//
+// Randomness discipline: the kernel refills its uniform buffer in batches,
+// so after any draw (early-exited or fully drained) the underlying generator
+// parks at the next batch boundary rather than at the last uniform used.
+// Both duals of every sampler share the kernel and therefore stay
+// state-identical to each other, but callers sharing a generator across a
+// draw and later consumers must treat the whole draw as one randomness
+// commitment (per-trial streams, as montecarlo hands out, satisfy this
+// trivially). When yield returns false the enumeration stops immediately and
+// no further skips are consumed from the buffer.
 
-// AppendErdosRenyiStream streams one G(n, p) draw edge by edge: each of the
-// C(n,2) possible edges is present independently with probability p, pairs
-// are enumerated in lexicographic order and skipped geometrically, and every
-// present edge is passed to yield until it returns false. The name keeps the
-// Append* family prefix: it is AppendErdosRenyi with the append replaced by a
-// callback.
-func AppendErdosRenyiStream(r *rng.Rand, n int, p float64, yield func(u, v int32) bool) error {
+// EmitErdosRenyi streams one G(n, p) draw edge by edge through the given
+// skip kernel: each of the C(n,2) possible edges is present independently
+// with probability p, pairs are enumerated in lexicographic order and
+// skipped geometrically, and every present edge is passed to yield until it
+// returns false. The source must be Reset to a generator; EmitErdosRenyi
+// retargets its p and shares buffered randomness with any preceding Emit*
+// call on the same source (the per-class-pair block sampler chains blocks
+// that way).
+func EmitErdosRenyi(src *rng.GeometricSource, n int, p float64, yield func(u, v int32) bool) error {
 	if n < 0 {
 		return fmt.Errorf("randgraph: negative node count %d", n)
 	}
@@ -44,11 +53,19 @@ func AppendErdosRenyiStream(r *rng.Rand, n int, p float64, yield func(u, v int32
 		}
 		return nil
 	}
-	// Geometric skipping across the flattened upper triangle.
+	src.SetP(p)
+	// Geometric skipping across the flattened upper triangle. Skips beyond
+	// the triangle end the walk regardless of magnitude, so capping them at
+	// the slot count keeps the arithmetic below overflow-free without
+	// changing any emitted edge (tiny p saturates Next at MaxInt).
+	maxSkip := n * (n - 1) / 2
 	u, v := 0, 0 // v is advanced before use; position (0,1) is slot 0
 	for {
-		skip := r.Geometric(p) + 1
-		v += skip
+		skip := src.Next()
+		if skip > maxSkip {
+			skip = maxSkip
+		}
+		v += skip + 1
 		for v >= n {
 			overflow := v - n
 			u++
@@ -66,11 +83,21 @@ func AppendErdosRenyiStream(r *rng.Rand, n int, p float64, yield func(u, v int32
 	}
 }
 
-// AppendErdosRenyiSubsetStream streams G(|nodes|, p) drawn over the given
-// node IDs: every unordered pair of distinct entries of nodes is an edge
-// independently with probability p. Node IDs must be distinct. Randomness is
-// consumed exactly as AppendErdosRenyiSubset.
-func AppendErdosRenyiSubsetStream(r *rng.Rand, nodes []int32, p float64, yield func(u, v int32) bool) error {
+// AppendErdosRenyiStream is EmitErdosRenyi on a private kernel over r: the
+// classic push-style dual of AppendErdosRenyi, consuming r's uniforms draw
+// for draw. The name keeps the Append* family prefix: it is AppendErdosRenyi
+// with the append replaced by a callback.
+func AppendErdosRenyiStream(r *rng.Rand, n int, p float64, yield func(u, v int32) bool) error {
+	var src rng.GeometricSource
+	src.Reset(r)
+	return EmitErdosRenyi(&src, n, p, yield)
+}
+
+// EmitErdosRenyiSubset streams G(|nodes|, p) drawn over the given node IDs
+// through the given skip kernel: every unordered pair of distinct entries of
+// nodes is an edge independently with probability p. Node IDs must be
+// distinct. See EmitErdosRenyi for the kernel-sharing contract.
+func EmitErdosRenyiSubset(src *rng.GeometricSource, nodes []int32, p float64, yield func(u, v int32) bool) error {
 	if p < 0 || p > 1 {
 		return fmt.Errorf("randgraph: edge probability %v outside [0,1]", p)
 	}
@@ -88,12 +115,17 @@ func AppendErdosRenyiSubsetStream(r *rng.Rand, nodes []int32, p float64, yield f
 		}
 		return nil
 	}
+	src.SetP(p)
 	// Geometric skipping across the flattened upper triangle, emitting the
-	// subset's node IDs.
+	// subset's node IDs; same overflow-free skip cap as EmitErdosRenyi.
+	maxSkip := m * (m - 1) / 2
 	u, v := 0, 0 // v is advanced before use; position (0,1) is slot 0
 	for {
-		skip := r.Geometric(p) + 1
-		v += skip
+		skip := src.Next()
+		if skip > maxSkip {
+			skip = maxSkip
+		}
+		v += skip + 1
 		for v >= m {
 			overflow := v - m
 			u++
@@ -111,10 +143,18 @@ func AppendErdosRenyiSubsetStream(r *rng.Rand, nodes []int32, p float64, yield f
 	}
 }
 
-// AppendErdosRenyiBipartiteStream streams independent Bernoulli(p) edges
-// between every pair (a[i], b[j]). The two sides must be disjoint.
-// Randomness is consumed exactly as AppendErdosRenyiBipartite.
-func AppendErdosRenyiBipartiteStream(r *rng.Rand, a, b []int32, p float64, yield func(u, v int32) bool) error {
+// AppendErdosRenyiSubsetStream is EmitErdosRenyiSubset on a private kernel
+// over r, consuming randomness exactly as AppendErdosRenyiSubset.
+func AppendErdosRenyiSubsetStream(r *rng.Rand, nodes []int32, p float64, yield func(u, v int32) bool) error {
+	var src rng.GeometricSource
+	src.Reset(r)
+	return EmitErdosRenyiSubset(&src, nodes, p, yield)
+}
+
+// EmitErdosRenyiBipartite streams independent Bernoulli(p) edges between
+// every pair (a[i], b[j]) through the given skip kernel. The two sides must
+// be disjoint. See EmitErdosRenyi for the kernel-sharing contract.
+func EmitErdosRenyiBipartite(src *rng.GeometricSource, a, b []int32, p float64, yield func(u, v int32) bool) error {
 	if p < 0 || p > 1 {
 		return fmt.Errorf("randgraph: edge probability %v outside [0,1]", p)
 	}
@@ -131,17 +171,30 @@ func AppendErdosRenyiBipartiteStream(r *rng.Rand, a, b []int32, p float64, yield
 		}
 		return nil
 	}
+	src.SetP(p)
 	// Geometric skipping across the flattened |a|×|b| grid (slot = i·|b|+j).
+	// The end-of-grid test runs on the raw skip BEFORE advancing the slot,
+	// so a saturated MaxInt skip (tiny p) exits cleanly instead of
+	// overflowing the position.
 	cols := len(b)
 	slot := -1
 	total := len(a) * cols
 	for {
-		slot += r.Geometric(p) + 1
-		if slot >= total {
+		skip := src.Next()
+		if skip >= total-slot-1 {
 			return nil
 		}
+		slot += skip + 1
 		if !yield(a[slot/cols], b[slot%cols]) {
 			return nil
 		}
 	}
+}
+
+// AppendErdosRenyiBipartiteStream is EmitErdosRenyiBipartite on a private
+// kernel over r, consuming randomness exactly as AppendErdosRenyiBipartite.
+func AppendErdosRenyiBipartiteStream(r *rng.Rand, a, b []int32, p float64, yield func(u, v int32) bool) error {
+	var src rng.GeometricSource
+	src.Reset(r)
+	return EmitErdosRenyiBipartite(&src, a, b, p, yield)
 }

@@ -156,6 +156,68 @@ func TestStreamEarlyExitIsPrefix(t *testing.T) {
 	}
 }
 
+// TestBipartiteStreamEarlyExitPrefix strengthens the bipartite case of the
+// prefix law across side shapes the class-block sampler actually produces —
+// single-row, single-column, tall and wide grids — and across densities:
+// stopping after m edges must yield exactly the first m edges of the full
+// enumeration at every possible stop point.
+func TestBipartiteStreamEarlyExitPrefix(t *testing.T) {
+	makeSide := func(start, step int32, count int) []int32 {
+		side := make([]int32, count)
+		for i := range side {
+			side[i] = start + step*int32(i)
+		}
+		return side
+	}
+	shapes := []struct {
+		name string
+		a, b []int32
+	}{
+		{"1x1", makeSide(0, 1, 1), makeSide(100, 1, 1)},
+		{"row-1x24", makeSide(0, 1, 1), makeSide(100, 1, 24)},
+		{"col-24x1", makeSide(0, 1, 24), makeSide(100, 1, 1)},
+		{"wide-3x17", makeSide(0, 2, 3), makeSide(100, 3, 17)},
+		{"tall-17x3", makeSide(0, 3, 17), makeSide(100, 2, 3)},
+	}
+	for _, shape := range shapes {
+		for _, p := range []float64{0.05, 0.5, 0.95, 1} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				full := collectStream(t, func(yield func(u, v int32) bool) error {
+					return AppendErdosRenyiBipartiteStream(rng.New(seed), shape.a, shape.b, p, yield)
+				})
+				for stop := 0; stop <= len(full); stop++ {
+					var prefix []graph.Edge
+					err := AppendErdosRenyiBipartiteStream(rng.New(seed), shape.a, shape.b, p,
+						func(u, v int32) bool {
+							prefix = append(prefix, graph.Edge{U: u, V: v})
+							return len(prefix) < stop
+						})
+					if err != nil {
+						t.Fatal(err)
+					}
+					wantLen := stop
+					if stop == 0 {
+						wantLen = 1 // yield runs once before its verdict is read
+					}
+					if wantLen > len(full) {
+						wantLen = len(full)
+					}
+					if len(prefix) != wantLen {
+						t.Fatalf("%s p=%g seed=%d stop=%d: %d edges, want %d",
+							shape.name, p, seed, stop, len(prefix), wantLen)
+					}
+					for i := range prefix {
+						if prefix[i] != full[i] {
+							t.Fatalf("%s p=%g seed=%d stop=%d: edge %d = %+v, want %+v",
+								shape.name, p, seed, stop, i, prefix[i], full[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestEmitGeometricMatchesAppend pins the geometric dual: the emitted pair
 // sequence equals AppendGeometric's, including on the tiny toroidal grids
 // where the 3×3 cell walk can revisit a pair.

@@ -1,0 +1,89 @@
+package rng
+
+import "math"
+
+// geometricBatch is the uniform-buffer size of a GeometricSource. A refill
+// converts one batch of generator words to log(1−u) values in a tight,
+// branch-free loop; 64 entries (one 512-byte buffer) amortize the refill
+// while keeping a partially drained batch cheap to abandon.
+const geometricBatch = 64
+
+// maxIntFloat is the smallest float64 no int can reach: math.MaxInt rounds
+// up to 2⁶³ under constant conversion, so any quotient below it converts to
+// int without overflow and any quotient at or above it must saturate.
+const maxIntFloat = float64(math.MaxInt)
+
+// GeometricSource is the batched kernel behind the streaming edge samplers:
+// repeated Geometric(p) draws with the per-draw math hoisted out of the hot
+// loop. A plain (*Rand).Geometric call pays a math.Log, a math.Log1p and the
+// uniform draw per skip; a source computes math.Log1p(-p) once per SetP and
+// buffers the p-independent math.Log(1−u) transforms a whole batch at a
+// time, so the per-draw path is one load, one divide, one floor.
+//
+// The contract that lets the kernel thread through every sampler unchanged:
+// draw i consumes uniform i. Next returns exactly
+//
+//	floor(log(1−u_i) / log1p(−p))
+//
+// for the i-th Float64 the underlying generator produces, so topologies
+// sampled through a source are bit-identical at a fixed seed to the
+// per-draw samplers that preceded it (pinned by the channel topology
+// fingerprints). Because the buffer holds log(1−u) rather than finished
+// skips, SetP may retarget p mid-stream — the heterogeneous per-class-pair
+// blocks do exactly that — without consuming or discarding randomness.
+//
+// The one observable difference is the generator's FINAL position after a
+// draw sequence: a refill consumes geometricBatch uniforms at once, so the
+// generator parks at the next batch boundary rather than at the last
+// uniform actually used. A generator lent to a source is therefore
+// committed until the caller is done sampling; draws made on it afterwards
+// are still independent uniforms, just not the ones the pre-kernel code
+// would have seen. The montecarlo engine reseeds per trial and deployments
+// consume channel randomness last, so no in-tree fixed-seed expectation
+// observes the position.
+//
+// Quotients exceeding MaxInt (tiny p) saturate to MaxInt, like
+// (*Rand).Geometric. The zero value is unusable: call Reset, then SetP,
+// before Next. A GeometricSource is not safe for concurrent use.
+type GeometricSource struct {
+	r    *Rand
+	lnq  float64
+	pos  int
+	logs [geometricBatch]float64
+}
+
+// Reset points the source at r and empties the buffer, so the next refill
+// starts from r's current position.
+func (g *GeometricSource) Reset(r *Rand) {
+	g.r = r
+	g.pos = geometricBatch
+}
+
+// SetP retargets the success probability without touching buffered
+// randomness. p must be in (0, 1); the samplers handle p = 0 and p = 1
+// before reaching the kernel.
+func (g *GeometricSource) SetP(p float64) {
+	g.lnq = math.Log1p(-p)
+}
+
+// Next returns the number of failures before the first success in
+// Bernoulli(p) trials, consuming exactly one buffered uniform.
+func (g *GeometricSource) Next() int {
+	if g.pos == geometricBatch {
+		g.refill()
+	}
+	q := math.Floor(g.logs[g.pos] / g.lnq)
+	g.pos++
+	if q >= maxIntFloat {
+		return math.MaxInt
+	}
+	return int(q)
+}
+
+func (g *GeometricSource) refill() {
+	r := g.r
+	for i := range g.logs {
+		g.logs[i] = math.Log(1 - float64(r.Uint64()>>11)/(1<<53))
+	}
+	g.pos = 0
+}

@@ -1,0 +1,159 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestGeometricSourceMatchesScalar pins the kernel's bit-identity contract:
+// draw i consumes uniform i, so a GeometricSource must reproduce the scalar
+// Geometric sequence value for value at a fixed seed — including across
+// mid-stream SetP retargets, which the heterogeneous block sampler relies
+// on (the buffer holds p-independent log(1−u) values, so a p change must
+// not consume or discard randomness).
+func TestGeometricSourceMatchesScalar(t *testing.T) {
+	ps := []float64{0.9, 0.5, 0.1, 0.01, 0.001, 1e-9}
+	for seed := uint64(1); seed <= 3; seed++ {
+		rScalar := New(seed)
+		rKernel := New(seed)
+		var src GeometricSource
+		src.Reset(rKernel)
+		// 3× the batch size, crossing refill boundaries, changing p every
+		// draw in round-robin order.
+		for i := 0; i < 3*geometricBatch; i++ {
+			p := ps[i%len(ps)]
+			want := rScalar.Geometric(p)
+			src.SetP(p)
+			if got := src.Next(); got != want {
+				t.Fatalf("seed=%d draw %d (p=%g): kernel %d, scalar %d", seed, i, p, got, want)
+			}
+		}
+	}
+}
+
+// TestGeometricSourceResetRealigns covers the lend-return cycle the
+// samplers perform: after Reset the source must discard any partially
+// drained batch and consume fresh uniforms from the generator's current
+// position.
+func TestGeometricSourceResetRealigns(t *testing.T) {
+	r := New(7)
+	var src GeometricSource
+	src.Reset(r)
+	src.SetP(0.3)
+	src.Next() // leaves 63 buffered uniforms
+	ref := New(0)
+	*ref = *r // snapshot the generator position after the first refill
+	src.Reset(r)
+	src.SetP(0.3)
+	want := ref.Geometric(0.3)
+	if got := src.Next(); got != want {
+		t.Fatalf("after Reset: kernel %d, scalar-from-snapshot %d", got, want)
+	}
+}
+
+// TestGeometricTinyPClamp is the satellite regression for the overflow
+// guard: at p = 1e-12 the quotient stays comfortably inside int64 range and
+// must be a plain huge non-negative skip, while at p = 1e-300 essentially
+// every draw overflows MaxInt and must saturate rather than hit the
+// implementation-specific out-of-range float→int conversion (MinInt on
+// amd64, which previously turned into a negative skip).
+func TestGeometricTinyPClamp(t *testing.T) {
+	r := New(42)
+	for i := 0; i < 200; i++ {
+		if g := r.Geometric(1e-12); g < 0 {
+			t.Fatalf("draw %d: Geometric(1e-12) = %d, want non-negative", i, g)
+		}
+	}
+	sawMax := false
+	var src GeometricSource
+	src.Reset(r)
+	src.SetP(1e-300)
+	for i := 0; i < 200; i++ {
+		g := r.Geometric(1e-300)
+		k := src.Next()
+		if g < 0 || k < 0 {
+			t.Fatalf("draw %d: Geometric(1e-300) = %d / kernel %d, want non-negative", i, g, k)
+		}
+		if g == math.MaxInt {
+			sawMax = true
+		}
+	}
+	if !sawMax {
+		t.Error("Geometric(1e-300) never saturated to MaxInt in 200 draws; clamp untested")
+	}
+}
+
+// TestBinomialTinyPClamp: Binomial's waiting-time loop inherits the
+// overflow — the huge gap must read as "past n" (return) instead of
+// wrapping the position negative and overcounting. The count must stay in
+// [0, n] and be almost surely 0 at p = 1e-300.
+func TestBinomialTinyPClamp(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 200; i++ {
+		c := r.Binomial(1000, 1e-300)
+		if c < 0 || c > 1000 {
+			t.Fatalf("draw %d: Binomial(1000, 1e-300) = %d outside [0, 1000]", i, c)
+		}
+		if c != 0 {
+			t.Fatalf("draw %d: Binomial(1000, 1e-300) = %d, want 0 (success probability ~1e-297)", i, c)
+		}
+	}
+	total := 0
+	for i := 0; i < 200; i++ {
+		c := r.Binomial(1<<40, 1e-12)
+		if c < 0 {
+			t.Fatalf("draw %d: Binomial(2^40, 1e-12) = %d, want non-negative", i, c)
+		}
+		total += c
+	}
+	// Mean per draw is 2^40 · 1e-12 ≈ 1.1; 200 draws concentrate hard.
+	if total < 50 || total > 800 {
+		t.Errorf("Binomial(2^40, 1e-12) summed to %d over 200 draws, want ≈ 220", total)
+	}
+}
+
+// TestFillFloat64MatchesFloat64 pins the batch filler's draw-for-draw
+// contract against per-element Float64 calls.
+func TestFillFloat64MatchesFloat64(t *testing.T) {
+	ra, rb := New(5), New(5)
+	buf := make([]float64, 97)
+	ra.FillFloat64(buf)
+	for i, got := range buf {
+		if want := rb.Float64(); got != want {
+			t.Fatalf("element %d: %v, want %v", i, got, want)
+		}
+	}
+	if ra.Uint64() != rb.Uint64() {
+		t.Error("generator states diverged after FillFloat64")
+	}
+}
+
+// BenchmarkGeometricKernel measures the kernelized skip draw against the
+// scalar Geometric call it replaced (per-draw Log1p + call overhead vs the
+// batched refill), at the skip scales the streaming samplers actually see.
+func BenchmarkGeometricKernel(b *testing.B) {
+	for _, p := range []float64{0.5, 0.05, 0.001} {
+		b.Run(fmt.Sprintf("p=%g/scalar", p), func(b *testing.B) {
+			r := New(1)
+			acc := 0
+			for i := 0; i < b.N; i++ {
+				acc += r.Geometric(p)
+			}
+			sinkInt = acc
+		})
+		b.Run(fmt.Sprintf("p=%g/kernel", p), func(b *testing.B) {
+			r := New(1)
+			var src GeometricSource
+			src.Reset(r)
+			src.SetP(p)
+			acc := 0
+			for i := 0; i < b.N; i++ {
+				acc += src.Next()
+			}
+			sinkInt = acc
+		})
+	}
+}
+
+var sinkInt int

@@ -118,6 +118,16 @@ func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
+// FillFloat64 fills dst with independent uniform floats in [0, 1),
+// consuming exactly len(dst) generator words in index order — the batch
+// form of calling Float64 per element, for hot paths (e.g. geometric-graph
+// position draws) that want the conversion loop kept tight.
+func (r *Rand) FillFloat64(dst []float64) {
+	for i := range dst {
+		dst[i] = float64(r.Uint64()>>11) / (1 << 53)
+	}
+}
+
 // Bernoulli returns true with probability p. Probabilities outside [0,1] are
 // clamped (p<=0 never, p>=1 always).
 func (r *Rand) Bernoulli(p float64) bool {
@@ -155,12 +165,16 @@ func (r *Rand) Binomial(n int, p float64) int {
 	i := 0
 	lnq := math.Log1p(-p)
 	for {
-		// Geometric(p) gap: number of failures before next success.
-		gap := int(math.Floor(math.Log(1-r.Float64()) / lnq))
-		i += gap + 1
-		if i > n {
+		// Geometric(p) gap: number of failures before next success. The gap
+		// is compared as a float BEFORE the int conversion: for tiny p the
+		// quotient can exceed MaxInt, and an out-of-range float→int
+		// conversion is implementation-specific (MinInt on amd64), which
+		// used to wrap i negative and overcount.
+		gap := math.Floor(math.Log(1-r.Float64()) / lnq)
+		if gap >= float64(n-i) {
 			return count
 		}
+		i += int(gap) + 1
 		count++
 	}
 }
@@ -198,7 +212,12 @@ func (r *Rand) poissonKnuth(lambda float64) int {
 
 // Geometric returns the number of failures before the first success in
 // Bernoulli(p) trials (support {0, 1, 2, ...}). p must be in (0, 1]; p >= 1
-// always returns 0.
+// always returns 0. Quotients exceeding MaxInt (tiny p makes the divisor
+// approach −0) saturate to MaxInt instead of hitting the
+// implementation-specific out-of-range float→int conversion.
+//
+// Hot loops drawing many skips at one or few p values should prefer
+// GeometricSource, which hoists the Log1p and batches the uniform draws.
 func (r *Rand) Geometric(p float64) int {
 	if p >= 1 {
 		return 0
@@ -206,7 +225,11 @@ func (r *Rand) Geometric(p float64) int {
 	if p <= 0 {
 		panic(fmt.Sprintf("rng: Geometric with non-positive p = %v", p))
 	}
-	return int(math.Floor(math.Log(1-r.Float64()) / math.Log1p(-p)))
+	q := math.Floor(math.Log(1-r.Float64()) / math.Log1p(-p))
+	if q >= maxIntFloat {
+		return math.MaxInt
+	}
+	return int(q)
 }
 
 // Perm returns a uniformly random permutation of [0, n).

@@ -75,9 +75,11 @@ func TestBufferedDeploymentMatchesUnbuffered(t *testing.T) {
 // after warm-up, a reused Deployer must answer connectivity with ZERO
 // allocations per trial — on the CSR path (deploy + IsConnected; rng.Reseed
 // removed its last allocation, the per-Deploy generator; the seed state ran
-// it at ≈ 2,020 allocs per trial) and on the streaming path
+// it at ≈ 2,020 allocs per trial), on the streaming path
 // (DeployConnectivity, whose persistent yield closure keeps the
-// EdgeEmitter interface crossing allocation-free).
+// EdgeEmitter interface crossing allocation-free), and on the streaming
+// degree path (DeployDegreeStats, same closure discipline with the degree
+// accumulator riding beside the union-find).
 func TestConnectivityTrialAllocBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("alloc gate needs the full n=1000 deployment")
@@ -105,6 +107,12 @@ func TestConnectivityTrialAllocBudget(t *testing.T) {
 		"streaming": func() {
 			seed++
 			if _, err := d.DeployConnectivity(seed); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"streaming-degrees": func() {
+			seed++
+			if _, err := d.DeployDegreeStats(seed, 2); err != nil {
 				t.Fatal(err)
 			}
 		},

@@ -95,6 +95,12 @@ type Deployer struct {
 	suf         graphalgo.StreamUnionFind
 	streamQ     int
 	streamYield func(u, v int32) bool
+
+	// Streaming degree mode (DeployDegreeStats): the degree accumulator
+	// running beside the union-find in the same edge pass, with its own
+	// persistent yield closure (early exit needs BOTH sinks done).
+	sd       graphalgo.StreamDegrees
+	degYield func(u, v int32) bool
 }
 
 // NewDeployer validates the configuration (including the channel model's

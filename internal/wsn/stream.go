@@ -55,35 +55,7 @@ func (d *Deployer) DeployConnectivityRand(r *rng.Rand) (ConnStats, error) {
 }
 
 func (d *Deployer) deployConnectivity(r *rng.Rand) (ConnStats, error) {
-	n := d.cfg.Sensors
-
-	// 1. Key predistribution, identical to deploy: same arena, same draws.
-	var asg keys.Assignment
-	var err error
-	if aa, ok := d.cfg.Scheme.(keys.ArenaAssigner); ok {
-		asg, err = aa.AssignInto(r, n, &d.arena)
-	} else {
-		asg, err = d.cfg.Scheme.Assign(r, n)
-	}
-	if err != nil {
-		return ConnStats{}, fmt.Errorf("wsn: deploy connectivity: %w", err)
-	}
-
-	// 2. Discovery state: the exact per-edge intersection predicate (the
-	// same keys.Intersector the per-edge CSR strategy uses) and the
-	// union-find sink.
-	if d.ix == nil {
-		ix, err := keys.NewIntersector(d.cfg.Scheme.PoolSize())
-		if err != nil {
-			return ConnStats{}, fmt.Errorf("wsn: deploy connectivity: %w", err)
-		}
-		d.ix = ix
-	}
-	if err := d.ix.Reset(asg.Rings); err != nil {
-		return ConnStats{}, fmt.Errorf("wsn: deploy connectivity: %w", err)
-	}
-	d.streamQ = d.cfg.Scheme.RequiredOverlap()
-	d.suf.Reset(n)
+	d.suf.Reset(d.cfg.Sensors)
 	if d.streamYield == nil {
 		// One persistent closure: yield crosses the EdgeEmitter interface
 		// boundary, where escape analysis would heap-allocate a fresh
@@ -96,14 +68,142 @@ func (d *Deployer) deployConnectivity(r *rng.Rand) (ConnStats, error) {
 			return !d.suf.Done()
 		}
 	}
+	if err := d.streamSecureEdges(r, d.streamYield); err != nil {
+		return ConnStats{}, fmt.Errorf("wsn: deploy connectivity: %w", err)
+	}
+	return d.connStats(), nil
+}
 
-	// 3. Stream the channel draw into the union-find. Class-aware models
-	// take priority exactly as in deploy, so a model that is class-aware AND
-	// a plain emitter streams with the deployment's labels, never without
+func (d *Deployer) connStats() ConnStats {
+	return ConnStats{
+		Connected:  d.suf.Connected(),
+		Components: d.suf.Components(),
+		Giant:      d.suf.GiantSize(),
+		Isolated:   d.suf.IsolatedCount(),
+	}
+}
+
+// DegreeStats extends ConnStats with the min-degree summary of one
+// deployment's secure topology, as computed by the streaming degree mode.
+type DegreeStats struct {
+	ConnStats
+	// K is the degree level the deployment was measured against.
+	K int
+	// MinDegreeAtLeastK reports whether every sensor has secure degree ≥ K
+	// — the min-degree half of the paper's zero–one law (vacuously true for
+	// n = 0 or K ≤ 0). Equals FullSecureTopology().MinDegree() >= K on a
+	// fresh CSR deployment at the same seed.
+	MinDegreeAtLeastK bool
+	// MinDegree is the minimum secure degree TRUNCATED at K: exact whenever
+	// it is below K, reported as K otherwise. The truncation makes the
+	// value independent of whether the early exit fired mid-stream; it
+	// equals min(K, true min degree) bit for bit against the CSR path.
+	MinDegree int
+	// BelowK is the number of sensors with secure degree < K (0 whenever
+	// MinDegreeAtLeastK).
+	BelowK int
+}
+
+// DeployDegreeStats runs a deployment in streaming degree mode from the
+// given seed: like DeployConnectivity, the channel draw streams edge by
+// edge through the ring intersector, but the secure edges feed a per-node
+// degree accumulator BESIDE the union-find in the same pass. It answers the
+// paper's min-degree figures — P[min degree ≥ k] and its coupling with
+// k-connectivity — with O(n + ΣK) memory and no CSR graph at any n. The
+// emitter is stopped as soon as both sinks are done: one component remains
+// AND every sensor has reached degree k.
+//
+// The same determinism contract as DeployConnectivity applies; all reported
+// statistics are order-independent functions of the secure edge set (which
+// is why MinDegree truncates at K — past the early exit only "≥ K" is
+// knowable). The channel emitter must yield each pair at most once, which
+// every built-in model guarantees; degree counting is not idempotent.
+func (d *Deployer) DeployDegreeStats(seed uint64, k int) (DegreeStats, error) {
+	d.rand.Reseed(seed)
+	return d.deployDegreeStats(&d.rand, k)
+}
+
+// DeployDegreeStatsRand is DeployDegreeStats drawing all randomness from r
+// — the entry point for Monte Carlo trials handed a per-trial stream.
+func (d *Deployer) DeployDegreeStatsRand(r *rng.Rand, k int) (DegreeStats, error) {
+	return d.deployDegreeStats(r, k)
+}
+
+func (d *Deployer) deployDegreeStats(r *rng.Rand, k int) (DegreeStats, error) {
+	if k < 0 {
+		return DegreeStats{}, fmt.Errorf("wsn: deploy degree stats: negative degree level %d", k)
+	}
+	n := d.cfg.Sensors
+	d.suf.Reset(n)
+	d.sd.Reset(n, k)
+	if d.degYield == nil {
+		// Persistent for the same reason as streamYield; one closure serves
+		// every k because the accumulator holds the current target.
+		d.degYield = func(u, v int32) bool {
+			if d.ix.HasAtLeast(u, v, d.streamQ) {
+				d.suf.Add(u, v)
+				d.sd.Add(u, v)
+			}
+			return !(d.suf.Done() && d.sd.AllAtLeastK())
+		}
+	}
+	if err := d.streamSecureEdges(r, d.degYield); err != nil {
+		return DegreeStats{}, fmt.Errorf("wsn: deploy degree stats: %w", err)
+	}
+	minDeg := d.sd.MinDegree()
+	if minDeg > k {
+		minDeg = k
+	}
+	return DegreeStats{
+		ConnStats:         d.connStats(),
+		K:                 k,
+		MinDegreeAtLeastK: d.sd.AllAtLeastK(),
+		MinDegree:         minDeg,
+		BelowK:            d.sd.BelowK(),
+	}, nil
+}
+
+// streamSecureEdges is the shared core of the graph-free deployment modes:
+// key predistribution, ring-intersector reset, and the channel draw
+// streamed edge by edge into yield (which filters by secure overlap and
+// feeds whatever sinks the mode maintains). The caller resets its sinks
+// first; yield's early-exit verdict stops the emitter.
+func (d *Deployer) streamSecureEdges(r *rng.Rand, yield func(u, v int32) bool) error {
+	n := d.cfg.Sensors
+
+	// 1. Key predistribution, identical to deploy: same arena, same draws.
+	var asg keys.Assignment
+	var err error
+	if aa, ok := d.cfg.Scheme.(keys.ArenaAssigner); ok {
+		asg, err = aa.AssignInto(r, n, &d.arena)
+	} else {
+		asg, err = d.cfg.Scheme.Assign(r, n)
+	}
+	if err != nil {
+		return err
+	}
+
+	// 2. Discovery state: the exact per-edge intersection predicate (the
+	// same keys.Intersector the per-edge CSR strategy uses).
+	if d.ix == nil {
+		ix, err := keys.NewIntersector(d.cfg.Scheme.PoolSize())
+		if err != nil {
+			return err
+		}
+		d.ix = ix
+	}
+	if err := d.ix.Reset(asg.Rings); err != nil {
+		return err
+	}
+	d.streamQ = d.cfg.Scheme.RequiredOverlap()
+
+	// 3. Stream the channel draw into the sinks. Class-aware models take
+	// priority exactly as in deploy, so a model that is class-aware AND a
+	// plain emitter streams with the deployment's labels, never without
 	// them. Models with no streaming support fall back to a sampled channel
 	// graph walked edge by edge — the secure side still never materializes.
 	if cem, ok := d.cfg.Channel.(channel.ClassEdgeEmitter); ok {
-		err = cem.EmitClassEdges(r, n, asg.Labels, d.streamYield)
+		err = cem.EmitClassEdges(r, n, asg.Labels, yield)
 	} else if cm, ok := d.cfg.Channel.(channel.ClassModel); ok {
 		var g *graph.Undirected
 		if bcm, ok := d.cfg.Channel.(channel.BufferedClassModel); ok {
@@ -112,10 +212,10 @@ func (d *Deployer) deployConnectivity(r *rng.Rand) (ConnStats, error) {
 			g, err = cm.SampleClasses(r, n, asg.Labels)
 		}
 		if err == nil {
-			g.ForEachEdge(d.streamYield)
+			g.ForEachEdge(yield)
 		}
 	} else if em, ok := d.cfg.Channel.(channel.EdgeEmitter); ok {
-		err = em.EmitEdges(r, n, d.streamYield)
+		err = em.EmitEdges(r, n, yield)
 	} else {
 		var g *graph.Undirected
 		if bm, ok := d.cfg.Channel.(channel.BufferedModel); ok {
@@ -124,17 +224,8 @@ func (d *Deployer) deployConnectivity(r *rng.Rand) (ConnStats, error) {
 			g, err = d.cfg.Channel.Sample(r, n)
 		}
 		if err == nil {
-			g.ForEachEdge(d.streamYield)
+			g.ForEachEdge(yield)
 		}
 	}
-	if err != nil {
-		return ConnStats{}, fmt.Errorf("wsn: deploy connectivity: %w", err)
-	}
-
-	return ConnStats{
-		Connected:  d.suf.Connected(),
-		Components: d.suf.Components(),
-		Giant:      d.suf.GiantSize(),
-		Isolated:   d.suf.IsolatedCount(),
-	}, nil
+	return err
 }
