@@ -20,7 +20,6 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -30,6 +29,7 @@ import (
 	"time"
 
 	"github.com/secure-wsn/qcomposite/internal/channel"
+	"github.com/secure-wsn/qcomposite/internal/cmdutil"
 	"github.com/secure-wsn/qcomposite/internal/experiment"
 	"github.com/secure-wsn/qcomposite/internal/keys"
 	"github.com/secure-wsn/qcomposite/internal/theory"
@@ -59,7 +59,12 @@ func run() error {
 		seed     = flag.Uint64("seed", 1, "base RNG seed")
 		csvPath  = flag.String("csv", "", "write series CSV to this path")
 	)
+	journal := cmdutil.RegisterJournal()
 	flag.Parse()
+	if err := journal.Open(); err != nil {
+		return err
+	}
+	defer journal.Close()
 
 	qs, err := parseInts(*qList)
 	if err != nil {
@@ -82,11 +87,15 @@ func run() error {
 
 	grid := experiment.Grid{Ks: []int{*ring}, Qs: qs, Xs: radii}
 	cfg := experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed}
-	ctx := context.Background()
+	ctx, stop := cmdutil.SignalContext()
+	defer stop()
 	start := time.Now()
 
 	// Sweep 1: the disk model itself, radius driven by the Xs axis binding.
-	disk, err := experiment.CrossSweep(ctx, grid, cfg, experiment.CrossSpec{
+	// Each sweep journals under its own label: one -checkpoint file holds
+	// both sweeps' sections and each resumes only its own.
+	diskCfg := journal.Apply(cfg, fmt.Sprintf("crossq disk n=%d pool=%d k=%d", *n, *pool, *kConn))
+	disk, err := experiment.CrossSweep(ctx, grid, diskCfg, experiment.CrossSpec{
 		Bindings: []experiment.XBinding{experiment.BindDiskRadius},
 		Torus:    true,
 		K:        *kConn,
@@ -99,13 +108,14 @@ func run() error {
 		},
 	})
 	if err != nil {
-		return err
+		return journal.Hint(err)
 	}
 
 	// Sweep 2: the matched on/off model — same grid and seeds, the channel
 	// derived from the radius axis as p = π·r² inside the build (a free-axis
 	// cross spec: nothing else reads Xs).
-	onoff, err := experiment.CrossSweep(ctx, grid, cfg, experiment.CrossSpec{
+	onoffCfg := journal.Apply(cfg, fmt.Sprintf("crossq onoff n=%d pool=%d k=%d", *n, *pool, *kConn))
+	onoff, err := experiment.CrossSweep(ctx, grid, onoffCfg, experiment.CrossSpec{
 		K: *kConn,
 		Build: func(pt experiment.GridPoint) (wsn.Config, error) {
 			scheme, err := keys.NewQComposite(*pool, pt.K, pt.Q)
@@ -120,7 +130,7 @@ func run() error {
 		},
 	})
 	if err != nil {
-		return err
+		return journal.Hint(err)
 	}
 
 	radiusOf := func(pt experiment.GridPoint) float64 { return pt.X }

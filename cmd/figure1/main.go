@@ -19,13 +19,13 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"github.com/secure-wsn/qcomposite/internal/channel"
+	"github.com/secure-wsn/qcomposite/internal/cmdutil"
 	"github.com/secure-wsn/qcomposite/internal/core"
 	"github.com/secure-wsn/qcomposite/internal/experiment"
 	"github.com/secure-wsn/qcomposite/internal/keys"
@@ -52,7 +52,12 @@ func run() error {
 		seed     = flag.Uint64("seed", 1, "base RNG seed")
 		csvPath  = flag.String("csv", "", "write series CSV to this path")
 	)
+	journal := cmdutil.RegisterJournal()
 	flag.Parse()
+	if err := journal.Open(); err != nil {
+		return err
+	}
+	defer journal.Close()
 
 	type curve struct {
 		q int
@@ -74,11 +79,14 @@ func run() error {
 	fmt.Printf("Figure 1 reproduction: P[G_{n,q}(n=%d, K, P=%d, p) is connected] vs K\n", *n, *pool)
 	fmt.Printf("%d trials/point, seed %d\n\n", *trials, *seed)
 
-	ctx := context.Background()
+	ctx, stop := cmdutil.SignalContext()
+	defer stop()
 	start := time.Now()
 	results, err := experiment.SweepConnectivity(ctx,
 		experiment.Grid{Ks: ks, Qs: qs, Ps: ps},
-		experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed},
+		journal.Apply(
+			experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed},
+			fmt.Sprintf("figure1 n=%d pool=%d", *n, *pool)),
 		func(pt experiment.GridPoint) (wsn.Config, error) {
 			scheme, err := keys.NewQComposite(*pool, pt.K, pt.Q)
 			if err != nil {
@@ -91,7 +99,7 @@ func run() error {
 			}, nil
 		})
 	if err != nil {
-		return err
+		return journal.Hint(err)
 	}
 	// Pivot: one row per K, one column/series per (q, p) curve. The grid
 	// enumerates (K, q, p) row-major, so curves appear in (q, p) order.

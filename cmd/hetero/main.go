@@ -22,7 +22,6 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +30,7 @@ import (
 	"time"
 
 	"github.com/secure-wsn/qcomposite/internal/channel"
+	"github.com/secure-wsn/qcomposite/internal/cmdutil"
 	"github.com/secure-wsn/qcomposite/internal/experiment"
 	"github.com/secure-wsn/qcomposite/internal/keys"
 	"github.com/secure-wsn/qcomposite/internal/montecarlo"
@@ -67,7 +67,12 @@ func run() error {
 		seed     = flag.Uint64("seed", 1, "base RNG seed")
 		csvPath  = flag.String("csv", "", "write series CSV to this path")
 	)
+	journal := cmdutil.RegisterJournal()
 	flag.Parse()
+	if err := journal.Open(); err != nil {
+		return err
+	}
+	defer journal.Close()
 
 	if *p12 < 0 {
 		*p12 = *p11
@@ -116,7 +121,7 @@ func run() error {
 			n: *n, pool: *pool, q: *q, k2: *k2, kMax: *kConn, mu: *mu,
 			k1s: k1s, ch: ch, pOn: pOn, classesFor: classesFor,
 			trials: *trials, workers: *workers, pointWorkers: *pWorkers,
-			seed: *seed, csvPath: *csvPath,
+			seed: *seed, csvPath: *csvPath, journal: journal,
 		})
 	}
 
@@ -125,8 +130,11 @@ func run() error {
 		*n, *pool, *q, *k2, *p11, *p12, *p12, *p22, *trials, *seed)
 
 	grid := experiment.Grid{Ks: k1s, Qs: []int{*q}, Ps: []float64{*p11}, Xs: mus}
-	cfg := experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed}
-	ctx := context.Background()
+	cfg := journal.Apply(
+		experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed},
+		fmt.Sprintf("hetero zero-one n=%d pool=%d k2=%d p=[%g %g %g]", *n, *pool, *k2, *p11, *p12, *p22))
+	ctx, stop := cmdutil.SignalContext()
+	defer stop()
 	start := time.Now()
 	results, err := experiment.SweepProportion(ctx, grid, cfg,
 		func(pt experiment.GridPoint) (montecarlo.Trial, error) {
@@ -153,7 +161,7 @@ func run() error {
 			}, nil
 		})
 	if err != nil {
-		return err
+		return journal.Hint(err)
 	}
 
 	// Empirical curves from the sweep plus the exp(−e^{−β}) limit of
@@ -236,6 +244,7 @@ type kconnStudy struct {
 	workers, pointWorkers int
 	seed                  uint64
 	csvPath               string
+	journal               *cmdutil.Journal
 }
 
 // runKConn is the heterogeneous k-connectivity study (arXiv:1604.00460 §IV):
@@ -248,9 +257,13 @@ func runKConn(s kconnStudy) error {
 		s.n, s.pool, s.q, s.k2, s.mu, s.kMax, s.trials, s.seed)
 
 	grid := experiment.Grid{Ks: s.k1s, Qs: []int{s.q}, Xs: experiment.KLevels(s.kMax)}
-	cfg := experiment.SweepConfig{Trials: s.trials, Workers: s.workers, PointWorkers: s.pointWorkers, Seed: s.seed}
+	cfg := s.journal.Apply(
+		experiment.SweepConfig{Trials: s.trials, Workers: s.workers, PointWorkers: s.pointWorkers, Seed: s.seed},
+		fmt.Sprintf("hetero kconn n=%d pool=%d k2=%d mu=%g", s.n, s.pool, s.k2, s.mu))
+	ctx, stop := cmdutil.SignalContext()
+	defer stop()
 	start := time.Now()
-	results, err := experiment.SweepKConnectivity(context.Background(), grid, cfg,
+	results, err := experiment.SweepKConnectivity(ctx, grid, cfg,
 		func(pt experiment.GridPoint) (wsn.Config, error) {
 			scheme, err := keys.NewHeterogeneous(s.pool, pt.Q, s.classesFor(s.mu, pt.K))
 			if err != nil {
@@ -259,7 +272,7 @@ func runKConn(s kconnStudy) error {
 			return wsn.Config{Sensors: s.n, Scheme: scheme, Channel: s.ch}, nil
 		})
 	if err != nil {
-		return err
+		return s.journal.Hint(err)
 	}
 
 	ms := experiment.KConnMeasurements(results, 1.96)

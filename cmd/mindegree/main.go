@@ -21,13 +21,13 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"github.com/secure-wsn/qcomposite/internal/channel"
+	"github.com/secure-wsn/qcomposite/internal/cmdutil"
 	"github.com/secure-wsn/qcomposite/internal/core"
 	"github.com/secure-wsn/qcomposite/internal/experiment"
 	"github.com/secure-wsn/qcomposite/internal/keys"
@@ -60,7 +60,12 @@ func run() error {
 		mode     = flag.String("mode", "stream", `"stream" (graph-free min-degree sweep) or "csr" (joint min-degree + k-connectivity cross-check)`)
 		csvPath  = flag.String("csv", "", "write series CSV to this path")
 	)
+	journal := cmdutil.RegisterJournal()
 	flag.Parse()
+	if err := journal.Open(); err != nil {
+		return err
+	}
+	defer journal.Close()
 
 	var ks []int
 	for ring := *kMin; ring <= *kEnd; ring += *kStep {
@@ -68,8 +73,11 @@ func run() error {
 	}
 
 	grid := experiment.Grid{Ks: ks, Qs: []int{*q}, Ps: []float64{*pOn}}
-	cfg := experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed}
-	ctx := context.Background()
+	cfg := journal.Apply(
+		experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed},
+		fmt.Sprintf("mindegree %s n=%d pool=%d k=%d", *mode, *n, *pool, *k))
+	ctx, stop := cmdutil.SignalContext()
+	defer stop()
 	xOf := func(pt experiment.GridPoint) float64 { return float64(pt.K) }
 	start := time.Now()
 
@@ -88,7 +96,7 @@ func run() error {
 				return wsn.Config{Sensors: *n, Scheme: scheme, Channel: channel.OnOff{P: pt.P}}, nil
 			})
 		if err != nil {
-			return err
+			return journal.Hint(err)
 		}
 		ms = experiment.ProportionMeasurements(results, 1.96, xOf,
 			func(experiment.GridPoint) string { return fmt.Sprintf("P[min degree >= %d]", *k) })
@@ -135,7 +143,7 @@ func run() error {
 				}, nil
 			})
 		if err != nil {
-			return err
+			return journal.Hint(err)
 		}
 		ms = experiment.MeanVecMeasurements(results, 0, 1.96, xOf,
 			fmt.Sprintf("P[min degree >= %d]", *k))

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"os"
 	"path/filepath"
@@ -66,5 +67,48 @@ func TestRunRejectsUnknownMode(t *testing.T) {
 	err := runWithArgs(t, "-mode", "bogus", "-trials", "1")
 	if err == nil || !strings.Contains(err.Error(), "unknown -mode") {
 		t.Fatalf("err = %v, want unknown -mode", err)
+	}
+}
+
+// TestCheckpointResumeRoundTrip re-runs the streaming sweep against one
+// -checkpoint journal; the resumed run recomputes nothing and produces a
+// bit-identical CSV.
+func TestCheckpointResumeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "mindegree.journal")
+	csv1 := filepath.Join(dir, "run1.csv")
+	csv2 := filepath.Join(dir, "run2.csv")
+	args := []string{
+		"-n", "60", "-pool", "300", "-q", "1", "-k", "1",
+		"-kmin", "10", "-kmax", "14", "-kstep", "2",
+		"-trials", "8", "-workers", "2", "-pointworkers", "2",
+		"-checkpoint", journal,
+	}
+	if err := runWithArgs(t, append(args, "-csv", csv1)...); err != nil {
+		t.Fatalf("checkpointed run failed: %v", err)
+	}
+	first, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runWithArgs(t, append(args, "-csv", csv2)...); err != nil {
+		t.Fatalf("resumed run failed: %v", err)
+	}
+	second, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The resumed run appends exactly one header and zero point records.
+	appended := second[len(first):]
+	if n := bytes.Count(appended, []byte(`"point"`)); n != 0 {
+		t.Errorf("resume recomputed %d points, want 0", n)
+	}
+	if n := bytes.Count(appended, []byte(`"header"`)); n != 1 {
+		t.Errorf("resume appended %d headers, want 1", n)
+	}
+	a, _ := os.ReadFile(csv1)
+	b, _ := os.ReadFile(csv2)
+	if !bytes.Equal(a, b) {
+		t.Error("resumed run's CSV differs from the original run's")
 	}
 }

@@ -14,13 +14,13 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"github.com/secure-wsn/qcomposite/internal/channel"
+	"github.com/secure-wsn/qcomposite/internal/cmdutil"
 	"github.com/secure-wsn/qcomposite/internal/core"
 	"github.com/secure-wsn/qcomposite/internal/experiment"
 	"github.com/secure-wsn/qcomposite/internal/keys"
@@ -50,7 +50,12 @@ func run() error {
 		seed     = flag.Uint64("seed", 1, "base RNG seed")
 		csvPath  = flag.String("csv", "", "write series CSV to this path")
 	)
+	journal := cmdutil.RegisterJournal()
 	flag.Parse()
+	if err := journal.Open(); err != nil {
+		return err
+	}
+	defer journal.Close()
 
 	var ks []int
 	for ring := *kMin; ring <= *kEnd; ring += *kStep {
@@ -61,10 +66,13 @@ func run() error {
 	fmt.Printf("n=%d, P=%d, q=%d, p=%g, %d trials/point\n\n", *n, *pool, *q, *pOn, *trials)
 
 	grid := experiment.Grid{Ks: ks, Qs: []int{*q}, Ps: []float64{*pOn}, Xs: experiment.KLevels(*kMax)}
-	ctx := context.Background()
+	ctx, stop := cmdutil.SignalContext()
+	defer stop()
 	start := time.Now()
 	results, err := experiment.SweepKConnectivity(ctx, grid,
-		experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed},
+		journal.Apply(
+			experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed},
+			fmt.Sprintf("theorem1 n=%d pool=%d", *n, *pool)),
 		func(pt experiment.GridPoint) (wsn.Config, error) {
 			scheme, err := keys.NewQComposite(*pool, pt.K, pt.Q)
 			if err != nil {
@@ -77,7 +85,7 @@ func run() error {
 			}, nil
 		})
 	if err != nil {
-		return err
+		return journal.Hint(err)
 	}
 
 	// Empirical curves (Wilson CI) plus the eq. (7) theory overlay as extra

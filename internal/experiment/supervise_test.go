@@ -1,0 +1,242 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/secure-wsn/qcomposite/internal/montecarlo"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+var supervisePt = GridPoint{Index: 4, K: 12, Q: 2, P: 0.5, X: 3}
+
+func TestRunSupervisedRetriesTransient(t *testing.T) {
+	cfg := SweepConfig{PointRetries: 3, RetryBackoff: time.Microsecond}
+	var attempts atomic.Int64
+	got, err := runSupervised(context.Background(), cfg, supervisePt,
+		func(ctx context.Context, pt GridPoint) (int, error) {
+			if attempts.Add(1) <= 2 {
+				return 0, montecarlo.Transient(errors.New("flaky"))
+			}
+			return 42, nil
+		})
+	if err != nil || got != 42 {
+		t.Fatalf("got (%d, %v), want (42, nil)", got, err)
+	}
+	if attempts.Load() != 3 {
+		t.Errorf("ran %d attempts, want 3", attempts.Load())
+	}
+}
+
+func TestRunSupervisedDoesNotRetryPermanentErrors(t *testing.T) {
+	cfg := SweepConfig{PointRetries: 5, RetryBackoff: time.Microsecond}
+	var attempts atomic.Int64
+	permanent := errors.New("deterministic bug")
+	_, err := runSupervised(context.Background(), cfg, supervisePt,
+		func(ctx context.Context, pt GridPoint) (int, error) {
+			attempts.Add(1)
+			return 0, permanent
+		})
+	if !errors.Is(err, permanent) {
+		t.Fatalf("error = %v, want wrapped %v", err, permanent)
+	}
+	if attempts.Load() != 1 {
+		t.Errorf("permanent error ran %d attempts, want 1", attempts.Load())
+	}
+}
+
+func TestRunSupervisedRetriesExhausted(t *testing.T) {
+	cfg := SweepConfig{PointRetries: 2, RetryBackoff: time.Microsecond}
+	var attempts atomic.Int64
+	_, err := runSupervised(context.Background(), cfg, supervisePt,
+		func(ctx context.Context, pt GridPoint) (int, error) {
+			attempts.Add(1)
+			return 0, montecarlo.Transient(errors.New("still flaky"))
+		})
+	if err == nil || !strings.Contains(err.Error(), "3 attempts failed") {
+		t.Fatalf("error = %v, want 3-attempts-failed wrap", err)
+	}
+	if !errors.Is(err, montecarlo.ErrTransient) {
+		t.Errorf("exhausted-retries error lost its cause: %v", err)
+	}
+	if attempts.Load() != 3 {
+		t.Errorf("ran %d attempts, want 3 (1 + 2 retries)", attempts.Load())
+	}
+}
+
+func TestRunSupervisedNeverRetriesCancelledSweep(t *testing.T) {
+	cfg := SweepConfig{PointRetries: 5, RetryBackoff: time.Microsecond}
+	ctx, cancel := context.WithCancel(context.Background())
+	var attempts atomic.Int64
+	_, err := runSupervised(ctx, cfg, supervisePt,
+		func(ctx context.Context, pt GridPoint) (int, error) {
+			attempts.Add(1)
+			cancel() // the sweep dies while this attempt runs
+			return 0, montecarlo.Transient(errors.New("fallout"))
+		})
+	if err == nil {
+		t.Fatal("cancelled supervised run succeeded")
+	}
+	if attempts.Load() != 1 {
+		t.Errorf("cancelled sweep ran %d attempts, want 1", attempts.Load())
+	}
+}
+
+func TestRunSupervisedRecoversBuildPanic(t *testing.T) {
+	_, err := runSupervised(context.Background(), SweepConfig{}, supervisePt,
+		func(ctx context.Context, pt GridPoint) (int, error) {
+			panic("build exploded")
+		})
+	var pe *montecarlo.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error = %v, want *montecarlo.PanicError", err)
+	}
+	if pe.Value != "build exploded" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "experiment") {
+		t.Error("recovered stack does not show the panicking frames")
+	}
+	// The error must name the failing point's parameters (not just an index).
+	for _, want := range []string{"K=12", "q=2", "p=0.5", "x=3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name the failing point (%s)", err, want)
+		}
+	}
+}
+
+func TestRunSupervisedTimeoutAbandonsWedgedAttempt(t *testing.T) {
+	cfg := SweepConfig{PointTimeout: 20 * time.Millisecond, PointRetries: 1, RetryBackoff: time.Microsecond}
+	var attempts atomic.Int64
+	release := make(chan struct{})
+	defer close(release)
+	got, err := runSupervised(context.Background(), cfg, supervisePt,
+		func(ctx context.Context, pt GridPoint) (int, error) {
+			if attempts.Add(1) == 1 {
+				<-release // attempt 1 wedges until the test ends
+			}
+			return 7, nil
+		})
+	if err != nil || got != 7 {
+		t.Fatalf("got (%d, %v), want (7, nil) after timed-out retry", got, err)
+	}
+	if attempts.Load() != 2 {
+		t.Errorf("ran %d attempts, want 2", attempts.Load())
+	}
+}
+
+func TestRunSupervisedTimeoutErrorNamesPointAndDeadline(t *testing.T) {
+	cfg := SweepConfig{PointTimeout: 10 * time.Millisecond}
+	block := make(chan struct{})
+	defer close(block)
+	_, err := runSupervised(context.Background(), cfg, supervisePt,
+		func(ctx context.Context, pt GridPoint) (int, error) {
+			<-block
+			return 0, nil
+		})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want DeadlineExceeded", err)
+	}
+	if !strings.Contains(err.Error(), "abandoned") || !strings.Contains(err.Error(), "K=12") {
+		t.Errorf("timeout error %q should name the abandoned point", err)
+	}
+}
+
+func TestRunSupervisedRetryIfOverride(t *testing.T) {
+	custom := errors.New("custom retryable")
+	cfg := SweepConfig{
+		PointRetries: 2,
+		RetryBackoff: time.Microsecond,
+		RetryIf:      func(err error) bool { return errors.Is(err, custom) },
+	}
+	var attempts atomic.Int64
+	got, err := runSupervised(context.Background(), cfg, supervisePt,
+		func(ctx context.Context, pt GridPoint) (int, error) {
+			if attempts.Add(1) == 1 {
+				return 0, custom
+			}
+			return 1, nil
+		})
+	if err != nil || got != 1 {
+		t.Fatalf("custom-retryable error not retried: (%d, %v)", got, err)
+	}
+	// With the override in place, transient-marked errors are NOT retried.
+	attempts.Store(0)
+	_, err = runSupervised(context.Background(), cfg, supervisePt,
+		func(ctx context.Context, pt GridPoint) (int, error) {
+			attempts.Add(1)
+			return 0, montecarlo.Transient(errors.New("flaky"))
+		})
+	if err == nil || attempts.Load() != 1 {
+		t.Fatalf("RetryIf override leaked the default policy: attempts=%d err=%v", attempts.Load(), err)
+	}
+}
+
+func TestBackoffDelayDoubles(t *testing.T) {
+	cfg := SweepConfig{RetryBackoff: 3 * time.Millisecond}
+	for attempt, want := range []time.Duration{3, 6, 12, 24} {
+		if got := cfg.backoffDelay(attempt); got != want*time.Millisecond {
+			t.Errorf("backoffDelay(%d) = %v, want %v", attempt, got, want*time.Millisecond)
+		}
+	}
+	if got := (SweepConfig{}).backoffDelay(0); got != 10*time.Millisecond {
+		t.Errorf("default backoff = %v, want 10ms", got)
+	}
+}
+
+// TestShardedSweepSurvivesPanickingBuild is the regression test for the
+// pre-supervision failure mode: a panic in one point's build closure
+// unwound its shard goroutine, so close(pointCh) fed points to a dead pool
+// and the whole process crashed. Now the panic becomes that point's error,
+// sibling shards drain, and the sweep reports the failing point by its
+// parameters.
+func TestShardedSweepSurvivesPanickingBuild(t *testing.T) {
+	grid := Grid{Ks: []int{1, 2, 3, 4, 5, 6}}
+	for _, pw := range shardCounts() {
+		var built atomic.Int64
+		cfg := SweepConfig{Trials: 10, Workers: 1, PointWorkers: pw, Seed: 3}
+		_, err := SweepProportion(context.Background(), grid, cfg,
+			func(pt GridPoint) (montecarlo.Trial, error) {
+				if pt.K == 4 {
+					panic("bad point state")
+				}
+				built.Add(1)
+				return func(trial int, r *rng.Rand) (bool, error) { return true, nil }, nil
+			})
+		var pe *montecarlo.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("pointWorkers=%d: error = %v, want *montecarlo.PanicError", pw, err)
+		}
+		if !strings.Contains(err.Error(), "K=4") {
+			t.Errorf("pointWorkers=%d: error %q does not name the panicking point", pw, err)
+		}
+	}
+}
+
+// TestTrialPanicSurfacesAsPointError: a panic inside a TRIAL (recovered one
+// layer down, in montecarlo) also surfaces as an ordinary sweep error naming
+// the point.
+func TestTrialPanicSurfacesAsPointError(t *testing.T) {
+	grid := Grid{Ks: []int{1, 2}}
+	cfg := SweepConfig{Trials: 10, Workers: 2, PointWorkers: 2, Seed: 3}
+	_, err := SweepProportion(context.Background(), grid, cfg,
+		func(pt GridPoint) (montecarlo.Trial, error) {
+			return func(trial int, r *rng.Rand) (bool, error) {
+				if pt.K == 2 && trial == 7 {
+					panic("trial exploded")
+				}
+				return true, nil
+			}, nil
+		})
+	var pe *montecarlo.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error = %v, want *montecarlo.PanicError", err)
+	}
+	if !strings.Contains(err.Error(), "K=2") || !strings.Contains(err.Error(), "trial 7") {
+		t.Errorf("error %q should name point and trial", err)
+	}
+}

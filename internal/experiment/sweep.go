@@ -17,9 +17,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/secure-wsn/qcomposite/internal/montecarlo"
 	"github.com/secure-wsn/qcomposite/internal/rng"
@@ -45,6 +47,13 @@ type GridPoint struct {
 	K, Q  int
 	P     float64
 	X     float64
+}
+
+// String names the point by its parameters, so sweep errors surface WHICH
+// point failed in readable form ("experiment: sweep point {K=40 q=2 p=0.5
+// x=0 #12}: ...") instead of an anonymous struct dump.
+func (pt GridPoint) String() string {
+	return fmt.Sprintf("{K=%d q=%d p=%g x=%g #%d}", pt.K, pt.Q, pt.P, pt.X, pt.Index)
 }
 
 func (g Grid) axes() (ks []int, qs []int, ps, xs []float64) {
@@ -111,6 +120,53 @@ type SweepConfig struct {
 	// independent base seed mixed from (Seed, K, q, p, x); trials within a
 	// point derive per-trial streams from that, as montecarlo always does.
 	Seed uint64
+
+	// Checkpoint, when non-nil, receives the sweep's journal: a header
+	// record binding the journal to this sweep's fingerprint, then one
+	// JSON-lines record per freshly completed grid point, appended as each
+	// point lands (under sharding, in completion order — resume does not
+	// care). Writes are serialized and each record is a single Write call,
+	// so an os.File opened with O_APPEND is safe to share. Points restored
+	// from Resume are NOT re-emitted: to keep one complete journal, resume
+	// from and checkpoint to the same file.
+	Checkpoint io.Writer
+	// Resume, when non-nil, is a journal written by a previous run of this
+	// same sweep (verified via the fingerprint: grid, trials, seed, sweep
+	// kind, JournalLabel, code version — worker counts excluded by design).
+	// Completed points load from the journal and are skipped; the merged
+	// results are bit-identical to an uninterrupted run because per-point
+	// seeds derive from parameters, never from scheduling. An empty stream
+	// resumes nothing; a journal from a different sweep is an error.
+	Resume io.Reader
+	// JournalLabel distinguishes sweeps whose identity is not captured by
+	// (grid, trials, seed, kind) alone — everything the build closure bakes
+	// in: sensor count, pool size, channel family, measurement choice.
+	// Callers that checkpoint SHOULD set it (e.g. "figure1 n=1000
+	// pool=10000"); it folds into the fingerprint, so resuming a journal
+	// across semantically different sweeps fails instead of silently
+	// merging incompatible results.
+	JournalLabel string
+
+	// PointTimeout bounds each ATTEMPT of one grid point (build plus its
+	// full trial run); 0 means no timeout. A timed-out attempt counts as a
+	// retryable failure; its goroutine is abandoned (every attempt calls
+	// build afresh, so attempts never share state), which keeps a wedged
+	// point from hanging the grid.
+	PointTimeout time.Duration
+	// PointRetries is the number of ADDITIONAL attempts a failed point gets
+	// when its error is retryable; 0 means fail on first error. Retries
+	// re-run the point from its parameter-derived seed, so a retried
+	// point's result is bit-identical to a clean run's.
+	PointRetries int
+	// RetryBackoff is the delay before the first retry (default 10ms),
+	// doubling with each subsequent attempt. Backoff aborts promptly when
+	// the sweep is cancelled.
+	RetryBackoff time.Duration
+	// RetryIf overrides the retry policy. nil retries errors marked
+	// montecarlo.ErrTransient and per-point timeouts
+	// (context.DeadlineExceeded); genuine sweep cancellation is never
+	// retried regardless of policy.
+	RetryIf func(error) bool
 }
 
 // clampShards caps PointWorkers at the number of grid points, so the
@@ -151,16 +207,64 @@ func (c SweepConfig) pointConfig(pt GridPoint) montecarlo.Config {
 // so in-flight points stop promptly; all shards are always fully drained
 // before return.
 //
+// Every point executes under the supervisor (runSupervised): panics in
+// build become point errors, attempts are bounded by cfg.PointTimeout, and
+// retryable failures re-run up to cfg.PointRetries times. With
+// cfg.Resume/cfg.Checkpoint set, previously journaled points are restored
+// instead of recomputed and fresh completions are checkpointed as they
+// land; merged results are bit-identical to an uninterrupted run.
+//
 // On failure the error reported is the first FAILING point in Points()
 // order, preferring genuine point errors over the cancellation fallout they
 // caused in concurrently running points.
-func runPoints[R any](ctx context.Context, grid Grid, cfg SweepConfig,
+func runPoints[R any](ctx context.Context, grid Grid, cfg SweepConfig, codec pointCodec[R],
 	fn func(ctx context.Context, pt GridPoint) (R, error)) ([]R, error) {
 	pts := grid.Points()
 	out := make([]R, len(pts))
-	if cfg.PointWorkers <= 0 {
+	jw, cached, err := cfg.journalSetup(codec.kind, grid)
+	if err != nil {
+		return nil, err
+	}
+	pending := pts
+	if len(cached) > 0 {
+		pending = make([]GridPoint, 0, len(pts))
 		for _, pt := range pts {
-			r, err := fn(ctx, pt)
+			rec, ok := cached[keyOf(pt)]
+			if !ok {
+				pending = append(pending, pt)
+				continue
+			}
+			if want := cfg.PointSeed(pt); rec.Seed != want {
+				return nil, fmt.Errorf("experiment: resume journal point %v ran under seed %d, want %d (corrupt or incompatible journal)",
+					pt, rec.Seed, want)
+			}
+			r, err := codec.decode(pt, rec.Value)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: resume journal point %v: %w", pt, err)
+			}
+			out[pt.Index] = r
+		}
+	}
+	// run supervises one point and checkpoints its fresh result.
+	run := func(ctx context.Context, pt GridPoint) (R, error) {
+		r, err := runSupervised(ctx, cfg, pt, fn)
+		if err != nil {
+			return r, err
+		}
+		if jw != nil {
+			raw, err := codec.encode(r)
+			if err != nil {
+				return r, fmt.Errorf("experiment: checkpointing point %v: %w", pt, err)
+			}
+			if err := jw.writePoint(pt, cfg.PointSeed(pt), raw); err != nil {
+				return r, err
+			}
+		}
+		return r, nil
+	}
+	if cfg.PointWorkers <= 0 {
+		for _, pt := range pending {
+			r, err := run(ctx, pt)
 			if err != nil {
 				return nil, err
 			}
@@ -182,7 +286,7 @@ func runPoints[R any](ctx context.Context, grid Grid, cfg SweepConfig,
 		go func() {
 			defer wg.Done()
 			for pt := range pointCh {
-				r, err := fn(cancelCtx, pt)
+				r, err := run(cancelCtx, pt)
 				if err != nil {
 					errs[pt.Index] = err
 					cancel()
@@ -193,7 +297,7 @@ func runPoints[R any](ctx context.Context, grid Grid, cfg SweepConfig,
 		}()
 	}
 feed:
-	for _, pt := range pts {
+	for _, pt := range pending {
 		select {
 		case pointCh <- pt:
 		case <-cancelCtx.Done():
@@ -262,7 +366,7 @@ type MeanResult struct {
 func SweepProportion(ctx context.Context, grid Grid, cfg SweepConfig,
 	build func(pt GridPoint) (montecarlo.Trial, error)) ([]ProportionResult, error) {
 	cfg = cfg.clampShards(grid)
-	return runPoints(ctx, grid, cfg,
+	return runPoints(ctx, grid, cfg, proportionCodec(),
 		func(ctx context.Context, pt GridPoint) (ProportionResult, error) {
 			trial, err := build(pt)
 			if err != nil {
@@ -290,7 +394,7 @@ type MeanVecResult struct {
 func SweepMeanVec(ctx context.Context, grid Grid, cfg SweepConfig, dims int,
 	build func(pt GridPoint) (montecarlo.SampleVec, error)) ([]MeanVecResult, error) {
 	cfg = cfg.clampShards(grid)
-	return runPoints(ctx, grid, cfg,
+	return runPoints(ctx, grid, cfg, meanVecCodec(dims),
 		func(ctx context.Context, pt GridPoint) (MeanVecResult, error) {
 			sample, err := build(pt)
 			if err != nil {
@@ -311,7 +415,7 @@ func SweepMeanVec(ctx context.Context, grid Grid, cfg SweepConfig, dims int,
 func SweepMean(ctx context.Context, grid Grid, cfg SweepConfig,
 	build func(pt GridPoint) (montecarlo.Sample, error)) ([]MeanResult, error) {
 	cfg = cfg.clampShards(grid)
-	return runPoints(ctx, grid, cfg,
+	return runPoints(ctx, grid, cfg, meanCodec(),
 		func(ctx context.Context, pt GridPoint) (MeanResult, error) {
 			sample, err := build(pt)
 			if err != nil {

@@ -1,0 +1,285 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// sweep runtime: it wraps a sweep's build closures so that panics, transient
+// errors, delays and mid-grid cancellation strike at configurable rates —
+// while leaving the experiment's OWN randomness untouched, so a faulted,
+// retried, resumed sweep still produces results bit-identical to a clean run.
+//
+// Determinism comes from giving the injector its own rng sub-stream
+// hierarchy, parallel to the experiment's: fault decisions for one trial are
+// drawn from a stream derived from (injector seed, point parameters, attempt
+// number, trial index), never from the experiment's generator and never from
+// wall-clock or scheduling. Faults are decided BEFORE the wrapped trial runs,
+// so an attempt that survives its fault draws executes the user's trial on
+// exactly the generator state a clean run would have used. Each retry of a
+// point bumps the point's attempt counter, so retries redraw their faults —
+// a point that panics on attempt 0 can complete cleanly on attempt 1, which
+// is what makes the supervisor's bounded retry converge under injection.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/secure-wsn/qcomposite/internal/experiment"
+	"github.com/secure-wsn/qcomposite/internal/montecarlo"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+// ErrInjected is the root cause of every error the harness injects. Injected
+// errors are additionally marked montecarlo.ErrTransient, so the sweep
+// supervisor's default retry policy retries them.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// IsInjected reports whether err was produced by the harness: an injected
+// transient error (wraps ErrInjected) or an injected panic (a
+// montecarlo.PanicError whose value carries the harness marker). Tests and
+// harness drivers use it as the sweep's RetryIf policy — injected build
+// panics are not transient-marked (panic values do not wrap errors), so the
+// default policy alone would not retry them.
+func IsInjected(err error) bool {
+	if errors.Is(err, ErrInjected) {
+		return true
+	}
+	var pe *montecarlo.PanicError
+	if errors.As(err, &pe) {
+		if s, ok := pe.Value.(string); ok {
+			return strings.HasPrefix(s, "faultinject:")
+		}
+	}
+	return false
+}
+
+// Config sets the fault mix. All probabilities are per-draw (per build call
+// or per trial); zero disables that fault class.
+type Config struct {
+	// Seed roots the injector's private rng stream hierarchy. Two injectors
+	// with the same Seed and Config fault the same (point, attempt, trial)
+	// coordinates, regardless of scheduling.
+	Seed uint64
+
+	// BuildPanicProb is the probability that one build call panics.
+	BuildPanicProb float64
+	// BuildErrProb is the probability that one build call returns an
+	// injected transient error.
+	BuildErrProb float64
+
+	// TrialPanicProb is the probability that one trial panics before the
+	// user's trial function runs.
+	TrialPanicProb float64
+	// TrialErrProb is the probability that one trial returns an injected
+	// transient error.
+	TrialErrProb float64
+	// TrialDelayProb is the probability that one trial sleeps Delay before
+	// running — the ingredient for exercising per-point timeouts.
+	TrialDelayProb float64
+	// Delay is the sleep injected on a delay fault.
+	Delay time.Duration
+
+	// CancelAfter, when positive, calls Cancel once after that many wrapped
+	// trials have completed across the whole run — a deterministic-ish way
+	// to kill a sweep mid-grid. (The trial COUNT at cancellation is exact;
+	// which points were in flight depends on scheduling, which is fine:
+	// resume merges whatever completed.)
+	CancelAfter int64
+	// Cancel is the function CancelAfter invokes, typically the sweep
+	// context's CancelFunc.
+	Cancel context.CancelFunc
+}
+
+// Counts reports how many faults of each class actually fired.
+type Counts struct {
+	BuildPanics int64
+	BuildErrs   int64
+	TrialPanics int64
+	TrialErrs   int64
+	Delays      int64
+	Cancelled   bool
+}
+
+// Injector wraps sweep build closures with deterministic fault injection.
+// One Injector serves one sweep run; it is safe for use from every shard and
+// trial worker concurrently.
+type Injector struct {
+	cfg Config
+
+	mu       sync.Mutex
+	attempts map[pointID]uint64
+
+	trialsDone  atomic.Int64
+	cancelOnce  sync.Once
+	cancelled   atomic.Bool
+	buildPanics atomic.Int64
+	buildErrs   atomic.Int64
+	trialPanics atomic.Int64
+	trialErrs   atomic.Int64
+	delays      atomic.Int64
+}
+
+// pointID mirrors the parameter identity experiment.SweepConfig.PointSeed
+// seeds from: the injector's attempt counters and fault streams key on what
+// the point IS, not where the grid put it.
+type pointID struct {
+	k, q int
+	p, x uint64
+}
+
+// New returns an Injector for one sweep run.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, attempts: make(map[pointID]uint64)}
+}
+
+// Counts snapshots the faults fired so far.
+func (in *Injector) Counts() Counts {
+	return Counts{
+		BuildPanics: in.buildPanics.Load(),
+		BuildErrs:   in.buildErrs.Load(),
+		TrialPanics: in.trialPanics.Load(),
+		TrialErrs:   in.trialErrs.Load(),
+		Delays:      in.delays.Load(),
+		Cancelled:   in.cancelled.Load(),
+	}
+}
+
+// attemptSeed derives the fault stream root for the next attempt of pt,
+// bumping the point's attempt counter: attempt n of a point always draws the
+// same faults, and retries draw fresh ones.
+func (in *Injector) attemptSeed(pt experiment.GridPoint) uint64 {
+	id := pointID{k: pt.K, q: pt.Q, p: math.Float64bits(pt.P), x: math.Float64bits(pt.X)}
+	in.mu.Lock()
+	attempt := in.attempts[id]
+	in.attempts[id] = attempt + 1
+	in.mu.Unlock()
+	s := rng.StreamSeed(in.cfg.Seed, uint64(int64(pt.K)))
+	s = rng.StreamSeed(s, uint64(int64(pt.Q)))
+	s = rng.StreamSeed(s, math.Float64bits(pt.P))
+	s = rng.StreamSeed(s, math.Float64bits(pt.X))
+	return rng.StreamSeed(s, attempt)
+}
+
+// buildFault draws this attempt's build-level fault, returning a non-nil
+// error (or panicking) when one fires. Stream 0 of the attempt seed is the
+// build draw; streams 1+trial are the per-trial draws.
+func (in *Injector) buildFault(pt experiment.GridPoint, seed uint64) error {
+	r := rng.NewStream(seed, 0)
+	if r.Bernoulli(in.cfg.BuildPanicProb) {
+		in.buildPanics.Add(1)
+		panic(fmt.Sprintf("faultinject: injected build panic at point %v", pt))
+	}
+	if r.Bernoulli(in.cfg.BuildErrProb) {
+		in.buildErrs.Add(1)
+		return montecarlo.Transient(fmt.Errorf("build at point %v: %w", pt, ErrInjected))
+	}
+	return nil
+}
+
+// trialFault draws one trial's faults: panic, error, or delay — decided from
+// the injector's private stream before the user's trial function runs. The
+// returned error (if any) is transient-marked.
+func (in *Injector) trialFault(pt experiment.GridPoint, seed uint64, trial int) error {
+	var r rng.Rand
+	r.ReseedStream(seed, 1+uint64(trial))
+	if r.Bernoulli(in.cfg.TrialPanicProb) {
+		in.trialPanics.Add(1)
+		panic(fmt.Sprintf("faultinject: injected trial panic at point %v trial %d", pt, trial))
+	}
+	if r.Bernoulli(in.cfg.TrialErrProb) {
+		in.trialErrs.Add(1)
+		return montecarlo.Transient(fmt.Errorf("trial %d at point %v: %w", trial, pt, ErrInjected))
+	}
+	if r.Bernoulli(in.cfg.TrialDelayProb) {
+		in.delays.Add(1)
+		time.Sleep(in.cfg.Delay)
+	}
+	return nil
+}
+
+// trialDone counts a completed wrapped trial and fires the mid-grid
+// cancellation once the configured budget is spent.
+func (in *Injector) trialDone() {
+	done := in.trialsDone.Add(1)
+	if in.cfg.CancelAfter > 0 && done >= in.cfg.CancelAfter && in.cfg.Cancel != nil {
+		in.cancelOnce.Do(func() {
+			in.cancelled.Store(true)
+			in.cfg.Cancel()
+		})
+	}
+}
+
+// ProportionBuild wraps a SweepProportion build closure with fault
+// injection.
+func (in *Injector) ProportionBuild(build func(pt experiment.GridPoint) (montecarlo.Trial, error)) func(pt experiment.GridPoint) (montecarlo.Trial, error) {
+	return func(pt experiment.GridPoint) (montecarlo.Trial, error) {
+		seed := in.attemptSeed(pt)
+		if err := in.buildFault(pt, seed); err != nil {
+			return nil, err
+		}
+		fn, err := build(pt)
+		if err != nil {
+			return nil, err
+		}
+		return func(trial int, r *rng.Rand) (bool, error) {
+			if err := in.trialFault(pt, seed, trial); err != nil {
+				return false, err
+			}
+			ok, err := fn(trial, r)
+			if err == nil {
+				in.trialDone()
+			}
+			return ok, err
+		}, nil
+	}
+}
+
+// SampleBuild wraps a SweepMean build closure with fault injection.
+func (in *Injector) SampleBuild(build func(pt experiment.GridPoint) (montecarlo.Sample, error)) func(pt experiment.GridPoint) (montecarlo.Sample, error) {
+	return func(pt experiment.GridPoint) (montecarlo.Sample, error) {
+		seed := in.attemptSeed(pt)
+		if err := in.buildFault(pt, seed); err != nil {
+			return nil, err
+		}
+		fn, err := build(pt)
+		if err != nil {
+			return nil, err
+		}
+		return func(trial int, r *rng.Rand) (float64, error) {
+			if err := in.trialFault(pt, seed, trial); err != nil {
+				return 0, err
+			}
+			v, err := fn(trial, r)
+			if err == nil {
+				in.trialDone()
+			}
+			return v, err
+		}, nil
+	}
+}
+
+// SampleVecBuild wraps a SweepMeanVec build closure with fault injection.
+func (in *Injector) SampleVecBuild(build func(pt experiment.GridPoint) (montecarlo.SampleVec, error)) func(pt experiment.GridPoint) (montecarlo.SampleVec, error) {
+	return func(pt experiment.GridPoint) (montecarlo.SampleVec, error) {
+		seed := in.attemptSeed(pt)
+		if err := in.buildFault(pt, seed); err != nil {
+			return nil, err
+		}
+		fn, err := build(pt)
+		if err != nil {
+			return nil, err
+		}
+		return func(trial int, r *rng.Rand) ([]float64, error) {
+			if err := in.trialFault(pt, seed, trial); err != nil {
+				return nil, err
+			}
+			v, err := fn(trial, r)
+			if err == nil {
+				in.trialDone()
+			}
+			return v, err
+		}, nil
+	}
+}

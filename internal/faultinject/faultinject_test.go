@@ -1,0 +1,237 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/secure-wsn/qcomposite/internal/experiment"
+	"github.com/secure-wsn/qcomposite/internal/montecarlo"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+)
+
+// matrixGrid is the small grid every matrix cell sweeps.
+func matrixGrid() experiment.Grid {
+	return experiment.Grid{Ks: []int{20, 30}, Qs: []int{1}, Ps: []float64{0.3, 0.7}}
+}
+
+// matrixConfig is the base sweep configuration: fixed seed, sharded points,
+// retries generous enough for the injection rates below to converge.
+func matrixConfig() experiment.SweepConfig {
+	return experiment.SweepConfig{
+		Trials:       40,
+		Workers:      2,
+		PointWorkers: 3,
+		Seed:         42,
+		PointRetries: 10,
+		RetryBackoff: time.Millisecond,
+		RetryIf: func(err error) bool {
+			return IsInjected(err) || errors.Is(err, context.DeadlineExceeded)
+		},
+	}
+}
+
+// proportionBuild is a deterministic toy sweep: the trial's success
+// probability is the point's P, drawn from the trial's own stream.
+func proportionBuild(pt experiment.GridPoint) (montecarlo.Trial, error) {
+	p := pt.P
+	return func(trial int, r *rng.Rand) (bool, error) {
+		return r.Bernoulli(p), nil
+	}, nil
+}
+
+func sampleBuild(pt experiment.GridPoint) (montecarlo.Sample, error) {
+	k := float64(pt.K)
+	return func(trial int, r *rng.Rand) (float64, error) {
+		return r.Float64() * k, nil
+	}, nil
+}
+
+func sampleVecBuild(pt experiment.GridPoint) (montecarlo.SampleVec, error) {
+	k := float64(pt.K)
+	return func(trial int, r *rng.Rand) ([]float64, error) {
+		u := r.Float64()
+		return []float64{u * k, u * u}, nil
+	}, nil
+}
+
+// runVariant runs one sweep variant, optionally through an injector, and
+// returns its results as a comparable value.
+func runVariant(t *testing.T, ctx context.Context, variant string, cfg experiment.SweepConfig, in *Injector) (any, error) {
+	t.Helper()
+	grid := matrixGrid()
+	switch variant {
+	case "proportion":
+		build := proportionBuild
+		if in != nil {
+			build = in.ProportionBuild(build)
+		}
+		return asAny(experiment.SweepProportion(ctx, grid, cfg, build))
+	case "mean":
+		build := sampleBuild
+		if in != nil {
+			build = in.SampleBuild(build)
+		}
+		return asAny(experiment.SweepMean(ctx, grid, cfg, build))
+	case "meanvec":
+		build := sampleVecBuild
+		if in != nil {
+			build = in.SampleVecBuild(build)
+		}
+		return asAny(experiment.SweepMeanVec(ctx, grid, cfg, 2, build))
+	default:
+		t.Fatalf("unknown variant %q", variant)
+		return nil, nil
+	}
+}
+
+func asAny[R any](rs []R, err error) (any, error) { return rs, err }
+
+// fired selects the Counts field a fault class must have incremented.
+type fired func(c Counts) int64
+
+// TestFaultMatrix runs every fault class against every sweep variant at a
+// fixed seed: the faulted, retried sweep must produce results bit-identical
+// to the clean sweep, and the class's faults must actually have fired.
+func TestFaultMatrix(t *testing.T) {
+	classes := []struct {
+		name  string
+		inj   Config
+		sweep func(cfg *experiment.SweepConfig)
+		fired fired
+	}{
+		{
+			name:  "build-panic",
+			inj:   Config{Seed: 7, BuildPanicProb: 0.5},
+			fired: func(c Counts) int64 { return c.BuildPanics },
+		},
+		{
+			name:  "build-error",
+			inj:   Config{Seed: 7, BuildErrProb: 0.5},
+			fired: func(c Counts) int64 { return c.BuildErrs },
+		},
+		{
+			name:  "trial-panic",
+			inj:   Config{Seed: 7, TrialPanicProb: 0.015},
+			fired: func(c Counts) int64 { return c.TrialPanics },
+		},
+		{
+			name:  "trial-error",
+			inj:   Config{Seed: 7, TrialErrProb: 0.015},
+			fired: func(c Counts) int64 { return c.TrialErrs },
+		},
+		{
+			name: "trial-delay-timeout",
+			inj:  Config{Seed: 7, TrialDelayProb: 0.01, Delay: 5 * time.Second},
+			sweep: func(cfg *experiment.SweepConfig) {
+				cfg.PointTimeout = 500 * time.Millisecond
+			},
+			fired: func(c Counts) int64 { return c.Delays },
+		},
+	}
+	for _, variant := range []string{"proportion", "mean", "meanvec"} {
+		clean, err := runVariant(t, context.Background(), variant, matrixConfig(), nil)
+		if err != nil {
+			t.Fatalf("%s: clean sweep failed: %v", variant, err)
+		}
+		for _, class := range classes {
+			t.Run(variant+"/"+class.name, func(t *testing.T) {
+				t.Parallel()
+				cfg := matrixConfig()
+				if class.sweep != nil {
+					class.sweep(&cfg)
+				}
+				in := New(class.inj)
+				got, err := runVariant(t, context.Background(), variant, cfg, in)
+				if err != nil {
+					t.Fatalf("faulted sweep failed: %v\ncounts: %+v", err, in.Counts())
+				}
+				if n := class.fired(in.Counts()); n == 0 {
+					t.Fatalf("fault class never fired; counts: %+v", in.Counts())
+				}
+				if !reflect.DeepEqual(got, clean) {
+					t.Fatalf("faulted sweep results differ from clean run\nclean: %+v\nfaulted: %+v\ncounts: %+v",
+						clean, got, in.Counts())
+				}
+			})
+		}
+	}
+}
+
+// TestCancelMidGridAndResume exercises the cancellation fault class end to
+// end: the injector kills the sweep after a trial budget, the checkpoint
+// journal captures the completed points, and a clean resumed run merges to
+// results bit-identical to an uninterrupted sweep.
+func TestCancelMidGridAndResume(t *testing.T) {
+	cfg := matrixConfig()
+	clean, err := runVariant(t, context.Background(), "proportion", cfg, nil)
+	if err != nil {
+		t.Fatalf("clean sweep failed: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var journal bytes.Buffer
+	killCfg := cfg
+	killCfg.Checkpoint = &journal
+	in := New(Config{Seed: 9, CancelAfter: 55, Cancel: cancel})
+	if _, err := runVariant(t, ctx, "proportion", killCfg, in); err == nil {
+		t.Fatal("cancelled sweep unexpectedly succeeded")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep failed with %v, want context.Canceled", err)
+	}
+	if !in.Counts().Cancelled {
+		t.Fatalf("injector never cancelled; counts: %+v", in.Counts())
+	}
+
+	resumeCfg := cfg
+	resumeCfg.Resume = bytes.NewReader(journal.Bytes())
+	got, err := runVariant(t, context.Background(), "proportion", resumeCfg, nil)
+	if err != nil {
+		t.Fatalf("resumed sweep failed: %v", err)
+	}
+	if !reflect.DeepEqual(got, clean) {
+		t.Fatalf("resumed sweep differs from clean run\nclean: %+v\nresumed: %+v", clean, got)
+	}
+}
+
+// TestInjectorDeterminism: two injectors with the same seed fault the same
+// coordinates, so two faulted runs of the same sweep agree fault count for
+// fault count.
+func TestInjectorDeterminism(t *testing.T) {
+	run := func() Counts {
+		cfg := matrixConfig()
+		cfg.PointWorkers = 0 // sequential: attempt order is deterministic
+		in := New(Config{Seed: 3, BuildErrProb: 0.5, TrialErrProb: 0.01})
+		if _, err := runVariant(t, context.Background(), "proportion", cfg, in); err != nil {
+			t.Fatalf("faulted sweep failed: %v", err)
+		}
+		return in.Counts()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same-seed injectors diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestIsInjected pins the retry-policy helper's contract.
+func TestIsInjected(t *testing.T) {
+	if !IsInjected(montecarlo.Transient(ErrInjected)) {
+		t.Error("transient-wrapped ErrInjected not recognized")
+	}
+	if !IsInjected(montecarlo.NewPanicError("faultinject: injected build panic at point {K=1 q=1 p=0 x=0 #0}")) {
+		t.Error("injected panic not recognized")
+	}
+	if IsInjected(montecarlo.NewPanicError("index out of range")) {
+		t.Error("user panic misclassified as injected")
+	}
+	if IsInjected(errors.New("plain failure")) {
+		t.Error("plain error misclassified as injected")
+	}
+	if IsInjected(nil) {
+		t.Error("nil misclassified as injected")
+	}
+}

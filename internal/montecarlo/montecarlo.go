@@ -10,19 +10,104 @@ package montecarlo
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"github.com/secure-wsn/qcomposite/internal/rng"
 	"github.com/secure-wsn/qcomposite/internal/stats"
 )
 
+// PanicError is a panic recovered from a trial (or, one layer up, from a
+// sweep point's build), converted into an ordinary error so one faulty trial
+// aborts its run instead of killing the process — sibling workers and shards
+// drain cleanly and the caller decides whether to retry, skip or fail.
+type PanicError struct {
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the stack captured at the recovery site; it includes the
+	// panicking frames.
+	Stack []byte
+}
+
+// NewPanicError wraps a recovered panic value, capturing the current stack.
+// Call it directly inside the recover() branch so the panicking frames are
+// still on the goroutine stack.
+func NewPanicError(value any) *PanicError {
+	return &PanicError{Value: value, Stack: debug.Stack()}
+}
+
+// Error renders the panic value with its stack trace.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// ErrTransient marks errors worth retrying: trial failures caused by
+// external, non-deterministic conditions (an injected fault, a flaky
+// side-channel) rather than by the trial's own deterministic computation.
+// Match with errors.Is; create with Transient.
+var ErrTransient = errors.New("transient failure")
+
+// transientError wraps an error so errors.Is(err, ErrTransient) holds while
+// the original cause stays unwrappable.
+type transientError struct{ err error }
+
+func (e transientError) Error() string { return e.err.Error() }
+func (e transientError) Unwrap() error { return e.err }
+func (e transientError) Is(target error) bool {
+	return target == ErrTransient
+}
+
+// Transient marks err as retryable: the sweep supervisor's default retry
+// policy re-runs points whose failure matches ErrTransient, because a
+// deterministic re-run at the same seed can succeed when the cause was
+// external. A nil err stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return transientError{err: err}
+}
+
+// safeTrial invokes fn with panic isolation: a panicking trial returns a
+// *PanicError instead of unwinding the worker goroutine.
+func safeTrial(fn Trial, trial int, r *rng.Rand) (ok bool, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			ok, err = false, NewPanicError(p)
+		}
+	}()
+	return fn(trial, r)
+}
+
+// safeSample is safeTrial for Sample trials.
+func safeSample(fn Sample, trial int, r *rng.Rand) (v float64, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			v, err = 0, NewPanicError(p)
+		}
+	}()
+	return fn(trial, r)
+}
+
+// safeSampleVec is safeTrial for SampleVec trials.
+func safeSampleVec(fn SampleVec, trial int, r *rng.Rand) (v []float64, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			v, err = nil, NewPanicError(p)
+		}
+	}()
+	return fn(trial, r)
+}
+
 // Trial evaluates one randomized trial. The generator is deterministically
 // reseeded to stream (seed, trial index) before the call; implementations
 // must use only it for randomness and must not retain it past the call (the
 // worker reuses one generator across its trials). Returning an error aborts
-// the whole run.
+// the whole run; a panic is recovered into a *PanicError and aborts the run
+// the same way — it never unwinds past the engine.
 type Trial func(trial int, r *rng.Rand) (bool, error)
 
 // Config controls a Monte Carlo run.
@@ -79,7 +164,7 @@ func EstimateProportion(ctx context.Context, cfg Config, fn Trial) (stats.Propor
 			var r rng.Rand
 			for trial := range trialCh {
 				r.ReseedStream(cfg.Seed, uint64(trial))
-				ok, err := fn(trial, &r)
+				ok, err := safeTrial(fn, trial, &r)
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
@@ -180,7 +265,7 @@ func EstimateMeanVec(ctx context.Context, cfg Config, dims int, fn SampleVec) ([
 			var r rng.Rand
 			for trial := range trialCh {
 				r.ReseedStream(cfg.Seed, uint64(trial))
-				v, err := fn(trial, &r)
+				v, err := safeSampleVec(fn, trial, &r)
 				if err == nil && len(v) != dims {
 					err = fmt.Errorf("montecarlo: trial returned %d values, want %d", len(v), dims)
 				}
@@ -262,7 +347,7 @@ func Collect(ctx context.Context, cfg Config, fn Sample) ([]float64, error) {
 			var r rng.Rand
 			for trial := range trialCh {
 				r.ReseedStream(cfg.Seed, uint64(trial))
-				v, err := fn(trial, &r)
+				v, err := safeSample(fn, trial, &r)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {

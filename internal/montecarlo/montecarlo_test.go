@@ -3,7 +3,9 @@ package montecarlo
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -212,5 +214,94 @@ func TestWorkersDefaultAndClamp(t *testing.T) {
 	}
 	if got.Successes != 3 {
 		t.Errorf("default workers: Successes = %d, want 3", got.Successes)
+	}
+}
+
+// TestTrialPanicIsolation pins the supervision contract on every engine
+// entry point: a panicking trial must surface as a *PanicError carrying the
+// panic site in its stack — never unwind the worker goroutine and kill the
+// process — and sibling workers must drain cleanly.
+func TestTrialPanicIsolation(t *testing.T) {
+	cfg := Config{Trials: 200, Workers: 4, Seed: 9}
+	checkPanic := func(t *testing.T, err error) {
+		t.Helper()
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("err = %v, want a *PanicError", err)
+		}
+		if pe.Value != "trial exploded" {
+			t.Errorf("panic value = %v", pe.Value)
+		}
+		if !strings.Contains(string(pe.Stack), "montecarlo") {
+			t.Errorf("stack missing the panic site:\n%s", pe.Stack)
+		}
+	}
+	t.Run("proportion", func(t *testing.T) {
+		_, err := EstimateProportion(context.Background(), cfg,
+			func(trial int, r *rng.Rand) (bool, error) {
+				if trial == 37 {
+					panic("trial exploded")
+				}
+				return true, nil
+			})
+		checkPanic(t, err)
+	})
+	t.Run("meanvec", func(t *testing.T) {
+		_, err := EstimateMeanVec(context.Background(), cfg, 1,
+			func(trial int, r *rng.Rand) ([]float64, error) {
+				if trial == 37 {
+					panic("trial exploded")
+				}
+				return []float64{1}, nil
+			})
+		checkPanic(t, err)
+	})
+	t.Run("mean", func(t *testing.T) {
+		_, err := EstimateMean(context.Background(), cfg,
+			func(trial int, r *rng.Rand) (float64, error) {
+				if trial == 37 {
+					panic("trial exploded")
+				}
+				return 1, nil
+			})
+		checkPanic(t, err)
+	})
+	t.Run("collect", func(t *testing.T) {
+		_, err := Collect(context.Background(), cfg,
+			func(trial int, r *rng.Rand) (float64, error) {
+				if trial == 37 {
+					panic("trial exploded")
+				}
+				return 1, nil
+			})
+		checkPanic(t, err)
+	})
+}
+
+// TestTransientMarking pins the retryability marker: Transient wraps an
+// error so errors.Is matches ErrTransient while the original cause remains
+// reachable, and nil stays nil.
+func TestTransientMarking(t *testing.T) {
+	cause := errors.New("socket reset")
+	err := Transient(cause)
+	if !errors.Is(err, ErrTransient) {
+		t.Error("Transient error does not match ErrTransient")
+	}
+	if !errors.Is(err, cause) {
+		t.Error("Transient error lost its cause")
+	}
+	if err.Error() != cause.Error() {
+		t.Errorf("message changed: %q", err.Error())
+	}
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) must stay nil")
+	}
+	if errors.Is(cause, ErrTransient) {
+		t.Error("unmarked error must not match ErrTransient")
+	}
+	// Wrapping through fmt.Errorf %w keeps the marker visible.
+	wrapped := fmt.Errorf("trial 3: %w", Transient(cause))
+	if !errors.Is(wrapped, ErrTransient) {
+		t.Error("fmt-wrapped transient error lost the marker")
 	}
 }

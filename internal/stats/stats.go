@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -82,6 +83,88 @@ func (s *Summary) Add(x float64) {
 	delta := x - s.mean
 	s.mean += delta / float64(s.n)
 	s.m2 += delta * (x - s.mean)
+}
+
+// jsonFloat is a float64 that always survives a JSON round trip: finite
+// values encode as ordinary JSON numbers (Go emits the shortest decimal that
+// parses back to the same bits), and the non-finite values JSON numbers
+// cannot carry — a Welford accumulator can overflow to +Inf on extreme
+// observations — fall back to quoted "NaN"/"+Inf"/"-Inf".
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+func (f *jsonFloat) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		switch s {
+		case "NaN":
+			*f = jsonFloat(math.NaN())
+		case "+Inf":
+			*f = jsonFloat(math.Inf(1))
+		case "-Inf":
+			*f = jsonFloat(math.Inf(-1))
+		default:
+			return fmt.Errorf("stats: %q is not a float", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
+}
+
+// summaryJSON is the serialized form of a Summary: the exact accumulator
+// state, so a round-tripped Summary reports bit-identical statistics.
+type summaryJSON struct {
+	N    int       `json:"n"`
+	Mean jsonFloat `json:"mean"`
+	M2   jsonFloat `json:"m2"`
+	Min  jsonFloat `json:"min"`
+	Max  jsonFloat `json:"max"`
+}
+
+// MarshalJSON serializes the full accumulator state. It exists for
+// checkpoint journals (experiment sweeps persist completed points and must
+// restore them bit-identically), not for presentation — use the accessor
+// methods for reporting.
+func (s *Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(summaryJSON{
+		N:    s.n,
+		Mean: jsonFloat(s.mean),
+		M2:   jsonFloat(s.m2),
+		Min:  jsonFloat(s.min),
+		Max:  jsonFloat(s.max),
+	})
+}
+
+// UnmarshalJSON restores the exact accumulator state written by MarshalJSON.
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var j summaryJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.N < 0 {
+		return fmt.Errorf("stats: summary with negative observation count %d", j.N)
+	}
+	s.n = j.N
+	s.mean, s.m2 = float64(j.Mean), float64(j.M2)
+	s.min, s.max = float64(j.Min), float64(j.Max)
+	return nil
 }
 
 // N returns the observation count.

@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -285,5 +287,77 @@ func TestQuantiles(t *testing.T) {
 	empty := Quantiles(nil, 0.5)
 	if len(empty) != 1 || empty[0] != 0 {
 		t.Errorf("empty Quantiles = %v", empty)
+	}
+}
+
+// TestSummaryJSONRoundTrip pins the checkpoint-journal contract: a Summary
+// restored from its JSON form must report bit-identical statistics — the
+// full accumulator state survives, including awkward float64 values that a
+// lossy encoding would perturb.
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	awkward := []float64{
+		0.1, 1.0 / 3.0, math.Pi, 1e-300, 1e300, -7.25,
+		math.Nextafter(1, 2), // 1 + ulp: dies under short float formatting
+	}
+	var s Summary
+	for _, x := range awkward {
+		s.Add(x)
+	}
+	data, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Errorf("round trip changed the accumulator: %+v vs %+v", back, s)
+	}
+	// The zero Summary round-trips too (a point with no observations).
+	var zero, zeroBack Summary
+	data, err = json.Marshal(&zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &zeroBack); err != nil {
+		t.Fatal(err)
+	}
+	if zeroBack != zero {
+		t.Errorf("zero Summary round trip: %+v vs %+v", zeroBack, zero)
+	}
+	// A negative count is rejected, not silently restored.
+	if err := json.Unmarshal([]byte(`{"n":-1}`), &back); err == nil {
+		t.Error("negative observation count accepted")
+	}
+}
+
+// TestSummaryJSONRoundTripQuick fuzzes the exactness claim over random
+// accumulator states.
+func TestSummaryJSONRoundTripQuick(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Summary
+		for _, x := range xs {
+			s.Add(x)
+		}
+		data, err := json.Marshal(&s)
+		if err != nil {
+			return false
+		}
+		var back Summary
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		// Extreme inputs can drive the accumulator non-finite (overflowed
+		// m2, NaN mean), and NaN != NaN — compare the canonical encoding
+		// instead of the struct, which is equality up to NaN payload bits.
+		data2, err := json.Marshal(&back)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(data, data2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
 	}
 }
