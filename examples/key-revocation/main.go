@@ -62,48 +62,39 @@ func main() {
 		"round", "captured total", "revoked keys", "effective ring",
 		"compromised before revoke", "compromised after revoke", "links", "connected")
 
-	capturedSoFar := []int32{}
+	// Each round is a two-step attack campaign on the SAME network: the
+	// adversary captures a fresh batch of alive sensors, then the operator
+	// revokes exactly those rings. Knowledge from earlier rounds carries no
+	// weight — every previously captured ring is already revoked network-wide,
+	// so its keys secure no remaining link.
+	oneRound := adversary.Timeline{
+		{Kind: adversary.StepCapture, Count: batch},
+		{Kind: adversary.StepRevoke, Count: batch},
+	}
+	capturedTotal := 0
 	for round := 1; round <= 8; round++ {
-		// Adversary captures a fresh batch of alive sensors.
-		var batchIDs []int32
-		for len(batchIDs) < batch {
-			id := int32(r.Intn(sensors))
-			if !net.Alive(id) || contains(capturedSoFar, id) || contains(batchIDs, id) {
-				continue
-			}
-			batchIDs = append(batchIDs, id)
-		}
-		capturedSoFar = append(capturedSoFar, batchIDs...)
-
-		// Eavesdropping power before the operator reacts.
-		before, err := adversary.Capture(net, capturedSoFar)
+		res, err := adversary.RunCampaign(net, r, oneRound)
 		if err != nil {
 			log.Fatal(err)
 		}
+		// Steps[0]: eavesdropping power before the operator reacts.
+		// Steps[1]: after revocation links exclude the revoked keys, so
+		// previously-compromised links were torn or re-keyed.
+		capture, revoke := res.Steps[0], res.Steps[1]
+		capturedTotal += capture.Acted
 
-		// Operator response: revoke the captured rings.
-		if _, err := net.RevokeNodeKeys(batchIDs...); err != nil {
-			log.Fatal(err)
-		}
 		imp, err := net.Impact()
-		if err != nil {
-			log.Fatal(err)
-		}
-
-		// Eavesdropping power after revocation: links now exclude revoked
-		// keys, so previously-compromised links were torn or re-keyed.
-		after, err := adversary.Capture(net, capturedSoFar)
 		if err != nil {
 			log.Fatal(err)
 		}
 
 		table.AddRow(
 			fmt.Sprintf("%d", round),
-			fmt.Sprintf("%d", len(capturedSoFar)),
+			fmt.Sprintf("%d", capturedTotal),
 			fmt.Sprintf("%d", imp.RevokedKeys),
 			fmt.Sprintf("%.1f", imp.EffectiveRingMean),
-			fmt.Sprintf("%.4f", before.Fraction()),
-			fmt.Sprintf("%.4f", after.Fraction()),
+			fmt.Sprintf("%.4f", capture.Fraction()),
+			fmt.Sprintf("%.4f", revoke.Fraction()),
 			fmt.Sprintf("%d", imp.SecureLinks),
 			fmt.Sprintf("%v", imp.Connected),
 		)
@@ -119,13 +110,4 @@ func main() {
 	fmt.Println("each round shaves the effective key ring; once it slides below the paper's")
 	fmt.Println("connectivity threshold the network partitions — revocation budgets should be")
 	fmt.Println("set with Figure 1 (or designer/DesignK) in hand.")
-}
-
-func contains(ids []int32, id int32) bool {
-	for _, v := range ids {
-		if v == id {
-			return true
-		}
-	}
-	return false
 }

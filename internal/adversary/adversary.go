@@ -43,33 +43,44 @@ func (c CaptureResult) Fraction() float64 {
 	return float64(c.CompromisedLinks) / float64(c.TotalLinks)
 }
 
-// CaptureRandom captures count uniformly chosen sensors of the network and
-// evaluates which external secure links become compromised. The network is
-// not mutated (capture is eavesdropping, not failure injection).
+// CaptureRandom captures count uniformly chosen ALIVE sensors of the network
+// and evaluates which external secure links become compromised. The network
+// is not mutated (capture is eavesdropping, not failure injection).
+//
+// Only alive sensors can be captured: a failed sensor is physically gone, so
+// there is no device to seize and no link of it left in TotalLinks — spending
+// capture budget on it would silently weaken the attack. The draw is a
+// partial Fisher–Yates over the alive-ID list, mirroring wsn.FailRandom; on
+// a fully-alive network that list is 0..n−1, so the randomness consumption
+// (count Intn draws) and the captured set are draw-for-draw identical to the
+// historical all-sensors implementation.
 func CaptureRandom(net *wsn.Network, r *rng.Rand, count int) (CaptureResult, error) {
-	n := net.Sensors()
-	if count < 0 || count > n {
-		return CaptureResult{}, fmt.Errorf("adversary: cannot capture %d of %d sensors", count, n)
-	}
-	ids := make([]int32, n)
-	for i := range ids {
-		ids[i] = int32(i)
+	ids := net.AppendAliveIDs(make([]int32, 0, net.AliveCount()))
+	if count < 0 || count > len(ids) {
+		return CaptureResult{}, fmt.Errorf("adversary: cannot capture %d of %d alive sensors", count, len(ids))
 	}
 	for i := 0; i < count; i++ {
-		j := i + r.Intn(n-i)
+		j := i + r.Intn(len(ids)-i)
 		ids[i], ids[j] = ids[j], ids[i]
 	}
 	captured := append([]int32(nil), ids[:count]...)
 	return Capture(net, captured)
 }
 
-// Capture evaluates a node-capture attack on the given sensors.
+// Capture evaluates a node-capture attack on the given sensors. Every
+// captured sensor must be alive: capturing a failed sensor is rejected, so
+// its keys are never counted as learned — a dead sensor's links are already
+// excluded from TotalLinks, and crediting the adversary with its ring would
+// overstate the attack against the links that remain.
 func Capture(net *wsn.Network, captured []int32) (CaptureResult, error) {
 	n := net.Sensors()
 	isCaptured := make([]bool, n)
 	for _, id := range captured {
 		if int(id) < 0 || int(id) >= n {
 			return CaptureResult{}, fmt.Errorf("adversary: captured sensor %d out of range", id)
+		}
+		if !net.Alive(id) {
+			return CaptureResult{}, fmt.Errorf("adversary: cannot capture failed sensor %d", id)
 		}
 		if isCaptured[id] {
 			return CaptureResult{}, fmt.Errorf("adversary: sensor %d captured twice", id)

@@ -46,6 +46,90 @@ func TestCaptureValidation(t *testing.T) {
 	}
 }
 
+// TestCaptureRandomSkipsDeadSensors is the regression test for the liveness
+// bug: CaptureRandom used to draw from ALL sensor IDs, so after failures it
+// could spend capture budget on dead sensors (and Capture would credit the
+// adversary with their rings against a link universe that excluded them).
+func TestCaptureRandomSkipsDeadSensors(t *testing.T) {
+	net := deployFor(t, 300, 25, 2, 30)
+	failed, err := net.FailRandom(rng.New(77), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := map[int32]bool{}
+	for _, id := range failed {
+		dead[id] = true
+	}
+	// Capture most of the survivors: with 60 of 150 sensors dead, the old
+	// all-IDs draw hits a dead sensor with probability ≈ 1 here.
+	for seed := uint64(0); seed < 10; seed++ {
+		res, err := CaptureRandom(net, rng.New(seed), 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range res.Captured {
+			if dead[id] {
+				t.Fatalf("seed %d: captured dead sensor %d", seed, id)
+			}
+		}
+	}
+	// The alive count, not the sensor count, bounds the capture budget.
+	if _, err := CaptureRandom(net, rng.New(1), net.AliveCount()+1); err == nil {
+		t.Error("capturing more than alive count: want error")
+	}
+	if _, err := CaptureRandom(net, rng.New(1), net.AliveCount()); err != nil {
+		t.Errorf("capturing exactly the alive count: %v", err)
+	}
+}
+
+// TestCaptureRejectsDeadSensor: explicitly naming a failed sensor is an
+// error, not a silent over-credit of its key ring.
+func TestCaptureRejectsDeadSensor(t *testing.T) {
+	net := deployFor(t, 200, 20, 1, 31)
+	if err := net.FailNodes(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Capture(net, []int32{7}); err == nil {
+		t.Error("capturing a failed sensor: want error")
+	}
+	if _, err := Capture(net, []int32{3, 7, 9}); err == nil {
+		t.Error("capturing a set containing a failed sensor: want error")
+	}
+	if _, err := Capture(net, []int32{3, 9}); err != nil {
+		t.Errorf("capturing alive sensors after a failure: %v", err)
+	}
+}
+
+// TestCaptureRandomPinnedOnFullyAliveNetwork: the alive-list Fisher–Yates
+// must consume randomness draw-for-draw like the historical all-IDs code, so
+// existing seeds keep producing the same captures on untouched networks.
+func TestCaptureRandomPinnedOnFullyAliveNetwork(t *testing.T) {
+	net := deployFor(t, 300, 25, 2, 32)
+	r := rng.New(13)
+	res, err := CaptureRandom(net, r, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay the historical implementation on a twin generator.
+	legacy := rng.New(13)
+	ids := make([]int32, net.Sensors())
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	for i := 0; i < 12; i++ {
+		j := i + legacy.Intn(len(ids)-i)
+		ids[i], ids[j] = ids[j], ids[i]
+	}
+	for i, id := range res.Captured {
+		if id != ids[i] {
+			t.Fatalf("draw %d diverged: got %d, legacy %d", i, id, ids[i])
+		}
+	}
+	if a, b := r.Intn(1<<30), legacy.Intn(1<<30); a != b {
+		t.Errorf("generator states diverged after capture: %d vs %d", a, b)
+	}
+}
+
 func TestCaptureZeroNodes(t *testing.T) {
 	net := deployFor(t, 200, 20, 1, 2)
 	res, err := Capture(net, nil)

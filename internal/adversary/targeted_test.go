@@ -34,6 +34,42 @@ func TestCaptureTargetedPicksHighestDegrees(t *testing.T) {
 	}
 }
 
+// TestCaptureTargetedSkipsDeadSensors is the regression test for the ranking
+// bug: degrees used to be ranked over the FULL secure topology, so the
+// highest-degree sensor stayed at the top of the target list even after it
+// failed — and the attack would capture the dead hub. Ranking must follow the
+// alive-induced topology.
+func TestCaptureTargetedSkipsDeadSensors(t *testing.T) {
+	net := deployFor(t, 300, 25, 2, 44)
+	// Find and fail the full-topology hub.
+	topo := net.FullSecureTopology()
+	hub := int32(0)
+	for v := int32(1); int(v) < topo.N(); v++ {
+		if topo.Degree(v) > topo.Degree(hub) {
+			hub = v
+		}
+	}
+	if err := net.FailNodes(hub); err != nil {
+		t.Fatal(err)
+	}
+	res, err := CaptureTargeted(net, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range res.Captured {
+		if id == hub {
+			t.Fatalf("captured the failed hub %d", hub)
+		}
+	}
+	// The alive count, not the sensor count, bounds the capture budget.
+	if _, err := CaptureTargeted(net, net.AliveCount()+1); err == nil {
+		t.Error("capturing more than alive count: want error")
+	}
+	if _, err := CaptureTargeted(net, net.AliveCount()); err != nil {
+		t.Errorf("capturing exactly the alive count: %v", err)
+	}
+}
+
 func TestCaptureTargetedValidation(t *testing.T) {
 	net := deployFor(t, 200, 20, 1, 42)
 	if _, err := CaptureTargeted(net, -1); err == nil {

@@ -1,0 +1,99 @@
+package experiment
+
+// Campaign sweeps put the adversary.RunCampaign engine on the sweep fabric:
+// the grid's X axis is an ATTACK BUDGET, and every point deploys fresh
+// networks and runs the timeline truncated to that budget
+// (adversary.Timeline.Prefix), so a row of points traces one campaign
+// unfolding — "fraction still securely connected vs attack budget". The
+// family inherits everything the fabric provides: parameter-derived point
+// seeds (budgets can be added to the axis without perturbing existing
+// points), point sharding with bit-identical results for every PointWorkers
+// value, supervision, and checkpoint/resume.
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/secure-wsn/qcomposite/internal/adversary"
+	"github.com/secure-wsn/qcomposite/internal/montecarlo"
+	"github.com/secure-wsn/qcomposite/internal/rng"
+	"github.com/secure-wsn/qcomposite/internal/wsn"
+)
+
+// Component indices of a campaign sweep's MeanVecResult.Values, all
+// normalized to [0, 1] so they share one chart axis.
+const (
+	// CampaignSecureFrac is the fraction of alive sensors in the giant
+	// component of the uncompromised secure subgraph — the paper's "securely
+	// connected" share, after the attack.
+	CampaignSecureFrac = iota
+	// CampaignCompromisedFrac is the compromised fraction of external links.
+	CampaignCompromisedFrac
+	// CampaignAliveFrac is the surviving fraction of deployed sensors.
+	CampaignAliveFrac
+	// CampaignKeysFrac is the fraction of the key pool the adversary knows.
+	CampaignKeysFrac
+	// CampaignDims is the vector width (pass to MeanVecMeasurements).
+	CampaignDims
+)
+
+// CampaignSpec configures a campaign sweep.
+type CampaignSpec struct {
+	// Timeline is the full campaign; each grid point runs
+	// Timeline.Prefix(int(pt.X)).
+	Timeline adversary.Timeline
+	// Build returns the deployment configuration for a grid point (Seed is
+	// ignored — trials deploy from their per-trial streams). Called once per
+	// point on the goroutine that runs the point's trials; the returned
+	// configuration backs a wsn.DeployerPool amortizing the point's
+	// deployments.
+	Build func(pt GridPoint) (wsn.Config, error)
+}
+
+// SweepCampaign measures the campaign outcome vector (CampaignSecureFrac …)
+// at every grid point: each trial deploys a network from the per-trial
+// stream, runs the budget-truncated timeline against it with the SAME
+// stream, and reports the final step's accounting. Deployment and attack
+// sharing one stream keeps every point reproducible in isolation from its
+// parameter-derived seed, exactly like the other sweep families.
+func SweepCampaign(ctx context.Context, grid Grid, cfg SweepConfig, spec CampaignSpec) ([]MeanVecResult, error) {
+	if len(spec.Timeline) == 0 {
+		return nil, fmt.Errorf("experiment: campaign sweep: empty timeline")
+	}
+	if spec.Build == nil {
+		return nil, fmt.Errorf("experiment: campaign sweep: nil Build")
+	}
+	return SweepMeanVec(ctx, grid, cfg, CampaignDims,
+		func(pt GridPoint) (montecarlo.SampleVec, error) {
+			wcfg, err := spec.Build(pt)
+			if err != nil {
+				return nil, err
+			}
+			dp, err := wsn.NewDeployerPool(wcfg)
+			if err != nil {
+				return nil, err
+			}
+			sensors := float64(wcfg.Sensors)
+			pool := float64(wcfg.Scheme.PoolSize())
+			prefix := spec.Timeline.Prefix(int(pt.X))
+			return func(trial int, r *rng.Rand) ([]float64, error) {
+				d := dp.Get()
+				defer dp.Put(d)
+				net, err := d.DeployRand(r)
+				if err != nil {
+					return nil, err
+				}
+				res, err := adversary.RunCampaign(net, r, prefix)
+				if err != nil {
+					return nil, err
+				}
+				final := res.Final()
+				return []float64{
+					CampaignSecureFrac:      final.SecureFraction,
+					CampaignCompromisedFrac: final.Fraction(),
+					CampaignAliveFrac:       float64(final.Alive) / sensors,
+					CampaignKeysFrac:        float64(final.KeysLearned) / pool,
+				}, nil
+			}, nil
+		})
+}

@@ -1,0 +1,155 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/secure-wsn/qcomposite/internal/adversary"
+	"github.com/secure-wsn/qcomposite/internal/channel"
+	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/wsn"
+)
+
+func campaignTestSpec(t *testing.T, spec string) CampaignSpec {
+	t.Helper()
+	tl, err := adversary.ParseTimeline(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return CampaignSpec{
+		Timeline: tl,
+		Build: func(pt GridPoint) (wsn.Config, error) {
+			scheme, err := keys.NewQComposite(300, pt.K, pt.Q)
+			if err != nil {
+				return wsn.Config{}, err
+			}
+			return wsn.Config{Sensors: 60, Scheme: scheme, Channel: channel.AlwaysOn{}}, nil
+		},
+	}
+}
+
+var campaignTestGrid = Grid{Ks: []int{25}, Qs: []int{1, 2}, Xs: []float64{0, 5, 15, 30}}
+
+func TestSweepCampaignBasic(t *testing.T) {
+	spec := campaignTestSpec(t, "capture:20,fail:10")
+	cfg := SweepConfig{Trials: 12, Workers: 2, Seed: 23}
+	results, err := SweepCampaign(context.Background(), campaignTestGrid, cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != campaignTestGrid.Len() {
+		t.Fatalf("%d results for %d points", len(results), campaignTestGrid.Len())
+	}
+	for _, res := range results {
+		if len(res.Values) != CampaignDims {
+			t.Fatalf("point %v: %d components, want %d", res.Point, len(res.Values), CampaignDims)
+		}
+		for dim, sum := range res.Values {
+			if m := sum.Mean(); m < 0 || m > 1 {
+				t.Errorf("point %v dim %d: mean %v outside [0,1]", res.Point, dim, m)
+			}
+		}
+		if res.Point.X == 0 {
+			// Budget 0 is the untouched network: nothing compromised, nothing
+			// learned, everyone alive.
+			if res.Values[CampaignCompromisedFrac].Mean() != 0 ||
+				res.Values[CampaignKeysFrac].Mean() != 0 ||
+				res.Values[CampaignAliveFrac].Mean() != 1 {
+				t.Errorf("point %v: budget 0 shows attack progress", res.Point)
+			}
+		}
+	}
+	// The attack bites: at full budget the secure fraction must be below the
+	// baseline for the same (K, q).
+	byQX := map[[2]float64]float64{}
+	for _, res := range results {
+		byQX[[2]float64{float64(res.Point.Q), res.Point.X}] = res.Values[CampaignSecureFrac].Mean()
+	}
+	for _, q := range campaignTestGrid.Qs {
+		base, hit := byQX[[2]float64{float64(q), 0}], byQX[[2]float64{float64(q), 30}]
+		if hit >= base {
+			t.Errorf("q=%d: secure fraction did not drop under full budget: %v → %v", q, base, hit)
+		}
+	}
+}
+
+// TestSweepCampaignShardingBitIdentical pins the campaign family to the
+// fabric invariant: identical results for every PointWorkers value.
+func TestSweepCampaignShardingBitIdentical(t *testing.T) {
+	spec := campaignTestSpec(t, "capture:10,jam:8,fail:6,revoke:10")
+	cfg := SweepConfig{Trials: 10, Workers: 2, Seed: 29}
+	baseline, err := SweepCampaign(context.Background(), campaignTestGrid, cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pw := range shardCounts()[1:] {
+		t.Run(fmt.Sprintf("pointWorkers=%d", pw), func(t *testing.T) {
+			shardedCfg := cfg
+			shardedCfg.PointWorkers = pw
+			got, err := SweepCampaign(context.Background(), campaignTestGrid, shardedCfg, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, baseline) {
+				t.Errorf("sharded campaign sweep differs from sequential run")
+			}
+		})
+	}
+}
+
+// TestSweepCampaignKillResumeBitIdentical: a campaign sweep killed mid-grid
+// and resumed from its journal matches the uninterrupted run bit for bit.
+func TestSweepCampaignKillResumeBitIdentical(t *testing.T) {
+	spec := campaignTestSpec(t, "capture:15,fail:10")
+	cfg := SweepConfig{Trials: 10, Workers: 2, PointWorkers: 2, Seed: 31, JournalLabel: "campaign resume test"}
+	clean, err := SweepCampaign(context.Background(), campaignTestGrid, cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	journal := &killingJournal{after: 3, cancel: cancel}
+	killCfg := cfg
+	killCfg.Checkpoint = journal
+	if _, err := SweepCampaign(ctx, campaignTestGrid, killCfg, spec); err == nil {
+		t.Fatal("killed campaign sweep unexpectedly succeeded")
+	}
+	if journal.points >= campaignTestGrid.Len() {
+		t.Fatalf("kill persisted all %d points", campaignTestGrid.Len())
+	}
+
+	resumeCfg := cfg
+	resumeCfg.Resume = bytes.NewReader(journal.buf.Bytes())
+	got, err := SweepCampaign(context.Background(), campaignTestGrid, resumeCfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, clean) {
+		t.Fatal("resumed campaign sweep differs from clean run")
+	}
+}
+
+func TestSweepCampaignValidation(t *testing.T) {
+	cfg := SweepConfig{Trials: 2, Seed: 1}
+	spec := campaignTestSpec(t, "capture:5")
+	if _, err := SweepCampaign(context.Background(), campaignTestGrid, cfg,
+		CampaignSpec{Build: spec.Build}); err == nil || !strings.Contains(err.Error(), "timeline") {
+		t.Errorf("empty timeline accepted: %v", err)
+	}
+	if _, err := SweepCampaign(context.Background(), campaignTestGrid, cfg,
+		CampaignSpec{Timeline: spec.Timeline}); err == nil || !strings.Contains(err.Error(), "Build") {
+		t.Errorf("nil Build accepted: %v", err)
+	}
+	badSpec := spec
+	badSpec.Build = func(pt GridPoint) (wsn.Config, error) {
+		return wsn.Config{}, fmt.Errorf("no config for %v", pt)
+	}
+	if _, err := SweepCampaign(context.Background(), campaignTestGrid, cfg, badSpec); err == nil {
+		t.Error("failing Build accepted")
+	}
+}

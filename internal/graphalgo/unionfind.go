@@ -90,5 +90,27 @@ func (u *UnionFind) Connected(x, y int32) bool {
 	return u.Find(x) == u.Find(y)
 }
 
+// LargestAmong returns the size of the largest set counting only the nodes v
+// with include[v] true (0 when none are). Excluded nodes still glue sets
+// together through prior Unions; they just do not add to any set's size —
+// the query an induced-subgraph giant component needs when the union-find
+// was built over the full node range. include must not be longer than the
+// union-find's universe.
+func (u *UnionFind) LargestAmong(include []bool) int {
+	sizes := make([]int32, len(u.parent))
+	best := int32(0)
+	for v, ok := range include {
+		if !ok {
+			continue
+		}
+		root := u.Find(int32(v))
+		sizes[root]++
+		if sizes[root] > best {
+			best = sizes[root]
+		}
+	}
+	return int(best)
+}
+
 // Count returns the number of disjoint sets.
 func (u *UnionFind) Count() int { return u.count }

@@ -62,6 +62,36 @@ func TestUnionFindFindIdempotent(t *testing.T) {
 	}
 }
 
+func TestUnionFindLargestAmong(t *testing.T) {
+	uf := NewUnionFind(8)
+	uf.Union(0, 1)
+	uf.Union(1, 2)
+	uf.Union(3, 4)
+	all := make([]bool, 8)
+	for i := range all {
+		all[i] = true
+	}
+	if got := uf.LargestAmong(all); got != 3 {
+		t.Errorf("LargestAmong(all) = %d, want 3", got)
+	}
+	// Excluding one member of the {0,1,2} component ties it with {3,4}.
+	mask := append([]bool(nil), all...)
+	mask[0] = false
+	if got := uf.LargestAmong(mask); got != 2 {
+		t.Errorf("LargestAmong(mask) = %d, want 2", got)
+	}
+	// Exclusion is by membership, not by root identity: excluded vertices do
+	// not count even when an included vertex shares their component.
+	only5 := make([]bool, 8)
+	only5[5] = true
+	if got := uf.LargestAmong(only5); got != 1 {
+		t.Errorf("LargestAmong(singleton) = %d, want 1", got)
+	}
+	if got := uf.LargestAmong(make([]bool, 8)); got != 0 {
+		t.Errorf("LargestAmong(none) = %d, want 0", got)
+	}
+}
+
 func TestQuickUnionFindMatchesNaive(t *testing.T) {
 	// Model-based test against a naive labeling structure.
 	f := func(seed int64) bool {

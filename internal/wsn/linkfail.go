@@ -73,6 +73,21 @@ func (n *Network) usableLinkKeys() [][2]int32 {
 	return out
 }
 
+// UsableLinkCount returns the number of currently usable secure links: both
+// endpoints alive and the link itself not failed — the sampling universe of
+// FailRandomLinks, exposed so callers (e.g. jamming campaigns) can clamp a
+// link-failure budget before drawing.
+func (n *Network) UsableLinkCount() int {
+	count := 0
+	n.secure.ForEachEdge(func(u, v int32) bool {
+		if n.alive[u] && n.alive[v] && !n.failedLinks[[2]int32{u, v}] {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
 // RestoreLinks brings all failed links back.
 func (n *Network) RestoreLinks() {
 	n.failedLinks = nil

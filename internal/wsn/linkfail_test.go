@@ -88,6 +88,37 @@ func TestFailRandomLinks(t *testing.T) {
 	}
 }
 
+func TestUsableLinkCount(t *testing.T) {
+	net := deployTest(t, 34)
+	total := net.FullSecureTopology().M()
+	if got := net.UsableLinkCount(); got != total {
+		t.Fatalf("fresh network: UsableLinkCount = %d, want %d", got, total)
+	}
+	// Failing links removes exactly them from the usable count.
+	r := rng.New(3)
+	if _, err := net.FailRandomLinks(r, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.UsableLinkCount(); got != total-5 {
+		t.Errorf("after 5 link failures: UsableLinkCount = %d, want %d", got, total-5)
+	}
+	// Failing a sensor removes its incident non-failed links too; the count
+	// must keep matching the FailRandomLinks sampling universe.
+	if err := net.FailNodes(0); err != nil {
+		t.Fatal(err)
+	}
+	want := net.UsableLinkCount()
+	if _, err := net.FailRandomLinks(r, want); err != nil {
+		t.Errorf("failing exactly UsableLinkCount links: %v", err)
+	}
+	if got := net.UsableLinkCount(); got != 0 {
+		t.Errorf("after failing every usable link: UsableLinkCount = %d", got)
+	}
+	if _, err := net.FailRandomLinks(r, 1); err == nil {
+		t.Error("failing beyond UsableLinkCount: want error")
+	}
+}
+
 func TestKEdgeConnectivitySurvivesLinkFailures(t *testing.T) {
 	net := deployTest(t, 33)
 	const k = 3

@@ -228,6 +228,20 @@ func (n *Network) Alive(v int32) bool {
 	return int(v) >= 0 && int(v) < len(n.alive) && n.alive[v]
 }
 
+// AppendAliveIDs appends the IDs of all alive sensors to dst in ascending
+// order and returns the extended slice. It is the sampling universe for
+// liveness-aware random processes (FailRandom, adversary.CaptureRandom): a
+// partial Fisher–Yates over this list draws uniformly from alive sensors
+// only.
+func (n *Network) AppendAliveIDs(dst []int32) []int32 {
+	for v, ok := range n.alive {
+		if ok {
+			dst = append(dst, int32(v))
+		}
+	}
+	return dst
+}
+
 // Ring returns sensor v's key ring.
 func (n *Network) Ring(v int32) (keys.Ring, error) {
 	if int(v) < 0 || int(v) >= len(n.rings) {
@@ -381,12 +395,7 @@ func (n *Network) FailNodes(ids ...int32) error {
 // FailRandom fails count uniformly chosen alive sensors and returns their
 // IDs.
 func (n *Network) FailRandom(r *rng.Rand, count int) ([]int32, error) {
-	aliveIDs := make([]int32, 0, n.AliveCount())
-	for v, ok := range n.alive {
-		if ok {
-			aliveIDs = append(aliveIDs, int32(v))
-		}
-	}
+	aliveIDs := n.AppendAliveIDs(make([]int32, 0, n.AliveCount()))
 	if count < 0 || count > len(aliveIDs) {
 		return nil, fmt.Errorf("wsn: cannot fail %d of %d alive sensors", count, len(aliveIDs))
 	}

@@ -263,6 +263,33 @@ func TestFailRandom(t *testing.T) {
 	}
 }
 
+func TestAppendAliveIDs(t *testing.T) {
+	net := deployTest(t, 13)
+	n := net.Sensors()
+	ids := net.AppendAliveIDs(nil)
+	if len(ids) != n {
+		t.Fatalf("fresh network: %d alive IDs, want %d", len(ids), n)
+	}
+	for i, id := range ids {
+		if id != int32(i) {
+			t.Fatalf("alive IDs not ascending: ids[%d] = %d", i, id)
+		}
+	}
+	if err := net.FailNodes(0, 4, int32(n-1)); err != nil {
+		t.Fatal(err)
+	}
+	// Appends to the destination slice, preserving its prefix.
+	got := net.AppendAliveIDs([]int32{-7})
+	if got[0] != -7 || len(got) != 1+n-3 {
+		t.Fatalf("append semantics broken: len %d, head %d", len(got), got[0])
+	}
+	for _, id := range got[1:] {
+		if id == 0 || id == 4 || id == int32(n-1) {
+			t.Errorf("dead sensor %d listed alive", id)
+		}
+	}
+}
+
 func TestKConnectivityMatchesFailureSemantics(t *testing.T) {
 	// If the network is k-connected, any k−1 failures leave it connected.
 	net := deployTest(t, 12)
