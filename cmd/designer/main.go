@@ -28,6 +28,7 @@ import (
 	"github.com/secure-wsn/qcomposite/internal/core"
 	"github.com/secure-wsn/qcomposite/internal/experiment"
 	"github.com/secure-wsn/qcomposite/internal/keys"
+	"github.com/secure-wsn/qcomposite/internal/sweepserve"
 	"github.com/secure-wsn/qcomposite/internal/wsn"
 )
 
@@ -51,6 +52,7 @@ func run() error {
 		pWorkers = flag.Int("pointworkers", 0, "grid-point shards (0 = sequential points; results identical either way)")
 		seed     = flag.Uint64("seed", 1, "base RNG seed")
 		csvPath  = flag.String("csv", "", "write table CSV to this path")
+		server   = flag.String("server", "", "run the validation sweep on this sweepd server (e.g. http://127.0.0.1:8322) instead of locally; estimates are bit-identical")
 	)
 	flag.Parse()
 
@@ -75,29 +77,48 @@ func run() error {
 	}
 
 	// Empirical validation: the Xs axis carries the levels; every level
-	// deploys at its own designed ring size.
+	// deploys at its own designed ring size. With -server the sweep runs as a
+	// sweepd job of kind "design" — same grid, same parameter-derived seeds,
+	// same trial semantics, so the estimates are bit-identical to the local
+	// run (and the server caches the points for the next caller).
 	grid := experiment.Grid{Qs: []int{*q}, Ps: []float64{*pOn}, Xs: experiment.KLevels(*kMax)}
-	results, err := experiment.SweepKConnectivity(context.Background(), grid,
-		experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed},
-		func(pt experiment.GridPoint) (wsn.Config, error) {
-			k, err := experiment.KOf(pt)
-			if err != nil {
-				return wsn.Config{}, err
-			}
-			ring, err := ringFor(k)
-			if err != nil {
-				return wsn.Config{}, err
-			}
-			scheme, err := keys.NewQComposite(*pool, ring, pt.Q)
-			if err != nil {
-				return wsn.Config{}, err
-			}
-			return wsn.Config{
-				Sensors: *n,
-				Scheme:  scheme,
-				Channel: channel.OnOff{P: pt.P},
-			}, nil
+	var results []experiment.ProportionResult
+	var err error
+	if *server != "" {
+		client := &sweepserve.Client{Base: *server}
+		results, err = client.RunProportion(context.Background(), sweepserve.JobSpec{
+			Kind:    sweepserve.KindDesign,
+			Sensors: *n,
+			Pool:    *pool,
+			Trials:  *trials,
+			Seed:    *seed,
+			Grid:    sweepserve.GridSpec{Qs: []int{*q}, Ps: []float64{*pOn}},
+			Target:  *target,
+			KMax:    *kMax,
 		})
+	} else {
+		results, err = experiment.SweepKConnectivity(context.Background(), grid,
+			experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed},
+			func(pt experiment.GridPoint) (wsn.Config, error) {
+				k, err := experiment.KOf(pt)
+				if err != nil {
+					return wsn.Config{}, err
+				}
+				ring, err := ringFor(k)
+				if err != nil {
+					return wsn.Config{}, err
+				}
+				scheme, err := keys.NewQComposite(*pool, ring, pt.Q)
+				if err != nil {
+					return wsn.Config{}, err
+				}
+				return wsn.Config{
+					Sensors: *n,
+					Scheme:  scheme,
+					Channel: channel.OnOff{P: pt.P},
+				}, nil
+			})
+	}
 	if err != nil {
 		return err
 	}

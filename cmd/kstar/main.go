@@ -32,6 +32,7 @@ import (
 	"github.com/secure-wsn/qcomposite/internal/keys"
 	"github.com/secure-wsn/qcomposite/internal/montecarlo"
 	"github.com/secure-wsn/qcomposite/internal/rng"
+	"github.com/secure-wsn/qcomposite/internal/sweepserve"
 	"github.com/secure-wsn/qcomposite/internal/theory"
 	"github.com/secure-wsn/qcomposite/internal/wsn"
 )
@@ -54,6 +55,7 @@ func run() error {
 		pWorkers = flag.Int("pointworkers", 0, "grid-point shards (0 = sequential points; results identical either way)")
 		seed     = flag.Uint64("seed", 1, "base RNG seed")
 		csvPath  = flag.String("csv", "", "write table CSV to this path")
+		server   = flag.String("server", "", "run the validation sweep on this sweepd server (e.g. http://127.0.0.1:8322) instead of locally; estimates are bit-identical")
 	)
 	flag.Parse()
 
@@ -87,37 +89,53 @@ func run() error {
 	fmt.Printf("empirical column: P[connected] over %d deployments AT the exact K*, seed %d\n\n",
 		*trials, *seed)
 
-	// Empirical validation sweep: deploy at the exact K* of each (q, p).
+	// Empirical validation sweep: deploy at the exact K* of each (q, p). With
+	// -server the sweep runs as a sweepd job of kind "kstar" — same grid,
+	// same parameter-derived seeds, same trial semantics, so the estimates
+	// are bit-identical to the local run.
 	grid := experiment.Grid{Qs: qs, Ps: ps}
-	results, err := experiment.SweepProportion(context.Background(), grid,
-		experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed},
-		func(pt experiment.GridPoint) (montecarlo.Trial, error) {
-			exact, _, err := thresholds(pt)
-			if err != nil {
-				return nil, err
-			}
-			scheme, err := keys.NewQComposite(*pool, exact, pt.Q)
-			if err != nil {
-				return nil, err
-			}
-			dp, err := wsn.NewDeployerPool(wsn.Config{
-				Sensors: *n,
-				Scheme:  scheme,
-				Channel: channel.OnOff{P: pt.P},
-			})
-			if err != nil {
-				return nil, err
-			}
-			return func(trial int, r *rng.Rand) (bool, error) {
-				d := dp.Get()
-				defer dp.Put(d)
-				net, err := d.DeployRand(r)
-				if err != nil {
-					return false, err
-				}
-				return net.IsConnected()
-			}, nil
+	var results []experiment.ProportionResult
+	if *server != "" {
+		client := &sweepserve.Client{Base: *server}
+		results, err = client.RunProportion(context.Background(), sweepserve.JobSpec{
+			Kind:    sweepserve.KindKStar,
+			Sensors: *n,
+			Pool:    *pool,
+			Trials:  *trials,
+			Seed:    *seed,
+			Grid:    sweepserve.GridSpec{Qs: qs, Ps: ps},
 		})
+	} else {
+		results, err = experiment.SweepProportion(context.Background(), grid,
+			experiment.SweepConfig{Trials: *trials, Workers: *workers, PointWorkers: *pWorkers, Seed: *seed},
+			func(pt experiment.GridPoint) (montecarlo.Trial, error) {
+				exact, _, err := thresholds(pt)
+				if err != nil {
+					return nil, err
+				}
+				scheme, err := keys.NewQComposite(*pool, exact, pt.Q)
+				if err != nil {
+					return nil, err
+				}
+				dp, err := wsn.NewDeployerPool(wsn.Config{
+					Sensors: *n,
+					Scheme:  scheme,
+					Channel: channel.OnOff{P: pt.P},
+				})
+				if err != nil {
+					return nil, err
+				}
+				return func(trial int, r *rng.Rand) (bool, error) {
+					d := dp.Get()
+					defer dp.Put(d)
+					net, err := d.DeployRand(r)
+					if err != nil {
+						return false, err
+					}
+					return net.IsConnected()
+				}, nil
+			})
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/secure-wsn/qcomposite/internal/sweepserve"
+)
+
+// runWith re-invokes run() with a fresh flag set (flags register inside
+// run(), so each invocation needs its own default FlagSet) and stdout
+// discarded.
+func runWith(t *testing.T, args ...string) error {
+	t.Helper()
+	flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ContinueOnError)
+	os.Args = append([]string{"kstar"}, args...)
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	stdout := os.Stdout
+	os.Stdout = null
+	defer func() { os.Stdout = stdout }()
+	return run()
+}
+
+// TestServerModeMatchesLocal pins the thin-client contract: -server runs the
+// validation sweep as a sweepd job with the same grid and seeds, so the
+// rendered CSV — estimates included — is byte-identical to the local run.
+func TestServerModeMatchesLocal(t *testing.T) {
+	m := sweepserve.NewManager(sweepserve.Options{})
+	srv := httptest.NewServer(sweepserve.NewServer(m))
+	defer func() {
+		srv.Close()
+		m.Close()
+	}()
+
+	dir := t.TempDir()
+	localCSV := filepath.Join(dir, "local.csv")
+	remoteCSV := filepath.Join(dir, "remote.csv")
+	args := []string{"-n", "80", "-pool", "400", "-q", "1,2", "-p", "1,0.5", "-trials", "12", "-seed", "5"}
+
+	if err := runWith(t, append(args, "-csv", localCSV)...); err != nil {
+		t.Fatalf("local run failed: %v", err)
+	}
+	if err := runWith(t, append(args, "-csv", remoteCSV, "-server", srv.URL)...); err != nil {
+		t.Fatalf("server-mode run failed: %v", err)
+	}
+
+	local, err := os.ReadFile(localCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := os.ReadFile(remoteCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(local, remote) {
+		t.Errorf("server-mode CSV differs from local run\nlocal:\n%s\nremote:\n%s", local, remote)
+	}
+
+	// The sweep genuinely ran on the server: its store now holds the grid.
+	if st := m.Store().Stats(); st.Points != 4 {
+		t.Errorf("server store holds %d points after the remote run, want 4", st.Points)
+	}
+}

@@ -11,9 +11,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"github.com/secure-wsn/qcomposite/internal/experiment"
 )
@@ -122,4 +124,36 @@ func SignalContext() (context.Context, context.CancelFunc) {
 // SignalContext (rather than a genuine point failure).
 func Interrupted(err error) bool {
 	return errors.Is(err, context.Canceled)
+}
+
+// Serve runs an http.Server until ctx is cancelled (typically by
+// SignalContext), then drains it gracefully: in-flight requests get
+// drainTimeout to finish before the listener is torn down. The server's own
+// BaseContext is NOT cancelled during the drain, so long-poll/SSE handlers
+// observing the request context wind down on their own schedule within the
+// timeout. Returns nil on a clean drain; http.ErrServerClosed is absorbed.
+func Serve(ctx context.Context, srv *http.Server, drainTimeout time.Duration) error {
+	errc := make(chan error, 1)
+	go func() {
+		err := srv.ListenAndServe()
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		// Listener failed before any shutdown was requested (port in use, …).
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		// Drain deadline exceeded: hard-close the stragglers so the process
+		// can exit; completed work is already journaled.
+		srv.Close()
+		return fmt.Errorf("draining server: %w", err)
+	}
+	return <-errc
 }

@@ -136,6 +136,14 @@ func (s CrossSpec) bindsChannel() bool {
 	return false
 }
 
+// PointDeployment resolves the wsn.Config and connectivity level of one grid
+// point under the spec's bindings. Exported so orchestration layers (the
+// sweep server) can reproduce CrossSweep's per-point deployment exactly
+// while owning the trial loop themselves.
+func (s CrossSpec) PointDeployment(pt GridPoint) (wsn.Config, int, error) {
+	return s.pointDeployment(pt)
+}
+
 // pointDeployment resolves the wsn.Config and connectivity level of one grid
 // point under the spec's bindings.
 func (s CrossSpec) pointDeployment(pt GridPoint) (wsn.Config, int, error) {

@@ -49,10 +49,18 @@ type journalRecord struct {
 // journalHeader opens a journal (and re-opens it on every resumed append):
 // the fingerprint binds all subsequent point records to one sweep identity.
 // Spec is the human-readable preimage, stored for debuggability — the
-// fingerprint alone decides compatibility.
+// fingerprint alone decides compatibility. The structured fields repeat the
+// spec's components so external orchestrators (the sweep server's shared
+// result store) can index sections without parsing the preimage string;
+// journals written before these fields existed simply lack them.
 type journalHeader struct {
 	Fingerprint string `json:"fingerprint"`
 	Spec        string `json:"spec"`
+	Code        string `json:"code,omitempty"`
+	Kind        string `json:"kind,omitempty"`
+	Label       string `json:"label,omitempty"`
+	Trials      int    `json:"trials,omitempty"`
+	Seed        uint64 `json:"seed,omitempty"`
 }
 
 // journalPoint is one completed grid point: its parameters (never its grid
@@ -156,7 +164,7 @@ func (jw *journalWriter) writePoint(pt GridPoint, seed uint64, value json.RawMes
 // by construction). A final line that does not parse is treated as the write
 // a kill interrupted and skipped; malformed records anywhere else are
 // corruption.
-func loadJournal(r io.Reader, fingerprint, spec string) (map[pointKey]journalPoint, error) {
+func loadJournal(r io.Reader, fingerprint, spec, kind, label string) (map[pointKey]journalPoint, error) {
 	cached := make(map[pointKey]journalPoint)
 	br := bufio.NewReader(r)
 	var (
@@ -190,8 +198,23 @@ func loadJournal(r io.Reader, fingerprint, spec string) (map[pointKey]journalPoi
 				inMatching = rec.Header.Fingerprint == fingerprint
 				if inMatching {
 					matched = true
-				} else if firstOther == "" {
-					firstOther = rec.Header.Spec
+				} else {
+					// A foreign section under OUR label but a different sweep
+					// kind is a reused label, not a different sweep: the
+					// caller changed what the sweep measures while keeping the
+					// label, and silently skipping the section would quietly
+					// recompute everything the label was meant to protect.
+					// Fail loudly instead. (Sections written before headers
+					// carried structured fields have Kind == "" and keep the
+					// old skip behavior.)
+					if rec.Header.Kind != "" && rec.Header.Label == label && rec.Header.Kind != kind {
+						return nil, fmt.Errorf(
+							"experiment: resume journal label %q was written by a %q sweep but this sweep's kind is %q: a reused label must keep its sweep kind (journal spec: %s)",
+							label, rec.Header.Kind, kind, rec.Header.Spec)
+					}
+					if firstOther == "" {
+						firstOther = rec.Header.Spec
+					}
 				}
 			case rec.Point != nil:
 				if !sawHeader {
@@ -239,7 +262,7 @@ func (c SweepConfig) journalSetup(kind string, grid Grid) (*journalWriter, map[p
 	var cached map[pointKey]journalPoint
 	if c.Resume != nil {
 		var err error
-		cached, err = loadJournal(c.Resume, fingerprint, spec)
+		cached, err = loadJournal(c.Resume, fingerprint, spec, kind, c.JournalLabel)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -250,6 +273,11 @@ func (c SweepConfig) journalSetup(kind string, grid Grid) (*journalWriter, map[p
 		if err := jw.writeRecord(journalRecord{Header: &journalHeader{
 			Fingerprint: fingerprint,
 			Spec:        spec,
+			Code:        CodeVersion,
+			Kind:        kind,
+			Label:       c.JournalLabel,
+			Trials:      c.Trials,
+			Seed:        c.Seed,
 		}}); err != nil {
 			return nil, nil, err
 		}
@@ -272,7 +300,7 @@ type pointCodec[R any] struct {
 // counts are integers, so the round trip is trivially exact.
 func proportionCodec() pointCodec[ProportionResult] {
 	return pointCodec[ProportionResult]{
-		kind: "proportion",
+		kind: KindProportion,
 		encode: func(r ProportionResult) (json.RawMessage, error) {
 			return json.Marshal(r.Value)
 		},
@@ -290,7 +318,7 @@ func proportionCodec() pointCodec[ProportionResult] {
 // accumulator serialization.
 func meanCodec() pointCodec[MeanResult] {
 	return pointCodec[MeanResult]{
-		kind: "mean",
+		kind: KindMean,
 		encode: func(r MeanResult) (json.RawMessage, error) {
 			return json.Marshal(r.Value)
 		},
@@ -309,7 +337,7 @@ func meanCodec() pointCodec[MeanResult] {
 // the same number of components.
 func meanVecCodec(dims int) pointCodec[MeanVecResult] {
 	return pointCodec[MeanVecResult]{
-		kind: fmt.Sprintf("meanvec/%d", dims),
+		kind: KindMeanVec(dims),
 		encode: func(r MeanVecResult) (json.RawMessage, error) {
 			return json.Marshal(r.Values)
 		},

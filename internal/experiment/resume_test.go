@@ -275,8 +275,10 @@ func TestResumeRejectsDifferentSweep(t *testing.T) {
 			}
 		})
 	}
-	// A different sweep KIND over the same grid/config must be rejected too:
-	// the variant is part of the fingerprint.
+	// A different sweep KIND over the same grid/config must be rejected too.
+	// The kind is part of the fingerprint, and since same-label sections with
+	// a different kind are a label collision, this now fails with the sharper
+	// reused-label diagnosis rather than the generic different-sweep one.
 	t.Run("kind", func(t *testing.T) {
 		cfg := resumeTestCfg
 		cfg.Resume = bytes.NewReader(journal.Bytes())
@@ -284,7 +286,7 @@ func TestResumeRejectsDifferentSweep(t *testing.T) {
 			func(pt GridPoint) (montecarlo.Sample, error) {
 				return func(trial int, r *rng.Rand) (float64, error) { return 0, nil }, nil
 			})
-		if err == nil || !strings.Contains(err.Error(), "different sweep") {
+		if err == nil || !strings.Contains(err.Error(), "reused label") {
 			t.Fatalf("proportion journal accepted by mean sweep: %v", err)
 		}
 	})
@@ -292,8 +294,12 @@ func TestResumeRejectsDifferentSweep(t *testing.T) {
 
 func TestResumeRejectsSeedMismatchedPoint(t *testing.T) {
 	journal, _ := journalFor(t, resumeTestCfg)
-	// Tamper with one point's recorded seed.
-	tampered := bytes.Replace(journal.Bytes(), []byte(`"seed":`), []byte(`"seed":1`), 1)
+	// Tamper with one point's recorded seed. The header line (which now also
+	// carries an informational seed field) must stay intact: only point-level
+	// seeds are cross-checked against the fingerprint.
+	headerEnd := bytes.IndexByte(journal.Bytes(), '\n') + 1
+	tampered := append([]byte(nil), journal.Bytes()[:headerEnd]...)
+	tampered = append(tampered, bytes.Replace(journal.Bytes()[headerEnd:], []byte(`"seed":`), []byte(`"seed":1`), 1)...)
 	cfg := resumeTestCfg
 	cfg.Resume = bytes.NewReader(tampered)
 	var builds atomic.Int64

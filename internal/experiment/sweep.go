@@ -147,6 +147,17 @@ type SweepConfig struct {
 	// merging incompatible results.
 	JournalLabel string
 
+	// PointDone, when non-nil, is invoked once per grid point as the point's
+	// result lands: fromCache reports whether the point was restored from
+	// the Resume journal (true) or freshly computed (false). Restored points
+	// report before any fresh point runs; fresh points report after their
+	// checkpoint record (if any) has been written. Under point sharding the
+	// hook is called concurrently from shard goroutines, so it must be safe
+	// for concurrent use and should return quickly. The hook observes
+	// progress only — it cannot alter results, and it is not part of the
+	// journal fingerprint.
+	PointDone func(pt GridPoint, fromCache bool)
+
 	// PointTimeout bounds each ATTEMPT of one grid point (build plus its
 	// full trial run); 0 means no timeout. A timed-out attempt counts as a
 	// retryable failure; its goroutine is abandoned (every attempt calls
@@ -243,6 +254,9 @@ func runPoints[R any](ctx context.Context, grid Grid, cfg SweepConfig, codec poi
 				return nil, fmt.Errorf("experiment: resume journal point %v: %w", pt, err)
 			}
 			out[pt.Index] = r
+			if cfg.PointDone != nil {
+				cfg.PointDone(pt, true)
+			}
 		}
 	}
 	// run supervises one point and checkpoints its fresh result.
@@ -259,6 +273,9 @@ func runPoints[R any](ctx context.Context, grid Grid, cfg SweepConfig, codec poi
 			if err := jw.writePoint(pt, cfg.PointSeed(pt), raw); err != nil {
 				return r, err
 			}
+		}
+		if cfg.PointDone != nil {
+			cfg.PointDone(pt, false)
 		}
 		return r, nil
 	}

@@ -1,0 +1,333 @@
+package sweepserve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/secure-wsn/qcomposite/internal/experiment"
+	"github.com/secure-wsn/qcomposite/internal/montecarlo"
+)
+
+// Job states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// Progress counts a job's grid points. Cached points were resolved from the
+// shared store (other jobs' work, or a previous server life via the journal
+// file); Done includes them.
+type Progress struct {
+	Total  int `json:"total"`
+	Done   int `json:"done"`
+	Cached int `json:"cached"`
+}
+
+// JobStatus is the pollable snapshot of a job.
+type JobStatus struct {
+	ID       string   `json:"id"`
+	Kind     string   `json:"kind"`
+	State    string   `json:"state"`
+	Progress Progress `json:"progress"`
+	Error    string   `json:"error,omitempty"`
+}
+
+// Job is one submitted sweep. All mutable state is guarded by mu; readers
+// take snapshots via Status and block on change via await.
+type Job struct {
+	id   string
+	spec JobSpec
+	plan *jobPlan
+	cfg  experiment.SweepConfig
+
+	mu       sync.Mutex
+	state    string
+	progress Progress
+	result   *JobResult
+	err      error
+	// update is closed and replaced on every state/progress change; waiters
+	// grab the current channel under mu and select on it.
+	update chan struct{}
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{ID: j.id, Kind: j.spec.Kind, State: j.state, Progress: j.progress}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Result returns the terminal payload, or an error while the job is not done.
+func (j *Job) Result() (*JobResult, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateDone:
+		return j.result, nil
+	case StateFailed:
+		return nil, fmt.Errorf("sweepserve: job %s failed: %w", j.id, j.err)
+	}
+	return nil, fmt.Errorf("sweepserve: job %s is %s; result not ready", j.id, j.state)
+}
+
+// await returns a channel that closes on the next state/progress change,
+// plus whether the job is already terminal (in which case waiting is moot).
+func (j *Job) await() (<-chan struct{}, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.update, j.state == StateDone || j.state == StateFailed
+}
+
+// notifyLocked closes and replaces the update channel. Callers hold mu.
+func (j *Job) notifyLocked() {
+	close(j.update)
+	j.update = make(chan struct{})
+}
+
+func (j *Job) setState(state string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	j.notifyLocked()
+}
+
+// Options configures a Manager.
+type Options struct {
+	// Store is the shared result cache; nil gets a fresh memory-only store.
+	Store *Store
+	// JobWorkers bounds concurrently executing jobs. The default 1
+	// serializes job execution — submissions still return immediately and
+	// queue — which maximizes cross-job cache reuse (a job sees every point
+	// of the jobs ahead of it).
+	JobWorkers int
+	// PointWorkers and TrialWorkers are handed to the sweep engine
+	// (SweepConfig.PointWorkers, montecarlo.Config.Workers). Scheduling
+	// knobs only: never part of result identity.
+	PointWorkers int
+	TrialWorkers int
+	// WrapTrialBuild, when set, wraps every proportion-kind job's trial
+	// builder — the seam the integration suite uses to splice
+	// faultinject.Injector faults into server-executed sweeps.
+	WrapTrialBuild func(build func(pt experiment.GridPoint) (montecarlo.Trial, error)) func(pt experiment.GridPoint) (montecarlo.Trial, error)
+}
+
+// Manager owns the job table and the bounded worker pool that executes jobs
+// on the sweep fabric.
+type Manager struct {
+	opts  Options
+	store *Store
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	queue  chan *Job
+
+	mu     sync.Mutex
+	nextID int
+	jobs   map[string]*Job
+	// inflight maps a sweep fingerprint to its queued-or-running job:
+	// submitting an identical spec while one is active coalesces onto it.
+	// Terminal jobs leave the table — a re-submission becomes a new job that
+	// resolves (near-)fully from the store instead.
+	inflight map[string]*Job
+	// coalesced counts submissions absorbed by an active identical job.
+	coalesced int
+}
+
+// NewManager starts a manager and its workers.
+func NewManager(opts Options) *Manager {
+	if opts.Store == nil {
+		opts.Store = NewStore()
+	}
+	if opts.JobWorkers <= 0 {
+		opts.JobWorkers = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		opts:     opts,
+		store:    opts.Store,
+		ctx:      ctx,
+		cancel:   cancel,
+		queue:    make(chan *Job, 1024),
+		jobs:     map[string]*Job{},
+		inflight: map[string]*Job{},
+	}
+	for range opts.JobWorkers {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Close stops accepting work, cancels running sweeps, and waits for the
+// workers to drain. Completed points are already journaled, so a close
+// mid-job loses only the points still in flight.
+func (m *Manager) Close() {
+	m.cancel()
+	m.wg.Wait()
+}
+
+// Store exposes the shared cache (for stats endpoints).
+func (m *Manager) Store() *Store { return m.store }
+
+// sweepConfig builds the engine configuration of a compiled job. The label
+// is the plan's canonical label, so every spec detail the build closures
+// bake in (scheme, channel, bindings, n, pool, …) is part of the journal
+// identity even though the closures themselves cannot be fingerprinted.
+func (m *Manager) sweepConfig(plan *jobPlan, spec *JobSpec) experiment.SweepConfig {
+	return experiment.SweepConfig{
+		Trials:       spec.Trials,
+		Seed:         spec.Seed,
+		Workers:      m.opts.TrialWorkers,
+		PointWorkers: m.opts.PointWorkers,
+		JournalLabel: plan.label,
+	}
+}
+
+// Submit validates, registers and enqueues a job. The returned bool reports
+// coalescing: true means the spec matched an active identical job and that
+// job is returned instead of a new one.
+func (m *Manager) Submit(spec JobSpec) (*Job, bool, error) {
+	plan, err := spec.compile()
+	if err != nil {
+		return nil, false, err
+	}
+	cfg := m.sweepConfig(plan, &spec)
+	fingerprint, _ := cfg.JournalFingerprint(plan.kind, plan.grid)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.inflight[fingerprint]; ok {
+		m.coalesced++
+		return j, true, nil
+	}
+	m.nextID++
+	j := &Job{
+		id:       fmt.Sprintf("job-%d", m.nextID),
+		spec:     spec,
+		plan:     plan,
+		cfg:      cfg,
+		state:    StateQueued,
+		progress: Progress{Total: plan.grid.Len()},
+		update:   make(chan struct{}),
+	}
+	m.jobs[j.id] = j
+	m.inflight[fingerprint] = j
+	select {
+	case m.queue <- j:
+	default:
+		delete(m.jobs, j.id)
+		delete(m.inflight, fingerprint)
+		return nil, false, errors.New("sweepserve: job queue full")
+	}
+	return j, false, nil
+}
+
+// Job looks up a job by ID.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Coalesced reports how many submissions were absorbed by active jobs.
+func (m *Manager) Coalesced() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.coalesced
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case j := <-m.queue:
+			m.run(j)
+		}
+	}
+}
+
+// run executes one job end to end: resolve cached points from the store into
+// a resume stream, checkpoint fresh points back through it, and surface
+// per-point progress.
+func (m *Manager) run(j *Job) {
+	j.setState(StateRunning)
+
+	cfg := j.cfg
+	resume, _, err := m.store.resumeFor(j.plan, cfg)
+	if err != nil {
+		m.finish(j, nil, err)
+		return
+	}
+	cfg.Resume = resume
+	cfg.Checkpoint = m.store.checkpointer(j.plan, cfg)
+	cfg.PointDone = func(pt experiment.GridPoint, fromCache bool) {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		j.progress.Done++
+		if fromCache {
+			j.progress.Cached++
+		}
+		j.notifyLocked()
+	}
+
+	var result JobResult
+	result.Kind = j.spec.Kind
+	switch {
+	case j.plan.trialBuild != nil:
+		build := j.plan.trialBuild
+		if m.opts.WrapTrialBuild != nil {
+			build = m.opts.WrapTrialBuild(build)
+		}
+		results, err := experiment.SweepProportion(m.ctx, j.plan.grid, cfg, build)
+		if err != nil {
+			m.finish(j, nil, err)
+			return
+		}
+		result.Points = proportionResults(results)
+	case j.plan.campaign != nil:
+		results, err := experiment.SweepCampaign(m.ctx, j.plan.grid, cfg, *j.plan.campaign)
+		if err != nil {
+			m.finish(j, nil, err)
+			return
+		}
+		result.VecPoints = vecResults(results)
+	default:
+		m.finish(j, nil, errors.New("sweepserve: job plan has no runner"))
+		return
+	}
+	m.finish(j, &result, nil)
+}
+
+// finish moves a job to its terminal state and retires its fingerprint from
+// the coalescing table.
+func (m *Manager) finish(j *Job, result *JobResult, err error) {
+	fingerprint, _ := j.cfg.JournalFingerprint(j.plan.kind, j.plan.grid)
+	m.mu.Lock()
+	if m.inflight[fingerprint] == j {
+		delete(m.inflight, fingerprint)
+	}
+	m.mu.Unlock()
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		j.state = StateFailed
+		j.err = err
+	} else {
+		j.state = StateDone
+		j.result = result
+	}
+	j.notifyLocked()
+}

@@ -1,0 +1,150 @@
+package sweepserve
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/secure-wsn/qcomposite/internal/experiment"
+	"github.com/secure-wsn/qcomposite/internal/stats"
+)
+
+// wilsonZ is the interval width of reported proportion estimates (95%).
+const wilsonZ = 1.96
+
+// PointResult is one proportion-valued grid point in a job result: the point
+// parameters, the raw counts (sufficient to reconstruct the estimate
+// exactly), and the derived estimate with its 95% Wilson interval.
+type PointResult struct {
+	Index     int     `json:"index"`
+	K         int     `json:"k"`
+	Q         int     `json:"q"`
+	P         float64 `json:"p"`
+	X         float64 `json:"x"`
+	Successes int     `json:"successes"`
+	Trials    int     `json:"trials"`
+	Estimate  float64 `json:"estimate"`
+	Lo        float64 `json:"lo"`
+	Hi        float64 `json:"hi"`
+}
+
+// VecComponent is one component of a vector-valued point: its mean and
+// ±1.96·stderr band.
+type VecComponent struct {
+	Mean   float64 `json:"mean"`
+	StdErr float64 `json:"stderr"`
+}
+
+// VecPointResult is one vector-valued grid point (campaign jobs).
+type VecPointResult struct {
+	Index  int            `json:"index"`
+	K      int            `json:"k"`
+	Q      int            `json:"q"`
+	P      float64        `json:"p"`
+	X      float64        `json:"x"`
+	Trials int            `json:"trials"`
+	Values []VecComponent `json:"values"`
+}
+
+// JobResult is the terminal payload of a finished job: exactly one of
+// Points/VecPoints is populated, per the job's kind.
+type JobResult struct {
+	Kind      string           `json:"kind"`
+	Points    []PointResult    `json:"points,omitempty"`
+	VecPoints []VecPointResult `json:"vecPoints,omitempty"`
+}
+
+func proportionResults(results []experiment.ProportionResult) []PointResult {
+	out := make([]PointResult, len(results))
+	for i, r := range results {
+		lo, hi := r.Value.WilsonInterval(wilsonZ)
+		out[i] = PointResult{
+			Index: r.Point.Index,
+			K:     r.Point.K, Q: r.Point.Q, P: r.Point.P, X: r.Point.X,
+			Successes: r.Value.Successes,
+			Trials:    r.Value.Trials,
+			Estimate:  r.Value.Estimate(),
+			Lo:        lo, Hi: hi,
+		}
+	}
+	return out
+}
+
+func vecResults(results []experiment.MeanVecResult) []VecPointResult {
+	out := make([]VecPointResult, len(results))
+	for i, r := range results {
+		vals := make([]VecComponent, len(r.Values))
+		trials := 0
+		for j, s := range r.Values {
+			vals[j] = VecComponent{Mean: s.Mean(), StdErr: s.StdErr()}
+			trials = s.N()
+		}
+		out[i] = VecPointResult{
+			Index: r.Point.Index,
+			K:     r.Point.K, Q: r.Point.Q, P: r.Point.P, X: r.Point.X,
+			Trials: trials,
+			Values: vals,
+		}
+	}
+	return out
+}
+
+// Proportions reconstructs the engine-level sweep results, bit-identical to
+// what the offline experiment.SweepProportion call would have returned:
+// round-tripping through the server loses nothing.
+func (jr *JobResult) Proportions() []experiment.ProportionResult {
+	out := make([]experiment.ProportionResult, len(jr.Points))
+	for i, p := range jr.Points {
+		out[i] = experiment.ProportionResult{
+			Point: experiment.GridPoint{Index: p.Index, K: p.K, Q: p.Q, P: p.P, X: p.X},
+			Value: stats.Proportion{Successes: p.Successes, Trials: p.Trials},
+		}
+	}
+	return out
+}
+
+// campaignColumns names the campaign vector components, in index order.
+var campaignColumns = [experiment.CampaignDims]string{
+	experiment.CampaignSecureFrac:      "secure_frac",
+	experiment.CampaignCompromisedFrac: "compromised_frac",
+	experiment.CampaignAliveFrac:       "alive_frac",
+	experiment.CampaignKeysFrac:        "keys_frac",
+}
+
+// RenderCSV writes the result as CSV through the experiment package's shared
+// Table renderer — the same bytes an offline run rendering its results
+// through experiment.Table would produce, which is what makes the
+// restart-resume equivalence test a byte comparison.
+func (jr *JobResult) RenderCSV(w io.Writer) error {
+	if jr.VecPoints != nil {
+		t := experiment.NewTable(append([]string{"k", "q", "p", "x", "trials"}, campaignColumns[:]...)...)
+		for _, r := range jr.VecPoints {
+			row := []string{
+				fmt.Sprintf("%d", r.K),
+				fmt.Sprintf("%d", r.Q),
+				fmt.Sprintf("%g", r.P),
+				fmt.Sprintf("%g", r.X),
+				fmt.Sprintf("%d", r.Trials),
+			}
+			for _, v := range r.Values {
+				row = append(row, fmt.Sprintf("%.6f±%.6f", v.Mean, wilsonZ*v.StdErr))
+			}
+			t.AddRow(row...)
+		}
+		return t.RenderCSV(w)
+	}
+	t := experiment.NewTable("k", "q", "p", "x", "successes", "trials", "estimate", "lo95", "hi95")
+	for _, r := range jr.Points {
+		t.AddRow(
+			fmt.Sprintf("%d", r.K),
+			fmt.Sprintf("%d", r.Q),
+			fmt.Sprintf("%g", r.P),
+			fmt.Sprintf("%g", r.X),
+			fmt.Sprintf("%d", r.Successes),
+			fmt.Sprintf("%d", r.Trials),
+			fmt.Sprintf("%.6f", r.Estimate),
+			fmt.Sprintf("%.6f", r.Lo),
+			fmt.Sprintf("%.6f", r.Hi),
+		)
+	}
+	return t.RenderCSV(w)
+}

@@ -1,0 +1,241 @@
+package sweepserve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync"
+
+	"github.com/secure-wsn/qcomposite/internal/experiment"
+)
+
+// pointKey is the identity of one computed grid point across jobs: the
+// sweep-identity fields of its journal section (kind, label, trials) plus the
+// point's parameters and its parameter-derived seed. Worker counts and grid
+// shape are deliberately absent — a point computed inside a 100-point grid is
+// byte-identical to the same point computed alone, so overlapping grids share
+// cache entries. The seed already folds in the sweep's base seed
+// (experiment.SweepConfig.PointSeed), so jobs with different base seeds never
+// collide.
+type pointKey struct {
+	kind   string
+	label  string
+	trials int
+	seed   uint64
+	k, q   int
+	pbits  uint64
+	xbits  uint64
+}
+
+func keyFor(kind, label string, trials int, p experiment.JournalPointInfo) pointKey {
+	return pointKey{
+		kind:   kind,
+		label:  label,
+		trials: trials,
+		seed:   p.Seed,
+		k:      p.K,
+		q:      p.Q,
+		pbits:  math.Float64bits(p.P),
+		xbits:  math.Float64bits(p.X),
+	}
+}
+
+// StoreStats is a snapshot of the store's cache accounting.
+type StoreStats struct {
+	// Points is the number of distinct cached point results.
+	Points int `json:"points"`
+	// Hits and Misses count per-point cache lookups across all jobs: a hit
+	// is a point resolved from the store, a miss a point that had to run.
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+	// Restored is how many points were loaded from the journal file at
+	// open, i.e. survived a server restart.
+	Restored int `json:"restored"`
+}
+
+// Store is the shared, journal-backed result cache. Every completed grid
+// point — whatever job computed it — lands here keyed by pointKey; jobs
+// resolve their cached points into a synthesized experiment resume stream
+// before running, so only genuinely new points execute. When opened on a
+// file, the PR-8 checkpoint-journal format doubles as the persistence layer:
+// each fresh point appends one journal line, and reopening the file after a
+// restart restores every completed point — the journal file IS the cache.
+type Store struct {
+	mu     sync.Mutex
+	points map[pointKey]json.RawMessage
+	file   *os.File // nil for a memory-only store
+
+	hits, misses, restored int
+}
+
+// NewStore returns a memory-only store: dedupe across jobs within one server
+// lifetime, nothing persisted.
+func NewStore() *Store {
+	return &Store{points: map[pointKey]json.RawMessage{}}
+}
+
+// OpenStore opens (creating if needed) a journal-file-backed store. Existing
+// sections are scanned for completed points: headers establish the section's
+// (kind, label, trials) context, point lines under a known header are
+// restored, sections from journals written before headers carried structured
+// fields are skipped (their identity cannot be established), and a truncated
+// final line — the signature of a kill mid-append — is tolerated exactly as
+// the experiment resume loader tolerates it.
+func OpenStore(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweepserve: opening result store: %w", err)
+	}
+	s := &Store{points: map[pointKey]json.RawMessage{}, file: f}
+	if err := s.restore(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.restored = len(s.points)
+	return s, nil
+}
+
+// restore scans an existing journal stream into the point map.
+func (s *Store) restore(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var kind, label string
+	trials := 0
+	known := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		h, p, err := experiment.ParseJournalRecord(line)
+		if err != nil {
+			// A malformed line is only legal as the torn final append of a
+			// killed server; anything followed by more data is corruption.
+			if sc.Scan() {
+				return fmt.Errorf("sweepserve: result store corrupt (malformed record mid-file): %w", err)
+			}
+			return nil
+		}
+		switch {
+		case h != nil:
+			kind, label, trials = h.Kind, h.Label, h.Trials
+			known = h.Kind != "" // pre-structured-header sections are unidentifiable
+		case p != nil && known:
+			key := keyFor(kind, label, trials, *p)
+			if _, dup := s.points[key]; !dup {
+				s.points[key] = append(json.RawMessage(nil), p.Value...)
+			}
+		}
+	}
+	return sc.Err()
+}
+
+// Close releases the backing file, if any.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		return nil
+	}
+	err := s.file.Close()
+	s.file = nil
+	return err
+}
+
+// Stats snapshots the cache accounting.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{Points: len(s.points), Hits: s.hits, Misses: s.misses, Restored: s.restored}
+}
+
+// resumeFor synthesizes the experiment resume stream of one job: a section
+// header carrying the job's own fingerprint followed by every cached point
+// that lies on the job's grid, rendered through the exported journal
+// marshallers so SweepConfig.Resume accepts it verbatim. Returns the stream
+// and the number of cache hits (misses — points the job must compute — are
+// grid.Len() − hits; both are tallied into the store stats).
+func (s *Store) resumeFor(plan *jobPlan, cfg experiment.SweepConfig) (io.Reader, int, error) {
+	fingerprint, spec := cfg.JournalFingerprint(plan.kind, plan.grid)
+	header, err := experiment.MarshalJournalHeader(experiment.JournalHeaderInfo{
+		Fingerprint: fingerprint,
+		Spec:        spec,
+		Code:        experiment.CodeVersion,
+		Kind:        plan.kind,
+		Label:       cfg.JournalLabel,
+		Trials:      cfg.Trials,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	var buf bytes.Buffer
+	buf.Write(header)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hits := 0
+	for _, pt := range plan.grid.Points() {
+		info := experiment.JournalPointInfo{
+			K: pt.K, Q: pt.Q, P: pt.P, X: pt.X,
+			Seed: cfg.PointSeed(pt),
+		}
+		value, ok := s.points[keyFor(plan.kind, cfg.JournalLabel, cfg.Trials, info)]
+		if !ok {
+			s.misses++
+			continue
+		}
+		s.hits++
+		hits++
+		info.Value = value
+		line, err := experiment.MarshalJournalPoint(info)
+		if err != nil {
+			return nil, 0, err
+		}
+		buf.Write(line)
+	}
+	return &buf, hits, nil
+}
+
+// checkpointer returns the job's Checkpoint sink: every line the sweep
+// writes is ingested into the in-memory map (so concurrent and later jobs
+// see the point immediately) and appended to the journal file when the
+// store is file-backed (so the point survives restarts). The journalWriter
+// contract — one complete record per Write call — is what makes live
+// ingestion line-by-line safe.
+func (s *Store) checkpointer(plan *jobPlan, cfg experiment.SweepConfig) io.Writer {
+	return &storeWriter{store: s, kind: plan.kind, label: cfg.JournalLabel, trials: cfg.Trials}
+}
+
+type storeWriter struct {
+	store  *Store
+	kind   string
+	label  string
+	trials int
+}
+
+func (w *storeWriter) Write(line []byte) (int, error) {
+	s := w.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file != nil {
+		if _, err := s.file.Write(line); err != nil {
+			return 0, fmt.Errorf("sweepserve: appending to result store: %w", err)
+		}
+	}
+	_, p, err := experiment.ParseJournalRecord(bytes.TrimSpace(line))
+	if err != nil {
+		return 0, fmt.Errorf("sweepserve: checkpoint line does not parse: %w", err)
+	}
+	if p != nil {
+		key := keyFor(w.kind, w.label, w.trials, *p)
+		if _, dup := s.points[key]; !dup {
+			s.points[key] = append(json.RawMessage(nil), p.Value...)
+		}
+	}
+	return len(line), nil
+}
