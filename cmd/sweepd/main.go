@@ -65,9 +65,10 @@ func run() error {
 
 	srv := &http.Server{Addr: *addr, Handler: sweepserve.NewServer(manager)}
 	// The drain sequence on SIGINT/SIGTERM: stop the manager first (running
-	// sweeps cancel, jobs reach a terminal state, SSE streams emit their
-	// final event and close), which lets Shutdown's in-flight-request wait
-	// complete within the window instead of timing out on long-poll clients.
+	// sweeps cancel, still-queued jobs fail with "shutting down" — every job
+	// reaches a terminal state, so SSE streams emit their final event and
+	// close), which lets Shutdown's in-flight-request wait complete within
+	// the window instead of timing out on long-poll clients.
 	srv.RegisterOnShutdown(func() { go manager.Close() })
 
 	ctx, stop := cmdutil.SignalContext()

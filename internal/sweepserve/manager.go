@@ -18,6 +18,16 @@ const (
 	StateFailed  = "failed"
 )
 
+// Submit failures that are the server's condition rather than the client's
+// spec; the HTTP layer maps them to 503 Service Unavailable instead of 400.
+var (
+	// ErrQueueFull rejects a submission when the job queue is saturated.
+	ErrQueueFull = errors.New("sweepserve: job queue full")
+	// ErrShuttingDown rejects submissions after Close, and is the terminal
+	// error of jobs still queued when the server shut down.
+	ErrShuttingDown = errors.New("sweepserve: server shutting down")
+)
+
 // Progress counts a job's grid points. Cached points were resolved from the
 // shared store (other jobs' work, or a previous server life via the journal
 // file); Done includes them.
@@ -106,8 +116,12 @@ type Options struct {
 	// JobWorkers bounds concurrently executing jobs. The default 1
 	// serializes job execution — submissions still return immediately and
 	// queue — which maximizes cross-job cache reuse (a job sees every point
-	// of the jobs ahead of it).
+	// of the jobs ahead of it). Values > 1 are safe with a file-backed
+	// store: the checkpointer keeps interleaved sections restorable.
 	JobWorkers int
+	// QueueDepth bounds jobs queued behind the workers; 0 means 1024. A
+	// full queue rejects submissions with ErrQueueFull.
+	QueueDepth int
 	// PointWorkers and TrialWorkers are handed to the sweep engine
 	// (SweepConfig.PointWorkers, montecarlo.Config.Workers). Scheduling
 	// knobs only: never part of result identity.
@@ -131,6 +145,7 @@ type Manager struct {
 	queue  chan *Job
 
 	mu     sync.Mutex
+	closed bool
 	nextID int
 	jobs   map[string]*Job
 	// inflight maps a sweep fingerprint to its queued-or-running job:
@@ -150,13 +165,16 @@ func NewManager(opts Options) *Manager {
 	if opts.JobWorkers <= 0 {
 		opts.JobWorkers = 1
 	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 1024
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		opts:     opts,
 		store:    opts.Store,
 		ctx:      ctx,
 		cancel:   cancel,
-		queue:    make(chan *Job, 1024),
+		queue:    make(chan *Job, opts.QueueDepth),
 		jobs:     map[string]*Job{},
 		inflight: map[string]*Job{},
 	}
@@ -167,12 +185,26 @@ func NewManager(opts Options) *Manager {
 	return m
 }
 
-// Close stops accepting work, cancels running sweeps, and waits for the
-// workers to drain. Completed points are already journaled, so a close
-// mid-job loses only the points still in flight.
+// Close stops accepting submissions, cancels running sweeps, waits for the
+// workers to drain, then fails every job still queued — so all jobs reach a
+// terminal state and their SSE/long-poll watchers get a final event instead
+// of hanging through the HTTP drain window. Completed points are already
+// journaled, so a close mid-job loses only the points still in flight.
 func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
 	m.cancel()
 	m.wg.Wait()
+	// Workers are gone and Submit rejects, so the queue can only shrink.
+	for {
+		select {
+		case j := <-m.queue:
+			m.finish(j, nil, ErrShuttingDown)
+		default:
+			return
+		}
+	}
 }
 
 // Store exposes the shared cache (for stats endpoints).
@@ -205,6 +237,9 @@ func (m *Manager) Submit(spec JobSpec) (*Job, bool, error) {
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return nil, false, ErrShuttingDown
+	}
 	if j, ok := m.inflight[fingerprint]; ok {
 		m.coalesced++
 		return j, true, nil
@@ -226,7 +261,7 @@ func (m *Manager) Submit(spec JobSpec) (*Job, bool, error) {
 	default:
 		delete(m.jobs, j.id)
 		delete(m.inflight, fingerprint)
-		return nil, false, errors.New("sweepserve: job queue full")
+		return nil, false, ErrQueueFull
 	}
 	return j, false, nil
 }
@@ -249,6 +284,14 @@ func (m *Manager) Coalesced() int {
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	for {
+		// Check cancellation before draining the queue: once Close has
+		// cancelled, queued jobs belong to Close's fail-them-all drain, and
+		// a worker must not race it for them.
+		select {
+		case <-m.ctx.Done():
+			return
+		default:
+		}
 		select {
 		case <-m.ctx.Done():
 			return
@@ -271,7 +314,11 @@ func (m *Manager) run(j *Job) {
 		return
 	}
 	cfg.Resume = resume
-	cfg.Checkpoint = m.store.checkpointer(j.plan, cfg)
+	cfg.Checkpoint, err = m.store.checkpointer(j.plan, cfg)
+	if err != nil {
+		m.finish(j, nil, err)
+		return
+	}
 	cfg.PointDone = func(pt experiment.GridPoint, fromCache bool) {
 		j.mu.Lock()
 		defer j.mu.Unlock()

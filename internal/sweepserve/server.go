@@ -9,7 +9,7 @@ import (
 
 // Server is the HTTP face of a Manager. Routes (all JSON unless noted):
 //
-//	POST /v1/jobs             submit a JobSpec → SubmitResponse (400 SpecError on bad specs)
+//	POST /v1/jobs             submit a JobSpec → SubmitResponse (400 SpecError on bad specs; 503 + Retry-After when the queue is full or the server is draining)
 //	GET  /v1/jobs/{id}        job status
 //	GET  /v1/jobs/{id}/result terminal result (JSON; ?format=csv for text/csv)
 //	GET  /v1/jobs/{id}/events SSE: one progress event per change, then a terminal event
@@ -82,6 +82,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, coalesced, err := s.manager.Submit(spec)
 	if err != nil {
+		// A saturated queue or a shutting-down server is our capacity, not
+		// the client's spec: 503 with a retry hint instead of 400.
+		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}

@@ -1,7 +1,6 @@
 package sweepserve
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -68,6 +67,12 @@ type Store struct {
 	mu     sync.Mutex
 	points map[pointKey]json.RawMessage
 	file   *os.File // nil for a memory-only store
+	// fileFP is the fingerprint of the section header most recently written
+	// to the file. Concurrent jobs share the one file, so their sections
+	// interleave; a point line is only appended when the file's current
+	// section is its own (storeWriter re-emits the job's header otherwise),
+	// which keeps restore()'s header-then-points attribution correct.
+	fileFP string
 
 	hits, misses, restored int
 }
@@ -81,57 +86,79 @@ func NewStore() *Store {
 // OpenStore opens (creating if needed) a journal-file-backed store. Existing
 // sections are scanned for completed points: headers establish the section's
 // (kind, label, trials) context, point lines under a known header are
-// restored, sections from journals written before headers carried structured
-// fields are skipped (their identity cannot be established), and a truncated
-// final line — the signature of a kill mid-append — is tolerated exactly as
-// the experiment resume loader tolerates it.
+// restored, and sections from journals written before headers carried
+// structured fields are skipped (their identity cannot be established). A
+// truncated final line — the signature of a kill mid-append — is tolerated
+// AND cut off the file before appends resume: left in place, the next
+// checkpoint would concatenate a complete record onto the torn partial line
+// and the restart after that would read a malformed record mid-file.
 func OpenStore(path string) (*Store, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("sweepserve: opening result store: %w", err)
 	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweepserve: reading result store: %w", err)
+	}
 	s := &Store{points: map[pointKey]json.RawMessage{}, file: f}
-	if err := s.restore(f); err != nil {
+	keep, err := s.restore(data)
+	if err != nil {
 		f.Close()
 		return nil, err
+	}
+	if keep < len(data) {
+		if err := f.Truncate(int64(keep)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("sweepserve: truncating torn final record: %w", err)
+		}
 	}
 	s.restored = len(s.points)
 	return s, nil
 }
 
-// restore scans an existing journal stream into the point map.
-func (s *Store) restore(r io.Reader) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+// restore scans the journal bytes into the point map and returns the length
+// of the valid prefix. A malformed final line — the append a kill cut off —
+// is excluded from the prefix so OpenStore can truncate it away; a malformed
+// record followed by more content is corruption and fails loudly.
+func (s *Store) restore(data []byte) (int, error) {
 	var kind, label string
 	trials := 0
 	known := false
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
+	for off := 0; off < len(data); {
+		next := len(data)
+		raw := data[off:]
+		if i := bytes.IndexByte(raw, '\n'); i >= 0 {
+			raw = raw[:i]
+			next = off + i + 1
+		}
+		line := bytes.TrimSpace(raw)
 		if len(line) == 0 {
+			off = next
 			continue
 		}
 		h, p, err := experiment.ParseJournalRecord(line)
 		if err != nil {
-			// A malformed line is only legal as the torn final append of a
-			// killed server; anything followed by more data is corruption.
-			if sc.Scan() {
-				return fmt.Errorf("sweepserve: result store corrupt (malformed record mid-file): %w", err)
+			if len(bytes.TrimSpace(data[next:])) > 0 {
+				return 0, fmt.Errorf("sweepserve: result store corrupt (malformed record mid-file): %w", err)
 			}
-			return nil
+			return off, nil
 		}
 		switch {
 		case h != nil:
 			kind, label, trials = h.Kind, h.Label, h.Trials
 			known = h.Kind != "" // pre-structured-header sections are unidentifiable
+			s.fileFP = h.Fingerprint
 		case p != nil && known:
 			key := keyFor(kind, label, trials, *p)
 			if _, dup := s.points[key]; !dup {
 				s.points[key] = append(json.RawMessage(nil), p.Value...)
 			}
 		}
+		off = next
 	}
-	return sc.Err()
+	return len(data), nil
 }
 
 // Close releases the backing file, if any.
@@ -153,15 +180,12 @@ func (s *Store) Stats() StoreStats {
 	return StoreStats{Points: len(s.points), Hits: s.hits, Misses: s.misses, Restored: s.restored}
 }
 
-// resumeFor synthesizes the experiment resume stream of one job: a section
-// header carrying the job's own fingerprint followed by every cached point
-// that lies on the job's grid, rendered through the exported journal
-// marshallers so SweepConfig.Resume accepts it verbatim. Returns the stream
-// and the number of cache hits (misses — points the job must compute — are
-// grid.Len() − hits; both are tallied into the store stats).
-func (s *Store) resumeFor(plan *jobPlan, cfg experiment.SweepConfig) (io.Reader, int, error) {
+// sectionHeader renders one job's journal section header and its
+// fingerprint — shared by resumeFor (synthesized resume streams) and
+// checkpointer (headers re-emitted when concurrent jobs interleave appends).
+func sectionHeader(plan *jobPlan, cfg experiment.SweepConfig) (fingerprint string, header []byte, err error) {
 	fingerprint, spec := cfg.JournalFingerprint(plan.kind, plan.grid)
-	header, err := experiment.MarshalJournalHeader(experiment.JournalHeaderInfo{
+	header, err = experiment.MarshalJournalHeader(experiment.JournalHeaderInfo{
 		Fingerprint: fingerprint,
 		Spec:        spec,
 		Code:        experiment.CodeVersion,
@@ -170,6 +194,17 @@ func (s *Store) resumeFor(plan *jobPlan, cfg experiment.SweepConfig) (io.Reader,
 		Trials:      cfg.Trials,
 		Seed:        cfg.Seed,
 	})
+	return fingerprint, header, err
+}
+
+// resumeFor synthesizes the experiment resume stream of one job: a section
+// header carrying the job's own fingerprint followed by every cached point
+// that lies on the job's grid, rendered through the exported journal
+// marshallers so SweepConfig.Resume accepts it verbatim. Returns the stream
+// and the number of cache hits (misses — points the job must compute — are
+// grid.Len() − hits; both are tallied into the store stats).
+func (s *Store) resumeFor(plan *jobPlan, cfg experiment.SweepConfig) (io.Reader, int, error) {
+	_, header, err := sectionHeader(plan, cfg)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -207,8 +242,15 @@ func (s *Store) resumeFor(plan *jobPlan, cfg experiment.SweepConfig) (io.Reader,
 // store is file-backed (so the point survives restarts). The journalWriter
 // contract — one complete record per Write call — is what makes live
 // ingestion line-by-line safe.
-func (s *Store) checkpointer(plan *jobPlan, cfg experiment.SweepConfig) io.Writer {
-	return &storeWriter{store: s, kind: plan.kind, label: cfg.JournalLabel, trials: cfg.Trials}
+func (s *Store) checkpointer(plan *jobPlan, cfg experiment.SweepConfig) (io.Writer, error) {
+	fingerprint, header, err := sectionHeader(plan, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &storeWriter{
+		store: s, kind: plan.kind, label: cfg.JournalLabel, trials: cfg.Trials,
+		fingerprint: fingerprint, header: header,
+	}, nil
 }
 
 type storeWriter struct {
@@ -216,20 +258,35 @@ type storeWriter struct {
 	kind   string
 	label  string
 	trials int
+	// fingerprint and header identify this job's journal section; the header
+	// line is re-emitted whenever another job's section holds the file's
+	// tail, so every contiguous run of point lines sits under its own header
+	// even when concurrent jobs interleave appends.
+	fingerprint string
+	header      []byte
 }
 
 func (w *storeWriter) Write(line []byte) (int, error) {
 	s := w.store
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	h, p, err := experiment.ParseJournalRecord(bytes.TrimSpace(line))
+	if err != nil {
+		return 0, fmt.Errorf("sweepserve: checkpoint line does not parse: %w", err)
+	}
 	if s.file != nil {
+		if p != nil && s.fileFP != w.fingerprint {
+			if _, err := s.file.Write(w.header); err != nil {
+				return 0, fmt.Errorf("sweepserve: appending to result store: %w", err)
+			}
+			s.fileFP = w.fingerprint
+		}
 		if _, err := s.file.Write(line); err != nil {
 			return 0, fmt.Errorf("sweepserve: appending to result store: %w", err)
 		}
-	}
-	_, p, err := experiment.ParseJournalRecord(bytes.TrimSpace(line))
-	if err != nil {
-		return 0, fmt.Errorf("sweepserve: checkpoint line does not parse: %w", err)
+		if h != nil {
+			s.fileFP = h.Fingerprint
+		}
 	}
 	if p != nil {
 		key := keyFor(w.kind, w.label, w.trials, *p)
